@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 9 — WHISPER execution-time overheads over unprotected runs:
+ * MM(40us), TM(40us) and TT at 40/80/160us EW targets (TEW 2us),
+ * broken into Attach / Detach / Rand / Cond / Other components.
+ *
+ * Usage: fig09_whisper_overhead [sections]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/whisper.hh"
+
+using namespace terp;
+using namespace terp::workloads;
+using namespace terp::bench;
+
+int
+main(int argc, char **argv)
+{
+    WhisperParams p;
+    p.sections = static_cast<std::uint64_t>(
+        bench::argOr(argc, argv, 1, 400));
+
+    std::printf("=== Fig 9: WHISPER overheads vs unprotected "
+                "(TEW 2us) ===\n\n");
+    printBreakdownHeader("prog");
+
+    struct SchemeDef
+    {
+        const char *name;
+        core::RuntimeConfig cfg;
+    };
+    const SchemeDef schemes[] = {
+        {"MM(40us)", core::RuntimeConfig::mm(usToCycles(40))},
+        {"TM(40us)", core::RuntimeConfig::tm(usToCycles(40))},
+        {"TT(40us)", core::RuntimeConfig::tt(usToCycles(40))},
+        {"TT(80us)", core::RuntimeConfig::tt(usToCycles(80))},
+        {"TT(160us)", core::RuntimeConfig::tt(usToCycles(160))},
+    };
+
+    double avg_total[5] = {};
+    for (const std::string &name : whisperNames()) {
+        RunResult base =
+            runWhisper(name, core::RuntimeConfig::unprotected(), p);
+        int si = 0;
+        for (const SchemeDef &s : schemes) {
+            RunResult r = runWhisper(name, s.cfg, p);
+            Breakdown d = breakdown(r, base);
+            printBreakdownRow(name, s.name, d);
+            avg_total[si++] += d.total;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("--- averages over the six workloads ---\n");
+    int si = 0;
+    for (const SchemeDef &s : schemes) {
+        std::printf("%-10s avg total overhead: %5.1f%%\n", s.name,
+                    100.0 * avg_total[si++] / 6.0);
+    }
+    std::printf("\npaper: MM(40us) ~20%%, TM(40us) ~30%% (1.5x MM), "
+                "TT(40us) ~6%%, decreasing with larger EW targets.\n");
+    return 0;
+}

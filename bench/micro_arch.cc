@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the architecture
+ * components: circular-buffer CONDAT/CONDDT decision logic, the
+ * sweep, permission-matrix checks, MPK domain updates, and the cache
+ * / TLB models. These measure host-side simulation throughput, which
+ * bounds how fast the whole evaluation runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/circular_buffer.hh"
+#include "arch/mpk.hh"
+#include "arch/perm_matrix.hh"
+#include "common/rng.hh"
+#include "sim/cache.hh"
+#include "sim/tlb.hh"
+
+using namespace terp;
+
+static void
+BM_CondAttachDetachPair(benchmark::State &state)
+{
+    arch::CircularBuffer cb;
+    Cycles t = 0;
+    for (auto _ : state) {
+        cb.condAttach(1, t);
+        benchmark::DoNotOptimize(
+            cb.condDetach(1, t + 10, 1000000));
+        t += 20;
+    }
+}
+BENCHMARK(BM_CondAttachDetachPair);
+
+static void
+BM_CircularBufferSweep(benchmark::State &state)
+{
+    arch::CircularBuffer cb;
+    const auto pmos = static_cast<unsigned>(state.range(0));
+    for (unsigned p = 1; p <= pmos; ++p)
+        cb.condAttach(p, 0);
+    Cycles t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cb.sweep(t, 1u << 30));
+        t += 1000;
+    }
+}
+BENCHMARK(BM_CircularBufferSweep)->Arg(1)->Arg(8)->Arg(32);
+
+static void
+BM_PermMatrixCheck(benchmark::State &state)
+{
+    arch::PermissionMatrix m;
+    const auto entries = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 1; i <= entries; ++i)
+        m.add(i, i * 0x100000, 0x10000, pm::Mode::ReadWrite);
+    Rng rng(1);
+    for (auto _ : state) {
+        std::uint64_t a =
+            (1 + rng.nextBelow(entries)) * 0x100000 + 64;
+        benchmark::DoNotOptimize(m.check(a, false));
+    }
+}
+BENCHMARK(BM_PermMatrixCheck)->Arg(1)->Arg(2)->Arg(6);
+
+static void
+BM_MpkGrantRevoke(benchmark::State &state)
+{
+    arch::ThreadDomains d;
+    for (auto _ : state) {
+        d.grant(0, 1, pm::Mode::ReadWrite);
+        benchmark::DoNotOptimize(d.allows(0, 1, true));
+        d.revoke(0, 1);
+    }
+}
+BENCHMARK(BM_MpkGrantRevoke);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache c(32 * KiB, 8);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(rng.nextBelow(1 * MiB)));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_TlbLookup(benchmark::State &state)
+{
+    sim::TlbHierarchy t;
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            t.lookup(rng.nextBelow(64 * MiB)));
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+BENCHMARK_MAIN();

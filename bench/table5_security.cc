@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Table V — quantitative attack-success comparison between MERR
+ * (40us EW) and TERP (40us EW, 2us TEW) for a 1 GB PMO (18-bit
+ * placement entropy): per-window success probability for each attack
+ * class and attack time, from the closed-form model; validated by a
+ * Monte-Carlo probing simulation at reduced entropy, and fed with
+ * the thread exposure rate measured from the WHISPER TT runs.
+ *
+ * Usage: table5_security [sections]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "security/attack_model.hh"
+#include "workloads/whisper.hh"
+
+using namespace terp;
+using namespace terp::security;
+
+int
+main(int argc, char **argv)
+{
+    workloads::WhisperParams wp;
+    wp.sections = static_cast<std::uint64_t>(
+        bench::argOr(argc, argv, 1, 200));
+
+    // Measure the fraction of an exposure window during which a
+    // compromised thread actually holds permission under TERP.
+    // The paper uses the measured thread exposure rate directly as
+    // the fraction of a window the attacker can use (3.4% there).
+    double ter_sum = 0;
+    for (const std::string &name : workloads::whisperNames()) {
+        auto r = workloads::runWhisper(
+            name, core::RuntimeConfig::tt(), wp);
+        ter_sum += r.exposure.ter;
+    }
+    double accessible = ter_sum / 6.0;
+
+    std::printf("=== Table V: attack success probability per "
+                "exposure window, 1 GB PMO ===\n");
+    std::printf("measured WHISPER TT thread exposure rate: %.3f "
+                "(paper: 0.034)\n\n",
+                accessible);
+
+    const char *attacks[] = {"Stack buffer overflow",
+                             "Heap overflow", "Format string",
+                             "Integer overflow"};
+    std::printf("%-24s | %-27s | %-27s\n", "",
+                "MERR (40us EW)", "TERP (40us EW, 2us TEW)");
+    std::printf("%-24s | %8s %8s %8s | %8s %8s %8s\n",
+                "Each attack time", "x us", "1us", "0.1us", "x us",
+                "1us", "0.1us");
+
+    AttackScenario merr;
+    AttackScenario terp;
+    terp.accessibleFraction = accessible;
+
+    for (const char *atk : attacks) {
+        merr.attackTimeUs = 1.0;
+        terp.attackTimeUs = 1.0;
+        double m1 = successProbabilityPercent(merr);
+        double t1 = successProbabilityPercent(terp);
+        merr.attackTimeUs = 0.1;
+        terp.attackTimeUs = 0.1;
+        double m01 = successProbabilityPercent(merr);
+        double t01 = successProbabilityPercent(terp);
+        std::printf(
+            "%-24s | %6.4f/x %8.4f %8.3f | %7.5f/x %8.5f %8.4f\n",
+            atk, m1, m1, m01, t1, t1, t01);
+    }
+
+    merr.attackTimeUs = 1.0;
+    terp.attackTimeUs = 1.0;
+    double ratio = successProbabilityPercent(merr) /
+                   successProbabilityPercent(terp);
+    std::printf("\nTERP success probability is %.0fx smaller than "
+                "MERR (paper: ~30x).\n",
+                ratio);
+    std::printf("paper row: MERR 0.015/x%% | TERP 0.0005/x%%\n\n");
+
+    // Monte-Carlo validation at reduced entropy (10 bits) so the
+    // rates are measurable in reasonable time.
+    std::printf("--- Monte-Carlo validation (entropy reduced to "
+                "2^10 slots, 40us EW) ---\n");
+    Rng rng(424242);
+    for (double frac : {1.0, accessible}) {
+        AttackScenario s;
+        s.entropyBits = 10;
+        s.accessibleFraction = frac;
+        double analytic = successProbabilityPercent(s);
+        double measured = monteCarloSuccessPercent(s, 40000, rng);
+        std::printf("accessible=%4.1f%% : analytic %.3f%%  "
+                    "measured %.3f%%\n",
+                    100 * frac, analytic, measured);
+    }
+    std::printf("\nexpected windows to breach at full entropy: MERR "
+                "%.0f, TERP %.0f\n",
+                expectedWindowsToBreach(merr),
+                expectedWindowsToBreach(terp));
+    return 0;
+}

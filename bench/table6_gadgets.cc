@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Table VI — data-only gadget analysis across attack scenarios:
+ * how many read/write gadgets TERP disarms versus MERR, both as a
+ * static census over the instrumented SPEC kernels and as the
+ * time-weighted rates derived from measured exposure (TERP disarms
+ * 1-TER of gadget time; MERR leaves ER exposed), plus the Fig 12
+ * data-only attack outcome per scheme.
+ *
+ * Usage: table6_gadgets [sections] [scale]
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "security/dop.hh"
+#include "security/gadget.hh"
+#include "workloads/spec.hh"
+#include "workloads/whisper.hh"
+
+using namespace terp;
+using namespace terp::security;
+
+int
+main(int argc, char **argv)
+{
+    workloads::WhisperParams wp;
+    wp.sections = static_cast<std::uint64_t>(
+        bench::argOr(argc, argv, 1, 200));
+    workloads::SpecParams sp;
+    sp.scale = bench::argOr(argc, argv, 2, 0.5);
+
+    std::printf("=== Table VI: gadget disarm analysis ===\n\n");
+
+    // ---- static census over instrumented SPEC kernels ------------
+    // The kernels are access-dominated, so most static gadget SITES
+    // sit inside a pair; the security claim is temporal (the pair is
+    // open only a sliver of the time), which the time-weighted rates
+    // below capture -- they are what the paper's 96.6%/89.98% mean.
+    std::printf("--- static census (instrumented SPEC kernels) ---\n");
+    std::printf("%-8s %8s %12s %12s\n", "prog", "gadgets",
+                "TERP-disarm%", "MERR-disarm%");
+    for (const std::string &name : workloads::specNames()) {
+        pm::PmoManager pmos(7);
+        auto prog = workloads::buildSpec(
+            name, pmos, compiler::PassConfig{}, sp);
+        GadgetCensus c = analyzeGadgets(prog.module);
+        std::printf("%-8s %8llu %11.1f%% %11.1f%%\n", name.c_str(),
+                    (unsigned long long)c.totalGadgets,
+                    100 * c.terpDisarmRate(),
+                    100 * c.merrDisarmRate());
+    }
+
+    // ---- time-weighted rates from measured exposure ---------------
+    std::printf("\n--- time-weighted disarm rates (measured) ---\n");
+    double w_ter = 0, w_er = 0;
+    for (const std::string &name : workloads::whisperNames()) {
+        auto tt = workloads::runWhisper(
+            name, core::RuntimeConfig::tt(), wp);
+        auto mm = workloads::runWhisper(
+            name, core::RuntimeConfig::mm(), wp);
+        w_ter += tt.exposure.ter;
+        w_er += mm.exposure.er;
+    }
+    w_ter /= 6.0;
+    w_er /= 6.0;
+    std::printf("WHISPER: TERP disarms %.1f%% of gadget time "
+                "(paper 96.6%%); MERR keeps %.1f%% exposed "
+                "(paper 24.5%%)\n",
+                100 * terpTimeWeightedDisarmRate(w_ter),
+                100 * merrTimeWeightedKeptRate(w_er));
+
+    double s_ter = 0, s_er = 0;
+    for (const std::string &name : workloads::specNames()) {
+        auto tt = workloads::runSpec(name,
+                                     core::RuntimeConfig::tt(), sp);
+        auto mm = workloads::runSpec(name,
+                                     core::RuntimeConfig::mm(), sp);
+        s_ter += tt.exposure.ter;
+        s_er += mm.exposure.er;
+    }
+    s_ter /= 5.0;
+    s_er /= 5.0;
+    std::printf("SPEC   : TERP disarms %.1f%% of gadget time "
+                "(paper 89.98%%); MERR keeps %.1f%% exposed "
+                "(paper 27.2%%)\n",
+                100 * terpTimeWeightedDisarmRate(s_ter),
+                100 * merrTimeWeightedKeptRate(s_er));
+
+    // ---- the Fig 12 attack as the "gadgets within a pair" case ----
+    std::printf("\n--- Fig 12 data-only attack outcome ---\n");
+    std::printf("%-14s %12s %10s %8s\n", "scheme", "corrupted",
+                "faults", "rand");
+    for (const auto &cfg :
+         {core::RuntimeConfig::unprotected(),
+          core::RuntimeConfig::mm(), core::RuntimeConfig::tt()}) {
+        DopResult r = runFtpAttack(cfg);
+        std::printf("%-14s %6llu/%-5llu %10llu %8llu\n",
+                    core::schemeName(cfg.scheme),
+                    (unsigned long long)r.nodesCorrupted,
+                    (unsigned long long)r.listLength,
+                    (unsigned long long)r.accessFaults,
+                    (unsigned long long)r.randomizations);
+    }
+    std::printf("\ninteractive data-only attacks are impossible "
+                "within an EW (network RTT >> 40us); non-interactive "
+                "probing finds the PMO with ~0.01%% probability per "
+                "window.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Data-only attack demo (Fig 12 of the paper): a vulnerable FTP-like
+ * server whose gadgets an attacker chains to increment every node of
+ * a persistent linked list — run Unprotected, under MERR (MM) and
+ * under TERP (TT).
+ *
+ * Build & run:  ./build/examples/attack_demo
+ */
+
+#include <cstdio>
+
+#include "security/dop.hh"
+
+using namespace terp;
+
+int
+main()
+{
+    std::printf("Fig 12 data-only attack: corrupt a PMO-resident "
+                "linked list (64 nodes)\n\n");
+    std::printf("%-34s %10s %10s %8s  %s\n", "scheme", "corrupted",
+                "faults", "rounds", "goal achieved");
+
+    for (const auto &cfg :
+         {core::RuntimeConfig::unprotected(),
+          core::RuntimeConfig::mm(), core::RuntimeConfig::tt()}) {
+        security::DopResult r = security::runFtpAttack(cfg);
+        std::printf("%-34s %6llu/%-3llu %10llu %8llu  %s\n",
+                    r.scheme.c_str(),
+                    (unsigned long long)r.nodesCorrupted,
+                    (unsigned long long)r.listLength,
+                    (unsigned long long)r.accessFaults,
+                    (unsigned long long)r.roundsExecuted,
+                    r.attackGoalAchieved ? "YES" : "no");
+    }
+
+    std::printf("\nUnprotected: the chained dereference/addition "
+                "gadgets corrupt every node.\n");
+    std::printf("MM: corruption stops once re-randomization "
+                "invalidates the leaked addresses.\n");
+    std::printf("TT: every gadget executes outside a thread exposure "
+                "window and is denied.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A persistent key-value store protected by TERP — the WHISPER
+ * hashmap workload run under every scheme, with a side-by-side
+ * comparison of performance overhead and exposure metrics.
+ *
+ * Build & run:  ./build/examples/kvstore [sections]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/whisper.hh"
+
+using namespace terp;
+using namespace terp::workloads;
+
+int
+main(int argc, char **argv)
+{
+    WhisperParams p;
+    p.sections = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300;
+
+    std::printf("persistent hash-map KV store, %llu transaction "
+                "batches, 1 GB PMO\n\n",
+                (unsigned long long)p.sections);
+
+    RunResult base =
+        runWhisper("hashmap", core::RuntimeConfig::unprotected(), p);
+    std::printf("%-14s %10s %9s %9s %9s %8s %8s\n", "scheme",
+                "time(ms)", "overhead", "EWavg,us", "TEW,us",
+                "ER%", "TER%");
+    std::printf("%-14s %10.2f %9s %9s %9s %8s %8s\n", "unprotected",
+                cyclesToUs(base.totalCycles) / 1000.0, "-", "-", "-",
+                "-", "-");
+
+    struct SchemeDef
+    {
+        const char *name;
+        core::RuntimeConfig cfg;
+    };
+    for (const SchemeDef &s :
+         {SchemeDef{"MM (MERR)", core::RuntimeConfig::mm()},
+          SchemeDef{"TM", core::RuntimeConfig::tm()},
+          SchemeDef{"TT (TERP)", core::RuntimeConfig::tt()}}) {
+        RunResult r = runWhisper("hashmap", s.cfg, p);
+        std::printf("%-14s %10.2f %8.1f%% %9.1f %9.2f %8.1f %8.1f\n",
+                    s.name, cyclesToUs(r.totalCycles) / 1000.0,
+                    100.0 * overheadVsBase(r, base),
+                    r.exposure.ewAvgUs, r.exposure.tewAvgUs,
+                    100.0 * r.exposure.er, 100.0 * r.exposure.ter);
+    }
+
+    std::printf("\nTERP keeps the PMO exposed to each thread <2us "
+                "at a time for a few percent overhead;\nMERR pays "
+                "full system calls for far coarser windows.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "arch/mpk.hh"
+
+namespace terp {
+namespace arch {
+
+void
+ThreadDomains::grant(unsigned tid, pm::PmoId pmo, pm::Mode mode)
+{
+    perms[{tid, pmo}] = mode;
+}
+
+void
+ThreadDomains::revoke(unsigned tid, pm::PmoId pmo)
+{
+    perms.erase({tid, pmo});
+}
+
+bool
+ThreadDomains::allows(unsigned tid, pm::PmoId pmo, bool write) const
+{
+    auto it = perms.find({tid, pmo});
+    if (it == perms.end())
+        return false;
+    return pm::modeAllows(it->second, write);
+}
+
+bool
+ThreadDomains::holds(unsigned tid, pm::PmoId pmo) const
+{
+    return perms.count({tid, pmo}) != 0;
+}
+
+unsigned
+ThreadDomains::holderCount(pm::PmoId pmo) const
+{
+    unsigned n = 0;
+    for (const auto &[key, mode] : perms) {
+        (void)mode;
+        if (key.second == pmo)
+            ++n;
+    }
+    return n;
+}
+
+void
+ThreadDomains::revokeAll(pm::PmoId pmo)
+{
+    for (auto it = perms.begin(); it != perms.end();) {
+        if (it->first.second == pmo)
+            it = perms.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace arch
+} // namespace terp

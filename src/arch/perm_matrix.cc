@@ -1,0 +1,60 @@
+#include "arch/perm_matrix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace arch {
+
+void
+PermissionMatrix::add(pm::PmoId pmo, std::uint64_t va_base,
+                      std::uint64_t size, pm::Mode perm)
+{
+    TERP_ASSERT(!hasEntry(pmo), "permission matrix double-add, pmo ",
+                pmo);
+    entries.push_back({pmo, va_base, size, perm});
+}
+
+void
+PermissionMatrix::remove(pm::PmoId pmo)
+{
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&](const Entry &e) { return e.pmo == pmo; });
+    TERP_ASSERT(it != entries.end(),
+                "permission matrix remove of absent entry, pmo ", pmo);
+    entries.erase(it);
+}
+
+void
+PermissionMatrix::rebase(pm::PmoId pmo, std::uint64_t new_base)
+{
+    for (auto &e : entries) {
+        if (e.pmo == pmo) {
+            e.base = new_base;
+            return;
+        }
+    }
+    TERP_PANIC("permission matrix rebase of absent entry");
+}
+
+MatrixHit
+PermissionMatrix::check(std::uint64_t vaddr, bool write) const
+{
+    for (const auto &e : entries) {
+        if (vaddr >= e.base && vaddr < e.base + e.size) {
+            return {true, pm::modeAllows(e.perm, write), e.pmo};
+        }
+    }
+    return {};
+}
+
+bool
+PermissionMatrix::hasEntry(pm::PmoId pmo) const
+{
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const Entry &e) { return e.pmo == pmo; });
+}
+
+} // namespace arch
+} // namespace terp

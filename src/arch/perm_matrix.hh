@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The MERR process-wide permission matrix (Fig 1b of the paper).
+ *
+ * attach(PMO, perm) adds an entry mapping the PMO's mapped virtual
+ * range to the granted permission; detach removes it. Every ld/st
+ * checks the matrix alongside the TLB at a 1-cycle cost (Table II).
+ */
+
+#ifndef TERP_ARCH_PERM_MATRIX_HH
+#define TERP_ARCH_PERM_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/oid.hh"
+#include "pm/pmo.hh"
+
+namespace terp {
+namespace arch {
+
+/** Result of a permission-matrix lookup. */
+struct MatrixHit
+{
+    bool present = false;   //!< an entry covers the address
+    bool permitted = false; //!< and the requested access is allowed
+    pm::PmoId pmo = pm::invalidPmoId;
+};
+
+/** Process-wide table of (VA range -> PMO, permission) entries. */
+class PermissionMatrix
+{
+  public:
+    /** Install the entry for an attach. */
+    void add(pm::PmoId pmo, std::uint64_t va_base, std::uint64_t size,
+             pm::Mode perm);
+
+    /** Remove the entry for a detach. */
+    void remove(pm::PmoId pmo);
+
+    /** Update the VA range after a re-randomization. */
+    void rebase(pm::PmoId pmo, std::uint64_t new_base);
+
+    /** Check an access against the matrix. */
+    MatrixHit check(std::uint64_t vaddr, bool write) const;
+
+    /** Entry lookup by PMO id. */
+    bool hasEntry(pm::PmoId pmo) const;
+
+    std::size_t entryCount() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        pm::PmoId pmo;
+        std::uint64_t base;
+        std::uint64_t size;
+        pm::Mode perm;
+    };
+    std::vector<Entry> entries;
+};
+
+} // namespace arch
+} // namespace terp
+
+#endif // TERP_ARCH_PERM_MATRIX_HH

@@ -1,0 +1,65 @@
+#include "arch/watch_regs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace arch {
+
+bool
+WatchRegisterFile::watchAttach(std::uint64_t pc, pm::PmoId pmo,
+                               pm::Mode mode)
+{
+    if (regs.size() >= capacity)
+        return false;
+    regs.push_back({pc, pmo, mode, true});
+    return true;
+}
+
+bool
+WatchRegisterFile::watchDetach(std::uint64_t pc, pm::PmoId pmo)
+{
+    if (regs.size() >= capacity)
+        return false;
+    regs.push_back({pc, pmo, pm::Mode::None, false});
+    return true;
+}
+
+void
+WatchRegisterFile::unwatch(std::uint64_t pc)
+{
+    regs.erase(std::remove_if(regs.begin(), regs.end(),
+                              [&](const Watch &w) {
+                                  return w.pc == pc;
+                              }),
+               regs.end());
+}
+
+InterceptResult
+WatchRegisterFile::onFetch(std::uint64_t pc, CircularBuffer &cb,
+                           Cycles now, Cycles max_ew)
+{
+    InterceptResult r;
+    for (const Watch &w : regs) {
+        if (w.pc != pc)
+            continue;
+        r.intercepted = true;
+        if (w.isAttach) {
+            CondAttachCase c = cb.condAttach(w.pmo, now);
+            r.attachCase = c;
+            // Only the first attach actually maps the PMO; the
+            // silent cases suppress the system call.
+            r.performCall = c == CondAttachCase::FirstAttach;
+        } else {
+            CondDetachCase c = cb.condDetach(w.pmo, now, max_ew);
+            r.detachCase = c;
+            r.performCall = c == CondDetachCase::FullDetach;
+        }
+        return r;
+    }
+    return r;
+}
+
+} // namespace arch
+} // namespace terp

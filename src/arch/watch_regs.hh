@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The paper's first hardware design option for conditional
+ * attach/detach (Section V-B): instead of new CONDAT/CONDDT
+ * instructions, the PC addresses of the attach and detach call sites
+ * are registered in special watch registers; when the program
+ * counter reaches one of them the hardware intercepts the call and
+ * lets the system call proceed only when the circular-buffer
+ * condition requires it.
+ *
+ * Functionally the two designs are equivalent (both front-end the
+ * same Fig 7 decision logic); this module exists to demonstrate and
+ * test that equivalence, and to quantify the register budget the
+ * alternative needs.
+ */
+
+#ifndef TERP_ARCH_WATCH_REGS_HH
+#define TERP_ARCH_WATCH_REGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/circular_buffer.hh"
+#include "common/units.hh"
+#include "pm/oid.hh"
+#include "pm/pmo.hh"
+
+namespace terp {
+namespace arch {
+
+/** What the intercept decided about the call at a watched PC. */
+struct InterceptResult
+{
+    bool intercepted = false;  //!< a watch register matched the PC
+    bool performCall = false;  //!< let the syscall execute
+    //! The circular-buffer case the decision corresponds to.
+    std::optional<CondAttachCase> attachCase;
+    std::optional<CondDetachCase> detachCase;
+};
+
+/**
+ * A small file of watch registers, each binding a call-site PC to a
+ * PMO and a direction (attach or detach).
+ */
+class WatchRegisterFile
+{
+  public:
+    /** Number of watch registers (attach+detach sites). */
+    static constexpr unsigned capacity = 16;
+
+    /** Register an attach call site. @return false if full. */
+    bool watchAttach(std::uint64_t pc, pm::PmoId pmo, pm::Mode mode);
+
+    /** Register a detach call site. @return false if full. */
+    bool watchDetach(std::uint64_t pc, pm::PmoId pmo);
+
+    /** Remove a watch. */
+    void unwatch(std::uint64_t pc);
+
+    /**
+     * The fetch-stage hook: called with the current PC. If the PC
+     * matches a watch register, run the conditional logic against
+     * @p cb and report whether the underlying system call may
+     * proceed (cases 1 and 5) or must be suppressed (the silent
+     * cases, which only update thread permissions).
+     */
+    InterceptResult onFetch(std::uint64_t pc, CircularBuffer &cb,
+                            Cycles now, Cycles max_ew);
+
+    unsigned used() const
+    {
+        return static_cast<unsigned>(regs.size());
+    }
+
+  private:
+    struct Watch
+    {
+        std::uint64_t pc;
+        pm::PmoId pmo;
+        pm::Mode mode;
+        bool isAttach;
+    };
+    std::vector<Watch> regs;
+};
+
+} // namespace arch
+} // namespace terp
+
+#endif // TERP_ARCH_WATCH_REGS_HH

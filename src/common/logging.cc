@@ -1,0 +1,37 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace terp {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throw instead of abort() so tests can assert on panics.
+    throw std::logic_error("panic: " + msg);
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace terp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, plus
+ * warn() and inform() for non-fatal diagnostics.
+ */
+
+#ifndef TERP_COMMON_LOGGING_HH
+#define TERP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace terp {
+
+namespace detail {
+
+/** Stream-concatenate arbitrary arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort: something happened that indicates a bug in this library. */
+#define TERP_PANIC(...) \
+    ::terp::detail::panicImpl(__FILE__, __LINE__, \
+                              ::terp::detail::concat(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+#define TERP_FATAL(...) \
+    ::terp::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::terp::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define TERP_WARN(...) \
+    ::terp::detail::warnImpl(::terp::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define TERP_INFORM(...) \
+    ::terp::detail::informImpl(::terp::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant; panics with a message on failure. */
+#define TERP_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::terp::detail::panicImpl(__FILE__, __LINE__, \
+                ::terp::detail::concat("assertion failed: ", #cond, \
+                                       " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace terp
+
+#endif // TERP_COMMON_LOGGING_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lightweight statistics: scalar counters, interval accumulators and
+ * bucketed histograms used by the runtime, simulator and benchmark
+ * harnesses.
+ */
+
+#ifndef TERP_COMMON_STATS_HH
+#define TERP_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace terp {
+
+/**
+ * Running scalar summary (count / sum / min / max / mean) over
+ * uint64 samples such as exposure-window lengths in cycles.
+ */
+class Summary
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        ++n;
+        total += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t sum() const { return total; }
+    std::uint64_t min() const { return n ? lo : 0; }
+    std::uint64_t max() const { return n ? hi : 0; }
+
+    double
+    mean() const
+    {
+        return n ? static_cast<double>(total) / static_cast<double>(n)
+                 : 0.0;
+    }
+
+    void
+    reset()
+    {
+        n = 0;
+        total = 0;
+        lo = std::numeric_limits<std::uint64_t>::max();
+        hi = 0;
+    }
+
+  private:
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t hi = 0;
+};
+
+/**
+ * Histogram over explicit bucket upper bounds. A sample lands in the
+ * first bucket whose upper bound is >= the sample; larger samples land
+ * in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds Ascending inclusive bucket upper bounds. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Build log2-spaced bounds lo, 2lo, 4lo, ..., covering up to hi. */
+    static Histogram log2Buckets(double lo, double hi);
+
+    void add(double v);
+
+    std::size_t bucketCount() const { return counts.size(); }
+    const std::vector<double> &bounds() const { return ubs; }
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::uint64_t totalCount() const { return total; }
+
+    /** Fraction of samples in bucket i. */
+    double fraction(std::size_t i) const;
+
+    /** Fraction of samples strictly above value v. */
+    double fractionAbove(double v) const;
+
+    /** All raw samples retained for percentile queries. */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> ubs;     //!< bucket upper bounds; last = overflow
+    std::vector<std::uint64_t> counts;
+    std::vector<double> samples; //!< retained for percentiles
+    std::uint64_t total = 0;
+};
+
+/**
+ * A named bag of counters. Modules register additive counters under
+ * string keys; harnesses pretty-print or diff them.
+ */
+class CounterSet
+{
+  public:
+    void
+    inc(const std::string &key, std::uint64_t by = 1)
+    {
+        vals[key] += by;
+    }
+
+    std::uint64_t
+    get(const std::string &key) const
+    {
+        auto it = vals.find(key);
+        return it == vals.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &all() const { return vals; }
+
+    void reset() { vals.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> vals;
+};
+
+} // namespace terp
+
+#endif // TERP_COMMON_STATS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Basic time/size units and the simulation latency constants of the
+ * TERP evaluation (Table II of the paper).
+ *
+ * All simulated time is kept in core clock cycles of the 2.2 GHz
+ * simulated processor. Helpers convert between cycles and micro- or
+ * nanoseconds where the paper quotes wall-clock targets (e.g. the
+ * 40 us exposure-window target).
+ */
+
+#ifndef TERP_COMMON_UNITS_HH
+#define TERP_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace terp {
+
+/** Simulated core-clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated core frequency (Table II: 4-core, each 2.2 GHz). */
+constexpr double coreFreqGHz = 2.2;
+
+/** Cycles per microsecond at the simulated core frequency. */
+constexpr Cycles cyclesPerUs = 2200;
+
+/** Convert microseconds to cycles (rounds down). */
+constexpr Cycles
+usToCycles(double us)
+{
+    return static_cast<Cycles>(us * static_cast<double>(cyclesPerUs));
+}
+
+/** Convert cycles to microseconds. */
+constexpr double
+cyclesToUs(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(cyclesPerUs);
+}
+
+/** Convert cycles to nanoseconds. */
+constexpr double
+cyclesToNs(Cycles c)
+{
+    return static_cast<double>(c) / coreFreqGHz;
+}
+
+/** Size units. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Simulated page size (4 KB pages, Table II). */
+constexpr std::uint64_t pageSize = 4 * KiB;
+constexpr std::uint64_t pageShift = 12;
+
+/** Cache line size (bytes). */
+constexpr std::uint64_t lineSize = 64;
+constexpr std::uint64_t lineShift = 6;
+
+/**
+ * Fixed event latencies from Table II of the paper. These are the
+ * microbenchmarked costs the paper charges for each privileged or
+ * TERP-specific operation.
+ */
+namespace latency {
+
+/** DRAM access latency (cycles). */
+constexpr Cycles dram = 120;
+/** NVM (persistent memory) access latency (cycles). */
+constexpr Cycles nvm = 360;
+/** L1D hit time (cycles). */
+constexpr Cycles l1Hit = 1;
+/** Shared L2 hit time (cycles). */
+constexpr Cycles l2Hit = 8;
+/** L1 TLB hit time (cycles; folded into the 1-cycle L1 access). */
+constexpr Cycles tlbL1 = 0;
+/** L2 TLB access time (cycles). */
+constexpr Cycles tlbL2 = 4;
+/** Page-walk penalty charged on a full TLB miss (cycles). */
+constexpr Cycles tlbMiss = 30;
+/** Permission-matrix check or update (cycles). */
+constexpr Cycles permMatrix = 1;
+/** Silent conditional attach/detach (MPK permission toggle; cycles). */
+constexpr Cycles silentCond = 27;
+/**
+ * Kernel-mediated thread-permission toggle (the TM scheme performs
+ * every lowered conditional attach/detach as a system call): mode
+ * switch + PKRU update + fences, microbenchmarked like the other
+ * system-call costs.
+ */
+constexpr Cycles permSyscall = 1200;
+/** Full attach() system call (cycles). */
+constexpr Cycles attachSyscall = 4422;
+/** Full detach() system call (cycles). */
+constexpr Cycles detachSyscall = 3058;
+/** PMO layout re-randomization (cycles). */
+constexpr Cycles randomize = 3718;
+/** TLB invalidation / shootdown (cycles). */
+constexpr Cycles tlbInvalidate = 550;
+
+} // namespace latency
+
+/**
+ * Default protection targets used throughout the paper's evaluation:
+ * a 40 us process-level exposure window and a 2 us thread exposure
+ * window.
+ */
+namespace target {
+
+constexpr Cycles defaultEw = 40 * cyclesPerUs;
+constexpr Cycles defaultTew = 2 * cyclesPerUs;
+
+} // namespace target
+
+} // namespace terp
+
+#endif // TERP_COMMON_UNITS_HH

@@ -1,0 +1,77 @@
+#include "compiler/dot.hh"
+
+#include <set>
+#include <sstream>
+
+#include "compiler/analysis.hh"
+
+namespace terp {
+namespace compiler {
+
+std::string
+cfgToDot(const Function &f, std::uint32_t fi, const PmoFacts &facts,
+         const std::vector<WfgRegion> &regions)
+{
+    Analysis an(f, facts.blockMasks(fi));
+
+    std::ostringstream os;
+    os << "digraph \"" << f.name << "\" {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    // Region clusters (the PMO-WFG).
+    std::set<BlockId> clustered;
+    unsigned cluster_id = 0;
+    for (const WfgRegion &r : regions) {
+        if (r.func != fi)
+            continue;
+        os << "  subgraph cluster_" << cluster_id++ << " {\n"
+           << "    label=\"region bb" << r.header << " (LET "
+           << r.let << ")\";\n"
+           << "    style=dashed;\n";
+        Analysis ran(f, facts.blockMasks(fi));
+        for (BlockId b : ran.regionBlocks(r.header)) {
+            os << "    bb" << b << ";\n";
+            clustered.insert(b);
+        }
+        os << "  }\n";
+    }
+
+    for (BlockId b = 0; b < f.blockCount(); ++b) {
+        if (!an.reachable(b))
+            continue;
+        std::uint64_t mask = an.blockPmo(b);
+        os << "  bb" << b << " [label=\"bb" << b;
+        if (!f.block(b).label.empty())
+            os << "\\n" << f.block(b).label;
+        unsigned pairs = 0;
+        for (const Instr &in : f.block(b).instrs) {
+            if (in.op == Op::CondAttach || in.op == Op::CondDetach)
+                ++pairs;
+        }
+        if (pairs > 0)
+            os << "\\n(" << pairs << " cond op"
+               << (pairs > 1 ? "s" : "") << ")";
+        os << "\"";
+        if (mask != 0) {
+            // Fig 5 shades blocks with PMO accesses.
+            os << ", style=filled, fillcolor=gray80";
+        }
+        os << "];\n";
+    }
+
+    for (BlockId b = 0; b < f.blockCount(); ++b) {
+        if (!an.reachable(b))
+            continue;
+        for (BlockId s : f.successors(b)) {
+            os << "  bb" << b << " -> bb" << s;
+            if (an.isBackEdge(b, s))
+                os << " [style=dashed, constraint=false]";
+            os << ";\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace compiler
+} // namespace terp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Graphviz export of function CFGs, in the style of the paper's
+ * Fig 5: basic blocks with PMO accesses are shaded, back edges are
+ * dashed, and PMO-WFG regions can be drawn as clusters so the
+ * localized path-sensitive insertion is visible.
+ */
+
+#ifndef TERP_COMPILER_DOT_HH
+#define TERP_COMPILER_DOT_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "compiler/pass.hh"
+#include "compiler/pmo_analysis.hh"
+
+namespace terp {
+namespace compiler {
+
+/**
+ * Render one function's CFG as Graphviz dot.
+ *
+ * @param f       The function.
+ * @param fi      Its module index (for PMO facts).
+ * @param facts   Pointer-analysis results (shades access blocks).
+ * @param regions Optional WFG regions to draw as clusters (only
+ *                those belonging to function @p fi are used).
+ */
+std::string cfgToDot(const Function &f, std::uint32_t fi,
+                     const PmoFacts &facts,
+                     const std::vector<WfgRegion> &regions = {});
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_DOT_HH

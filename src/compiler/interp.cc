@@ -1,0 +1,254 @@
+#include "compiler/interp.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace compiler {
+
+Interpreter::Interpreter(const Module &m, core::Runtime &rt_,
+                         sim::Machine &mach_, MemoryImage &mem_,
+                         std::uint32_t entry,
+                         std::vector<std::uint64_t> args,
+                         std::uint64_t quantum_)
+    : mod(&m), rt(&rt_), mach(&mach_), mem(&mem_), quantum(quantum_)
+{
+    const Function &f = m.function(entry);
+    TERP_ASSERT(args.size() <= f.nParams, "too many arguments");
+    Frame fr;
+    fr.fn = entry;
+    fr.regs.assign(f.nRegs, 0);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        fr.regs[i] = args[i];
+    stack.push_back(std::move(fr));
+}
+
+std::uint64_t
+Interpreter::storageKey(std::uint64_t addr) const
+{
+    if (addr >= pm::PmoManager::arenaBase &&
+        addr < pm::PmoManager::arenaBase + pm::PmoManager::arenaSize) {
+        const pm::Pmo *p = rt->pmoManager().findByVaddr(addr);
+        if (p)
+            return pm::Oid(p->id(), addr - p->vaddrBase()).raw;
+    }
+    return addr;
+}
+
+bool
+Interpreter::memAccess(sim::ThreadContext &tc, std::uint64_t addr,
+                       bool write)
+{
+    core::AccessOutcome o = core::AccessOutcome::Ok;
+    if (addr >= pm::PmoManager::arenaBase &&
+        addr < pm::PmoManager::arenaBase + pm::PmoManager::arenaSize) {
+        // A raw virtual address — the shape attacker-injected
+        // pointers take. Goes through the full matrix/MPK checks and
+        // fails if the mapping moved or permissions are closed.
+        o = rt->tryAccessVaddr(tc, addr, write);
+    } else if (MemoryImage::isPmoPointer(addr)) {
+        o = rt->tryAccess(tc, pm::Oid::fromRaw(addr), write);
+    } else {
+        mach->access(tc, sim::MemAccess{
+                             MemoryImage::dramVirtBase + addr,
+                             MemoryImage::dramPhysBase + addr, write,
+                             sim::MemKind::Dram});
+        return true;
+    }
+    if (o != core::AccessOutcome::Ok) {
+        ++nFaults;
+        if (!trapFaults) {
+            TERP_PANIC("IR program PMO access fault: ",
+                       core::accessOutcomeName(o), " at ", addr);
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+Interpreter::step(sim::ThreadContext &tc)
+{
+    if (doneFlag)
+        return false;
+
+    for (std::uint64_t budget = 0; budget < quantum; ++budget) {
+        if (stack.empty()) {
+            doneFlag = true;
+            return false;
+        }
+
+        Frame &fr = stack.back();
+        const Function &f = mod->function(fr.fn);
+        const Instr &in = f.block(fr.block).instrs.at(fr.idx);
+        auto val = [&](Reg r) -> std::uint64_t {
+            return r == noReg ? 0 : fr.regs.at(r);
+        };
+
+        switch (in.op) {
+          case Op::Const:
+            fr.regs[in.dst] = static_cast<std::uint64_t>(in.imm);
+            mach->execute(tc, 1);
+            break;
+          case Op::Mov:
+            fr.regs[in.dst] = val(in.ra);
+            mach->execute(tc, 1);
+            break;
+          case Op::Add:
+            fr.regs[in.dst] = val(in.ra) + val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::Sub:
+            fr.regs[in.dst] = val(in.ra) - val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::Mul:
+            fr.regs[in.dst] = val(in.ra) * val(in.rb);
+            mach->execute(tc, 3);
+            break;
+          case Op::Div:
+            fr.regs[in.dst] =
+                val(in.rb) ? val(in.ra) / val(in.rb) : 0;
+            mach->execute(tc, 10);
+            break;
+          case Op::Rem:
+            fr.regs[in.dst] =
+                val(in.rb) ? val(in.ra) % val(in.rb) : 0;
+            mach->execute(tc, 10);
+            break;
+          case Op::And:
+            fr.regs[in.dst] = val(in.ra) & val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::Or:
+            fr.regs[in.dst] = val(in.ra) | val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::Xor:
+            fr.regs[in.dst] = val(in.ra) ^ val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::Shl:
+            fr.regs[in.dst] = val(in.ra) << (val(in.rb) & 63);
+            mach->execute(tc, 1);
+            break;
+          case Op::Shr:
+            fr.regs[in.dst] = val(in.ra) >> (val(in.rb) & 63);
+            mach->execute(tc, 1);
+            break;
+          case Op::CmpEq:
+            fr.regs[in.dst] = val(in.ra) == val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::CmpNe:
+            fr.regs[in.dst] = val(in.ra) != val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::CmpLt:
+            fr.regs[in.dst] = val(in.ra) < val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::CmpLe:
+            fr.regs[in.dst] = val(in.ra) <= val(in.rb);
+            mach->execute(tc, 1);
+            break;
+          case Op::PmoBase:
+            fr.regs[in.dst] =
+                pm::Oid(in.pmo,
+                        static_cast<std::uint64_t>(in.imm)).raw;
+            mach->execute(tc, 1);
+            break;
+          case Op::DramBase:
+            fr.regs[in.dst] = static_cast<std::uint64_t>(in.imm);
+            mach->execute(tc, 1);
+            break;
+          case Op::Load: {
+            std::uint64_t addr = val(in.ra);
+            bool ok = memAccess(tc, addr, false);
+            fr.regs[in.dst] = ok ? mem->peek(storageKey(addr)) : 0;
+            mach->execute(tc, 1);
+            break;
+          }
+          case Op::Store: {
+            std::uint64_t addr = val(in.ra);
+            bool ok = memAccess(tc, addr, true);
+            if (ok)
+                mem->poke(storageKey(addr), val(in.rb));
+            mach->execute(tc, 1);
+            break;
+          }
+          case Op::CondAttach: {
+            core::GuardResult r =
+                rt->regionBegin(tc, in.pmo, in.mode);
+            if (r == core::GuardResult::Blocked) {
+                // Retry this instruction when the thread is woken.
+                return true;
+            }
+            break;
+          }
+          case Op::CondDetach:
+            rt->regionEnd(tc, in.pmo);
+            break;
+          case Op::ManualAttach:
+            rt->manualBegin(tc, in.pmo, in.mode);
+            break;
+          case Op::ManualDetach:
+            rt->manualEnd(tc, in.pmo);
+            break;
+          case Op::Jump:
+            fr.block = in.target[0];
+            fr.idx = 0;
+            mach->execute(tc, 1);
+            ++nExec;
+            continue;
+          case Op::Branch:
+            fr.block = val(in.ra) ? in.target[0] : in.target[1];
+            fr.idx = 0;
+            mach->execute(tc, 1);
+            ++nExec;
+            continue;
+          case Op::Ret: {
+            std::uint64_t rv = val(in.ra);
+            Reg dst = fr.retDst;
+            stack.pop_back();
+            mach->execute(tc, 1);
+            ++nExec;
+            if (stack.empty()) {
+                retValue = rv;
+                doneFlag = true;
+                return false;
+            }
+            if (dst != noReg)
+                stack.back().regs[dst] = rv;
+            continue;
+          }
+          case Op::Call: {
+            const Function &callee = mod->function(in.callee);
+            Frame nf;
+            nf.fn = in.callee;
+            nf.regs.assign(callee.nRegs, 0);
+            TERP_ASSERT(in.args.size() <= callee.nParams,
+                        "call argument count mismatch");
+            for (std::size_t a = 0; a < in.args.size(); ++a)
+                nf.regs[a] = val(in.args[a]);
+            nf.retDst = in.dst;
+            ++fr.idx; // return to the next instruction
+            mach->execute(tc, 2);
+            ++nExec;
+            stack.push_back(std::move(nf));
+            continue;
+          }
+          case Op::Nop:
+            mach->execute(tc, 1);
+            break;
+          default:
+            TERP_PANIC("unhandled opcode in interpreter");
+        }
+
+        ++fr.idx;
+        ++nExec;
+    }
+    return true;
+}
+
+} // namespace compiler
+} // namespace terp

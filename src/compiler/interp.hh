@@ -1,0 +1,104 @@
+/**
+ * @file
+ * IR interpreter bound to the timing simulator and the protection
+ * runtime.
+ *
+ * Each simulated thread runs one Interpreter as its Job; all threads
+ * of a program share one MemoryImage, whose words are keyed by
+ * location-independent pointer values (ObjectIDs for PMO data, arena
+ * offsets for DRAM), so PMO re-randomization is transparent to the
+ * program — exactly the property relocatable PMO pointers give real
+ * TERP programs.
+ *
+ * The interpreter is resumable: when a region entry blocks under the
+ * basic-semantics ablation, the program counter stays put and the
+ * instruction retries after the thread is woken.
+ */
+
+#ifndef TERP_COMPILER_INTERP_HH
+#define TERP_COMPILER_INTERP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "core/runtime.hh"
+#include "pm/mem_image.hh"
+#include "sim/machine.hh"
+
+namespace terp {
+namespace compiler {
+
+/** Word-granularity memory shared by all threads of a program. */
+using MemoryImage = pm::MemImage;
+
+/** Executes one function (and its callees) on a simulated thread. */
+class Interpreter : public sim::Job
+{
+  public:
+    /**
+     * @param m       The (instrumented) module. Not owned.
+     * @param rt      Protection runtime handling TERP constructs.
+     * @param mach    The machine charging instruction/memory time.
+     * @param mem     Shared memory image.
+     * @param entry   Index of the function to run.
+     * @param args    Argument values (bound to registers 0..n-1).
+     * @param quantum Instructions per scheduler step.
+     */
+    Interpreter(const Module &m, core::Runtime &rt,
+                sim::Machine &mach, MemoryImage &mem,
+                std::uint32_t entry,
+                std::vector<std::uint64_t> args = {},
+                std::uint64_t quantum = 256);
+
+    bool step(sim::ThreadContext &tc) override;
+
+    /**
+     * When true, access faults (permission denials, segfaults from
+     * stale attacker pointers) are recorded and the faulting
+     * instruction is skipped instead of panicking. Used by the
+     * security experiments; well-formed programs keep the default.
+     */
+    bool trapFaults = false;
+
+    bool finished() const { return doneFlag; }
+    std::uint64_t result() const { return retValue; }
+    std::uint64_t instructionsExecuted() const { return nExec; }
+
+    /** Faults observed (well-formed programs should have none). */
+    std::uint64_t faultCount() const { return nFaults; }
+
+  private:
+    struct Frame
+    {
+        std::uint32_t fn;
+        BlockId block = 0;
+        std::size_t idx = 0;
+        std::vector<std::uint64_t> regs;
+        Reg retDst = noReg;
+    };
+
+    const Module *mod;
+    core::Runtime *rt;
+    sim::Machine *mach;
+    MemoryImage *mem;
+    std::uint64_t quantum;
+
+    std::vector<Frame> stack;
+    bool doneFlag = false;
+    std::uint64_t retValue = 0;
+    std::uint64_t nExec = 0;
+    std::uint64_t nFaults = 0;
+
+    /** Timed + checked access; false if it faulted (trapFaults). */
+    bool memAccess(sim::ThreadContext &tc, std::uint64_t addr,
+                   bool write);
+
+    /** Backing-store key for a pointer (raw vaddrs -> ObjectIDs). */
+    std::uint64_t storageKey(std::uint64_t addr) const;
+};
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_INTERP_HH

@@ -1,0 +1,133 @@
+#include "compiler/ir.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace compiler {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Rem: return "rem";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpNe: return "cmpne";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpLe: return "cmple";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::PmoBase: return "pmobase";
+      case Op::DramBase: return "drambase";
+      case Op::Jump: return "jump";
+      case Op::Branch: return "branch";
+      case Op::Ret: return "ret";
+      case Op::Call: return "call";
+      case Op::CondAttach: return "condat";
+      case Op::CondDetach: return "conddt";
+      case Op::ManualAttach: return "attach";
+      case Op::ManualDetach: return "detach";
+      case Op::Nop: return "nop";
+      default: return "?";
+    }
+}
+
+bool
+isTerminator(Op op)
+{
+    return op == Op::Jump || op == Op::Branch || op == Op::Ret;
+}
+
+std::vector<BlockId>
+Function::successors(BlockId b) const
+{
+    const Instr &t = block(b).terminator();
+    switch (t.op) {
+      case Op::Jump:
+        return {t.target[0]};
+      case Op::Branch:
+        return {t.target[0], t.target[1]};
+      case Op::Ret:
+        return {};
+      default:
+        TERP_PANIC("block ", b, " of ", name,
+                   " lacks a terminator");
+    }
+}
+
+void
+Function::validate() const
+{
+    TERP_ASSERT(!blocks.empty(), "function ", name, " has no blocks");
+    for (BlockId b = 0; b < blockCount(); ++b) {
+        TERP_ASSERT(block(b).terminated(), "block ", b, " of ", name,
+                    " not terminated");
+        for (std::size_t i = 0; i + 1 < block(b).instrs.size(); ++i) {
+            TERP_ASSERT(!isTerminator(block(b).instrs[i].op),
+                        "terminator mid-block in ", name);
+        }
+        for (BlockId s : successors(b)) {
+            TERP_ASSERT(s < blockCount(), "bad successor in ", name);
+        }
+    }
+}
+
+std::string
+Module::dump() const
+{
+    std::ostringstream os;
+    for (std::uint32_t fi = 0; fi < functions.size(); ++fi) {
+        const Function &f = functions[fi];
+        os << "func @" << f.name << " (params=" << f.nParams
+           << ", regs=" << f.nRegs << ")\n";
+        for (BlockId b = 0; b < f.blockCount(); ++b) {
+            os << "  bb" << b;
+            if (!f.block(b).label.empty())
+                os << " <" << f.block(b).label << ">";
+            auto lb = f.loopBound.find(b);
+            if (lb != f.loopBound.end())
+                os << " [loop x" << lb->second << "]";
+            os << ":\n";
+            for (const Instr &in : f.block(b).instrs) {
+                os << "    " << opName(in.op);
+                if (in.dst != noReg)
+                    os << " r" << in.dst << " <-";
+                if (in.ra != noReg)
+                    os << " r" << in.ra;
+                if (in.rb != noReg)
+                    os << " r" << in.rb;
+                if (in.op == Op::Const || in.op == Op::DramBase ||
+                    in.op == Op::PmoBase) {
+                    os << " #" << in.imm;
+                }
+                if (in.pmo != pm::invalidPmoId)
+                    os << " pmo" << in.pmo;
+                if (in.op == Op::Jump)
+                    os << " bb" << in.target[0];
+                if (in.op == Op::Branch) {
+                    os << " ? bb" << in.target[0] << " : bb"
+                       << in.target[1];
+                }
+                if (in.op == Op::Call)
+                    os << " @f" << in.callee;
+                os << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace compiler
+} // namespace terp

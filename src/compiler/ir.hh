@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A small register-based intermediate representation.
+ *
+ * This is the reproduction's stand-in for LLVM IR (see DESIGN.md):
+ * it exposes exactly what the paper's Algorithm 1 needs — a CFG of
+ * basic blocks, loads/stores whose PMO-ness a pointer analysis can
+ * establish, loop trip-count metadata for LET estimation, and the
+ * two TERP instructions (CONDAT / CONDDT) the pass inserts.
+ *
+ * Values are 64-bit integers. Pointers into a PMO are relocatable
+ * ObjectIDs (pool id in the top 16 bits); DRAM pointers live below
+ * 2^48 with pool id 0, so the two never collide.
+ */
+
+#ifndef TERP_COMPILER_IR_HH
+#define TERP_COMPILER_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pm/oid.hh"
+#include "pm/pmo.hh"
+
+namespace terp {
+namespace compiler {
+
+/** Register index within a function. */
+using Reg = std::uint32_t;
+constexpr Reg noReg = 0xffffffffu;
+
+/** Basic-block index within a function. */
+using BlockId = std::uint32_t;
+constexpr BlockId noBlock = 0xffffffffu;
+
+/** Instruction opcodes. */
+enum class Op : std::uint8_t
+{
+    // Data movement / arithmetic (dst = a OP b, or dst = imm).
+    Const, Mov,
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe,
+
+    // Memory (8-byte granularity).
+    Load,     //!< dst = mem[ra]
+    Store,    //!< mem[ra] = rb
+    PmoBase,  //!< dst = ObjectID(pmo, imm): pointer into a PMO
+    DramBase, //!< dst = imm: pointer into the DRAM arena
+
+    // Terminators.
+    Jump,   //!< goto target[0]
+    Branch, //!< ra != 0 ? target[0] : target[1]
+    Ret,    //!< return ra (ra may be noReg)
+
+    // Calls.
+    Call, //!< dst = callee(args...)
+
+    // TERP constructs (inserted by the pass or written explicitly).
+    CondAttach, //!< CONDAT pmo, mode
+    CondDetach, //!< CONDDT pmo
+
+    // MERR-style manual bookends written by the programmer; they map
+    // to full attach()/detach() system calls under the MM scheme and
+    // are ignored by schemes using automatic insertion.
+    ManualAttach,
+    ManualDetach,
+
+    Nop,
+};
+
+const char *opName(Op op);
+
+/** Is this opcode a basic-block terminator? */
+bool isTerminator(Op op);
+
+/** One IR instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    Reg dst = noReg;
+    Reg ra = noReg;
+    Reg rb = noReg;
+    std::int64_t imm = 0;
+    pm::PmoId pmo = pm::invalidPmoId; //!< PmoBase/CondAttach/CondDetach
+    pm::Mode mode = pm::Mode::ReadWrite; //!< CondAttach
+    BlockId target[2] = {noBlock, noBlock};
+    std::uint32_t callee = 0;  //!< function index (Call)
+    std::vector<Reg> args;     //!< call arguments
+
+    bool isMem() const { return op == Op::Load || op == Op::Store; }
+
+    /** The register holding the address of a Load/Store. */
+    Reg addrReg() const { return ra; }
+};
+
+/** A basic block: non-terminator instructions plus one terminator. */
+struct BasicBlock
+{
+    std::string label;
+    std::vector<Instr> instrs;
+
+    const Instr &terminator() const { return instrs.back(); }
+    bool terminated() const
+    {
+        return !instrs.empty() && isTerminator(instrs.back().op);
+    }
+};
+
+/** A function: blocks (entry = block 0), register count, params. */
+struct Function
+{
+    std::string name;
+    std::uint32_t nParams = 0;
+    std::uint32_t nRegs = 0; //!< registers 0..nParams-1 are params
+    std::vector<BasicBlock> blocks;
+
+    /**
+     * Known loop trip counts, keyed by loop-header block. Headers
+     * missing from the map have statically unknown trip counts; the
+     * LET estimator then assumes the paper's large constant (1000).
+     */
+    std::map<BlockId, std::uint64_t> loopBound;
+
+    BasicBlock &block(BlockId b) { return blocks.at(b); }
+    const BasicBlock &block(BlockId b) const { return blocks.at(b); }
+    std::uint32_t blockCount() const
+    {
+        return static_cast<std::uint32_t>(blocks.size());
+    }
+
+    /** Successor block ids of b, from its terminator. */
+    std::vector<BlockId> successors(BlockId b) const;
+
+    /** Validate structural invariants (terminated blocks, targets). */
+    void validate() const;
+};
+
+/** A module: functions (index 0 = entry point by convention). */
+struct Module
+{
+    std::vector<Function> functions;
+
+    Function &function(std::uint32_t i) { return functions.at(i); }
+    const Function &function(std::uint32_t i) const
+    {
+        return functions.at(i);
+    }
+
+    /** Pretty-print the module for debugging / examples. */
+    std::string dump() const;
+};
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_IR_HH

@@ -1,0 +1,361 @@
+#include "compiler/pass.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "compiler/verifier.hh"
+
+namespace terp {
+namespace compiler {
+
+namespace {
+
+/** A pending instruction insertion. */
+struct Insertion
+{
+    BlockId block;
+    std::size_t index;
+    Instr instr;
+};
+
+Instr
+makeCondAttach(pm::PmoId pmo)
+{
+    Instr in;
+    in.op = Op::CondAttach;
+    in.pmo = pmo;
+    in.mode = pm::Mode::ReadWrite;
+    return in;
+}
+
+Instr
+makeCondDetach(pm::PmoId pmo)
+{
+    Instr in;
+    in.op = Op::CondDetach;
+    in.pmo = pmo;
+    return in;
+}
+
+/** Apply insertions, highest index first so indices stay valid. */
+void
+apply(Function &f, std::vector<Insertion> ins)
+{
+    std::stable_sort(ins.begin(), ins.end(),
+                     [](const Insertion &a, const Insertion &b) {
+                         if (a.block != b.block)
+                             return a.block < b.block;
+                         return a.index > b.index;
+                     });
+    for (const Insertion &i : ins) {
+        auto &v = f.block(i.block).instrs;
+        TERP_ASSERT(i.index <= v.size(), "bad insertion index");
+        v.insert(v.begin() + static_cast<std::ptrdiff_t>(i.index),
+                 i.instr);
+    }
+}
+
+/** Does this instruction access PMO p (per the pointer analysis)? */
+bool
+accessesPmo(const Instr &in, const PmoFacts &facts, std::uint32_t fi,
+            pm::PmoId p)
+{
+    return in.isMem() &&
+           (facts.regMask(fi, in.addrReg()) & pmoBit(p)) != 0;
+}
+
+/** Index of the first / last access to p in a block (or npos). */
+std::size_t
+firstAccess(const BasicBlock &bb, const PmoFacts &facts,
+            std::uint32_t fi, pm::PmoId p)
+{
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i)
+        if (accessesPmo(bb.instrs[i], facts, fi, p))
+            return i;
+    return bb.instrs.size();
+}
+
+std::size_t
+lastAccess(const BasicBlock &bb, const PmoFacts &facts,
+           std::uint32_t fi, pm::PmoId p)
+{
+    for (std::size_t i = bb.instrs.size(); i-- > 0;)
+        if (accessesPmo(bb.instrs[i], facts, fi, p))
+            return i;
+    return bb.instrs.size();
+}
+
+/**
+ * Per-block insertion: bracket the segments of p-accesses in block
+ * b, closing and reopening around Call instructions so callees with
+ * their own pairs never nest.
+ */
+std::vector<Insertion>
+perBlockInsertions(const Function &f, const PmoFacts &facts,
+                   std::uint32_t fi, pm::PmoId p, BlockId b)
+{
+    std::vector<Insertion> out;
+    const BasicBlock &bb = f.block(b);
+    std::size_t seg_start = bb.instrs.size();
+    std::size_t seg_last = bb.instrs.size();
+
+    auto flush = [&]() {
+        if (seg_start >= bb.instrs.size())
+            return;
+        out.push_back({b, seg_start, makeCondAttach(p)});
+        out.push_back({b, seg_last + 1, makeCondDetach(p)});
+        seg_start = bb.instrs.size();
+        seg_last = bb.instrs.size();
+    };
+
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+        const Instr &in = bb.instrs[i];
+        if (in.op == Op::Call) {
+            flush(); // calls act as pair barriers
+            continue;
+        }
+        if (accessesPmo(in, facts, fi, p)) {
+            if (seg_start >= bb.instrs.size())
+                seg_start = i;
+            seg_last = i;
+        }
+    }
+    flush();
+    return out;
+}
+
+/** Insert a CONDDT before every Ret in the given blocks. */
+std::vector<Insertion>
+detachBeforeRets(const Function &f, const std::vector<BlockId> &blocks,
+                 pm::PmoId p)
+{
+    std::vector<Insertion> out;
+    for (BlockId b : blocks) {
+        const BasicBlock &bb = f.block(b);
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+            if (bb.instrs[i].op == Op::Ret)
+                out.push_back({b, i, makeCondDetach(p)});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PassResult
+runInsertionPass(Module &m, const PassConfig &cfg)
+{
+    PassResult result;
+    PmoFacts facts = PmoFacts::analyze(m);
+
+    // Fixpoint-ish estimate of per-function LETs so Call costs are
+    // reflected in region LETs (3 rounds handle realistic nesting).
+    std::map<std::uint32_t, Cycles> fnLet;
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint32_t fi = 0; fi < m.functions.size(); ++fi) {
+            Analysis an(m.functions[fi], facts.blockMasks(fi), fnLet);
+            fnLet[fi] = an.letBetween(0, noBlock);
+        }
+    }
+
+    for (std::uint32_t fi = 0; fi < m.functions.size(); ++fi) {
+        Function &f = m.functions[fi];
+        Analysis an(f, facts.blockMasks(fi), fnLet);
+
+        std::vector<bool> visited(f.blockCount(), false);
+
+        for (BlockId seed = 0; seed < f.blockCount(); ++seed) {
+            if (visited[seed] || an.blockPmo(seed) == 0)
+                continue;
+            if (!an.reachable(seed))
+                continue;
+
+            // Grow the region up the dominance hierarchy while its
+            // LET stays below the EW threshold and it claims no
+            // block another region already claimed.
+            BlockId h = seed;
+            for (;;) {
+                BlockId p = an.idom(h);
+                if (p == noBlock)
+                    break;
+                if (an.regionLet(p) >= cfg.ewLetThreshold)
+                    break;
+                std::vector<BlockId> pr = an.regionBlocks(p);
+                // The grown region must still contain the seed (the
+                // seed may be the larger region's exit block) and
+                // must not claim blocks another region already owns.
+                bool contains_seed = false;
+                bool clash = false;
+                for (BlockId rb : pr) {
+                    if (rb == seed)
+                        contains_seed = true;
+                    if (visited[rb] && (an.blockPmo(rb) != 0))
+                        clash = true;
+                }
+                if (!contains_seed || clash)
+                    break;
+                h = p;
+            }
+
+            std::vector<BlockId> region = an.regionBlocks(h);
+            std::vector<BlockId> claimed;
+            for (BlockId rb : region) {
+                if (!visited[rb] && an.blockPmo(rb) != 0) {
+                    visited[rb] = true;
+                    claimed.push_back(rb);
+                }
+            }
+            if (claimed.empty())
+                continue;
+
+            std::uint64_t mask = 0;
+            for (BlockId rb : claimed)
+                mask |= an.blockPmo(rb);
+            result.regions.push_back(
+                {fi, h, an.ipdom(h),
+                 static_cast<std::uint32_t>(region.size()), mask,
+                 an.regionLet(h)});
+
+            // Insert pairs for every PMO the region touches.
+            for (pm::PmoId p = 0; p < 64; ++p) {
+                if (!(mask & pmoBit(p)))
+                    continue;
+                std::vector<BlockId> S;
+                for (BlockId rb : claimed)
+                    if (an.blockPmo(rb) & pmoBit(p))
+                        S.push_back(rb);
+                if (S.empty())
+                    continue;
+
+                // Candidate grouped placement.
+                std::vector<Insertion> grouped;
+                bool try_grouped = false;
+                if (cfg.tewLetThreshold == 0) {
+                    // Entrance/exit insertion (Algorithm 1 line 15).
+                    BlockId x = an.ipdom(h);
+                    grouped.push_back({h, 0, makeCondAttach(p)});
+                    if (x != noBlock) {
+                        grouped.push_back({x, 0, makeCondDetach(p)});
+                    } else {
+                        auto rets = detachBeforeRets(f, region, p);
+                        grouped.insert(grouped.end(), rets.begin(),
+                                       rets.end());
+                    }
+                    try_grouped = true;
+                } else {
+                    BlockId d = an.nearestCommonDominator(S);
+                    BlockId e = an.nearestCommonPostdominator(S);
+                    if (d != noBlock && e != noBlock && d != e &&
+                        an.letBetween(d, e) <= cfg.tewLetThreshold &&
+                        !an.regionHasCall(h)) {
+                        std::size_t ai =
+                            (an.blockPmo(d) & pmoBit(p))
+                                ? firstAccess(f.block(d), facts, fi, p)
+                                : 0;
+                        if (ai >= f.block(d).instrs.size())
+                            ai = 0;
+                        grouped.push_back({d, ai, makeCondAttach(p)});
+                        std::size_t di = 0;
+                        if (an.blockPmo(e) & pmoBit(p)) {
+                            std::size_t la =
+                                lastAccess(f.block(e), facts, fi, p);
+                            if (la < f.block(e).instrs.size())
+                                di = la + 1;
+                        }
+                        grouped.push_back({e, di, makeCondDetach(p)});
+                        try_grouped = true;
+                    }
+                }
+
+                bool committed = false;
+                if (try_grouped) {
+                    // Verify on a speculative copy before committing.
+                    Function copy = f;
+                    apply(copy, grouped);
+                    VerifyResult vr = verifyProtection(
+                        copy, fi, facts, true, pmoBit(p));
+                    if (vr.ok) {
+                        apply(f, grouped);
+                        committed = true;
+                        ++result.grouped;
+                    } else {
+                        ++result.fallbacks;
+                    }
+                }
+
+                if (!committed) {
+                    std::vector<Insertion> all;
+                    for (BlockId b : S) {
+                        auto ins = perBlockInsertions(f, facts, fi,
+                                                      p, b);
+                        all.insert(all.end(), ins.begin(), ins.end());
+                    }
+                    apply(f, all);
+                    ++result.perBlock;
+                }
+            }
+        }
+    }
+
+    // Safety net: any reachable PMO-access block that no region
+    // claimed (a structural corner case) gets conservative per-block
+    // pairs, so the strict verifier always holds on pass output.
+    for (std::uint32_t fi = 0; fi < m.functions.size(); ++fi) {
+        Function &f = m.functions[fi];
+        PmoFacts post = PmoFacts::analyze(m);
+        VerifyResult vr = verifyProtection(f, fi, post, true);
+        if (vr.ok)
+            continue;
+        Analysis an(f, post.blockMasks(fi), fnLet);
+        // Re-derive coverage: bracket every access segment that is
+        // not already inside a pair, block by block, per PMO.
+        for (BlockId b = 0; b < f.blockCount(); ++b) {
+            if (!an.reachable(b))
+                continue;
+            std::uint64_t mask = an.blockPmo(b);
+            if (mask == 0)
+                continue;
+            for (pm::PmoId p = 0; p < 64; ++p) {
+                if (!(mask & pmoBit(p)))
+                    continue;
+                // Patch only when the per-PMO verifier reports a
+                // violation in this specific block.
+                VerifyResult pv =
+                    verifyProtection(f, fi, post, true, pmoBit(p));
+                if (pv.ok)
+                    continue;
+                bool mentions_block = false;
+                for (const std::string &e : pv.errors) {
+                    if (e.find(" bb" + std::to_string(b) + " ") !=
+                        std::string::npos) {
+                        mentions_block = true;
+                    }
+                }
+                if (!mentions_block)
+                    continue;
+                auto ins = perBlockInsertions(f, post, fi, p, b);
+                apply(f, ins);
+                ++result.perBlock;
+            }
+        }
+    }
+
+    // Recount inserted instructions exactly.
+    result.condAttach = 0;
+    result.condDetach = 0;
+    for (const Function &f : m.functions) {
+        for (const BasicBlock &bb : f.blocks) {
+            for (const Instr &in : bb.instrs) {
+                if (in.op == Op::CondAttach)
+                    ++result.condAttach;
+                if (in.op == Op::CondDetach)
+                    ++result.condDetach;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace compiler
+} // namespace terp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The TERP instrumentation pass — Algorithm 1 of the paper.
+ *
+ * Pipeline per function:
+ *  1. PMO pointer analysis marks the basic blocks with PMO accesses.
+ *  2. PMO-WFG construction: starting from each unvisited PMO-access
+ *     block, grow a code region up the dominance hierarchy while the
+ *     region's longest execution time (LET) stays below the
+ *     EW-derived threshold (unknown loop trip counts assume 1000
+ *     iterations).
+ *  3. Localized path-sensitive insertion inside each WFG region:
+ *     group a PMO's access blocks under one CONDAT/CONDDT pair when
+ *     the group's LET fits the TEW threshold (validated by the
+ *     strict verifier on a speculative copy), otherwise fall back to
+ *     per-block (per-segment around calls) pairs. With a zero TEW
+ *     threshold, a single pair brackets the region entrance/exit.
+ */
+
+#ifndef TERP_COMPILER_PASS_HH
+#define TERP_COMPILER_PASS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "compiler/analysis.hh"
+#include "compiler/ir.hh"
+#include "compiler/pmo_analysis.hh"
+
+namespace terp {
+namespace compiler {
+
+/** Pass configuration. */
+struct PassConfig
+{
+    /** LET ceiling for growing a WFG region (from the EW target). */
+    Cycles ewLetThreshold = target::defaultEw;
+    /**
+     * LET ceiling for grouping accesses under one pair (from the
+     * TEW target). Zero selects entrance/exit insertion
+     * (Algorithm 1, line 15).
+     */
+    Cycles tewLetThreshold = target::defaultTew;
+};
+
+/** One region of the PMO window flow graph. */
+struct WfgRegion
+{
+    std::uint32_t func;
+    BlockId header;
+    BlockId exit; //!< noBlock = function end
+    std::uint32_t blockCount;
+    std::uint64_t pmoMask;
+    Cycles let;
+};
+
+/** Outcome statistics of a pass run. */
+struct PassResult
+{
+    std::vector<WfgRegion> regions;
+    std::uint64_t condAttach = 0;   //!< CONDAT instructions inserted
+    std::uint64_t condDetach = 0;   //!< CONDDT instructions inserted
+    std::uint64_t grouped = 0;      //!< groups placed as one pair
+    std::uint64_t perBlock = 0;     //!< per-block/segment pairs
+    std::uint64_t fallbacks = 0;    //!< grouped attempts that failed
+};
+
+/** Run the instrumentation pass over a module, mutating it. */
+PassResult runInsertionPass(Module &m, const PassConfig &cfg);
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_PASS_HH

@@ -1,0 +1,139 @@
+#include "compiler/pmo_analysis.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace compiler {
+
+std::uint64_t
+PmoFacts::regMask(std::uint32_t func, Reg r) const
+{
+    if (r == noReg)
+        return 0;
+    return masks.at(func).at(r);
+}
+
+std::uint64_t
+PmoFacts::instrMask(std::uint32_t func, BlockId b,
+                    std::size_t instr_idx) const
+{
+    const Instr &in = mod->function(func).block(b).instrs.at(instr_idx);
+    if (!in.isMem())
+        return 0;
+    return regMask(func, in.addrReg());
+}
+
+std::uint64_t
+PmoFacts::blockMask(std::uint32_t func, BlockId b) const
+{
+    std::uint64_t m = 0;
+    const BasicBlock &bb = mod->function(func).block(b);
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i)
+        m |= instrMask(func, b, i);
+    return m;
+}
+
+std::vector<std::uint64_t>
+PmoFacts::blockMasks(std::uint32_t func) const
+{
+    const Function &f = mod->function(func);
+    std::vector<std::uint64_t> out(f.blockCount());
+    for (BlockId b = 0; b < f.blockCount(); ++b)
+        out[b] = blockMask(func, b);
+    return out;
+}
+
+PmoFacts
+PmoFacts::analyze(const Module &m)
+{
+    PmoFacts facts;
+    facts.mod = &m;
+    facts.masks.resize(m.functions.size());
+    facts.retMask.assign(m.functions.size(), 0);
+    for (std::size_t f = 0; f < m.functions.size(); ++f)
+        facts.masks[f].assign(m.functions[f].nRegs, 0);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t fi = 0; fi < m.functions.size(); ++fi) {
+            const Function &f = m.functions[fi];
+            auto &mk = facts.masks[fi];
+
+            auto update = [&](Reg r, std::uint64_t add) {
+                if (r == noReg || add == 0)
+                    return;
+                if ((mk[r] | add) != mk[r]) {
+                    mk[r] |= add;
+                    changed = true;
+                }
+            };
+            auto val = [&](Reg r) -> std::uint64_t {
+                return r == noReg ? 0 : mk[r];
+            };
+
+            for (const BasicBlock &bb : f.blocks) {
+                for (const Instr &in : bb.instrs) {
+                    switch (in.op) {
+                      case Op::PmoBase:
+                        update(in.dst, pmoBit(in.pmo));
+                        break;
+                      case Op::Mov:
+                        update(in.dst, val(in.ra));
+                        break;
+                      case Op::Add:
+                      case Op::Sub:
+                      case Op::Mul:
+                      case Op::Div:
+                      case Op::Rem:
+                      case Op::And:
+                      case Op::Or:
+                      case Op::Xor:
+                      case Op::Shl:
+                      case Op::Shr:
+                        update(in.dst, val(in.ra) | val(in.rb));
+                        break;
+                      case Op::Load:
+                        // Pointers stored in PMO p point into p
+                        // (no inter-PMO pointers).
+                        update(in.dst, val(in.ra));
+                        break;
+                      case Op::Call: {
+                        const Function &callee =
+                            m.function(in.callee);
+                        auto &cmk = facts.masks[in.callee];
+                        for (std::size_t a = 0;
+                             a < in.args.size() &&
+                             a < callee.nParams;
+                             ++a) {
+                            std::uint64_t av = val(in.args[a]);
+                            if ((cmk[a] | av) != cmk[a]) {
+                                cmk[a] |= av;
+                                changed = true;
+                            }
+                        }
+                        update(in.dst, facts.retMask[in.callee]);
+                        break;
+                      }
+                      case Op::Ret:
+                        if (in.ra != noReg) {
+                            std::uint64_t rv = val(in.ra);
+                            if ((facts.retMask[fi] | rv) !=
+                                facts.retMask[fi]) {
+                                facts.retMask[fi] |= rv;
+                                changed = true;
+                            }
+                        }
+                        break;
+                      default:
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return facts;
+}
+
+} // namespace compiler
+} // namespace terp

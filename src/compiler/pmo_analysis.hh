@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PMO pointer analysis: a flow-insensitive, interprocedural taint
+ * analysis that determines, for every Load/Store, which PMOs its
+ * address may point into.
+ *
+ * Rules follow the paper's PM programming assumptions: pointers into
+ * a PMO originate from PmoBase (the oid_direct handler); arithmetic
+ * propagates PMO-ness; values loaded from PMO p may themselves be
+ * pointers into p (no inter-PMO pointers); call arguments flow into
+ * parameters and return values flow back.
+ */
+
+#ifndef TERP_COMPILER_PMO_ANALYSIS_HH
+#define TERP_COMPILER_PMO_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace terp {
+namespace compiler {
+
+/** Result of the analysis for one module. */
+class PmoFacts
+{
+  public:
+    /** Mask (bit i = PmoId i) a register may point into. */
+    std::uint64_t regMask(std::uint32_t func, Reg r) const;
+
+    /** Mask of PMOs an instruction may access (Load/Store only). */
+    std::uint64_t instrMask(std::uint32_t func, BlockId b,
+                            std::size_t instr_idx) const;
+
+    /** Union of instrMask over a whole block. */
+    std::uint64_t blockMask(std::uint32_t func, BlockId b) const;
+
+    /** Per-block masks for one function (Analysis input). */
+    std::vector<std::uint64_t> blockMasks(std::uint32_t func) const;
+
+    /** Run the analysis over a module. */
+    static PmoFacts analyze(const Module &m);
+
+  private:
+    const Module *mod = nullptr;
+    // masks[f][r] = PMO mask of register r in function f.
+    std::vector<std::vector<std::uint64_t>> masks;
+    // retMask[f] = mask of values function f may return.
+    std::vector<std::uint64_t> retMask;
+};
+
+/** Mask bit for one PMO id. */
+inline std::uint64_t
+pmoBit(pm::PmoId id)
+{
+    return id < 64 ? (1ULL << id) : 0;
+}
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_PMO_ANALYSIS_HH

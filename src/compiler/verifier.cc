@@ -1,0 +1,168 @@
+#include "compiler/verifier.hh"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace compiler {
+
+namespace {
+
+/** Per-PMO open-pair depth at a program point. */
+using State = std::map<pm::PmoId, int>;
+
+std::string
+describe(const State &s)
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[pmo, d] : s) {
+        if (d == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        os << "pmo" << pmo << ":" << d;
+        first = false;
+    }
+    os << "}";
+    return os.str();
+}
+
+bool
+sameState(const State &a, const State &b)
+{
+    // Compare ignoring zero entries.
+    for (const auto &[pmo, d] : a) {
+        auto it = b.find(pmo);
+        int bd = it == b.end() ? 0 : it->second;
+        if (d != bd)
+            return false;
+    }
+    for (const auto &[pmo, d] : b) {
+        auto it = a.find(pmo);
+        int ad = it == a.end() ? 0 : it->second;
+        if (d != ad)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+VerifyResult
+verifyProtection(const Function &f, std::uint32_t fi,
+                 const PmoFacts &facts, bool strict,
+                 std::uint64_t pmo_filter)
+{
+    VerifyResult res;
+    std::vector<std::optional<State>> in(f.blockCount());
+    std::deque<BlockId> worklist;
+
+    in[0] = State{};
+    worklist.push_back(0);
+
+    while (!worklist.empty()) {
+        BlockId b = worklist.front();
+        worklist.pop_front();
+        State st = *in[b];
+
+        const BasicBlock &bb = f.block(b);
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+            const Instr &ins = bb.instrs[i];
+            switch (ins.op) {
+              case Op::CondAttach: {
+                if (!(pmo_filter & pmoBit(ins.pmo)))
+                    break;
+                int &d = st[ins.pmo];
+                ++d;
+                if (strict && d > 1) {
+                    res.fail("overlapping CONDAT for pmo" +
+                             std::to_string(ins.pmo) + " in " +
+                             f.name + " bb" + std::to_string(b));
+                }
+                break;
+              }
+              case Op::CondDetach: {
+                if (!(pmo_filter & pmoBit(ins.pmo)))
+                    break;
+                int &d = st[ins.pmo];
+                --d;
+                if (d < 0) {
+                    res.fail("CONDDT without matching CONDAT for pmo" +
+                             std::to_string(ins.pmo) + " in " +
+                             f.name + " bb" + std::to_string(b));
+                    d = 0; // recover to limit error cascades
+                }
+                break;
+              }
+              case Op::Load:
+              case Op::Store: {
+                std::uint64_t mask =
+                    facts.regMask(fi, ins.addrReg()) & pmo_filter;
+                for (pm::PmoId p = 0; p < 64; ++p) {
+                    if (!(mask & pmoBit(p)))
+                        continue;
+                    auto it = st.find(p);
+                    if (it == st.end() || it->second <= 0) {
+                        res.fail("unprotected access to pmo" +
+                                 std::to_string(p) + " in " +
+                                 f.name + " bb" +
+                                 std::to_string(b) + " instr " +
+                                 std::to_string(i));
+                    }
+                }
+                break;
+              }
+              case Op::Ret: {
+                for (const auto &[pmo, d] : st) {
+                    if (d != 0) {
+                        res.fail("pair open at return: pmo" +
+                                 std::to_string(pmo) + " depth " +
+                                 std::to_string(d) + " in " +
+                                 f.name);
+                    }
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        for (BlockId s : f.successors(b)) {
+            if (!in[s]) {
+                in[s] = st;
+                worklist.push_back(s);
+            } else if (!sameState(*in[s], st)) {
+                res.fail("inconsistent pair state at join bb" +
+                         std::to_string(s) + " in " + f.name + ": " +
+                         describe(*in[s]) + " vs " + describe(st));
+            }
+        }
+    }
+    return res;
+}
+
+VerifyResult
+verifyModule(const Module &m, const PmoFacts &facts, bool strict)
+{
+    VerifyResult all;
+    for (std::uint32_t fi = 0; fi < m.functions.size(); ++fi) {
+        VerifyResult r =
+            verifyProtection(m.functions[fi], fi, facts, strict);
+        if (!r.ok) {
+            all.ok = false;
+            for (auto &e : r.errors)
+                all.errors.push_back(std::move(e));
+        }
+    }
+    return all;
+}
+
+} // namespace compiler
+} // namespace terp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Protection-construct verifier.
+ *
+ * Checks the well-formedness guarantees the EW-conscious semantics
+ * expects from compiler output: along every path, each PMO's
+ * CONDAT/CONDDT pairs match (no detach before attach, no open pair
+ * at function exit), every PMO access executes under an open pair,
+ * and the pair state agrees at control-flow joins. Strict mode also
+ * rejects same-thread pair overlap (the pass must never create it);
+ * tolerant mode permits nesting, matching the runtime's depth-based
+ * lowering for function composability.
+ */
+
+#ifndef TERP_COMPILER_VERIFIER_HH
+#define TERP_COMPILER_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "compiler/pmo_analysis.hh"
+
+namespace terp {
+namespace compiler {
+
+/** Verification outcome with human-readable diagnostics. */
+struct VerifyResult
+{
+    bool ok = true;
+    std::vector<std::string> errors;
+
+    void fail(std::string msg)
+    {
+        ok = false;
+        errors.push_back(std::move(msg));
+    }
+};
+
+/**
+ * Verify one function's protection constructs.
+ *
+ * @param f          The function to check.
+ * @param fi         Its index in the module (for PmoFacts queries).
+ * @param facts      Module pointer-analysis results.
+ * @param strict     Reject same-thread pair overlap (depth > 1).
+ * @param pmo_filter Only consider PMOs whose bit is set (default:
+ *                   all); used for per-PMO speculative checks.
+ */
+VerifyResult verifyProtection(const Function &f, std::uint32_t fi,
+                              const PmoFacts &facts, bool strict,
+                              std::uint64_t pmo_filter = ~0ULL);
+
+/** Verify every function of a module. */
+VerifyResult verifyModule(const Module &m, const PmoFacts &facts,
+                          bool strict);
+
+} // namespace compiler
+} // namespace terp
+
+#endif // TERP_COMPILER_VERIFIER_HH

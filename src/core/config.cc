@@ -1,0 +1,103 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+namespace terp {
+namespace core {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Unprotected: return "Unprotected";
+      case Scheme::MM: return "MM";
+      case Scheme::TM: return "TM";
+      case Scheme::TT: return "TT";
+      default: return "?";
+    }
+}
+
+RuntimeConfig
+RuntimeConfig::unprotected()
+{
+    RuntimeConfig c;
+    c.scheme = Scheme::Unprotected;
+    c.insertion = Insertion::None;
+    c.randomizeOnAttach = false;
+    return c;
+}
+
+RuntimeConfig
+RuntimeConfig::mm(Cycles ew)
+{
+    RuntimeConfig c;
+    c.scheme = Scheme::MM;
+    c.insertion = Insertion::Manual;
+    c.ewTarget = ew;
+    return c;
+}
+
+RuntimeConfig
+RuntimeConfig::tm(Cycles ew, Cycles tew)
+{
+    RuntimeConfig c;
+    c.scheme = Scheme::TM;
+    c.insertion = Insertion::Auto;
+    c.ewTarget = ew;
+    c.tewTarget = tew;
+    c.threadPerms = true; // maintained via system calls
+    return c;
+}
+
+RuntimeConfig
+RuntimeConfig::tt(Cycles ew, Cycles tew)
+{
+    RuntimeConfig c;
+    c.scheme = Scheme::TT;
+    c.insertion = Insertion::Auto;
+    c.ewTarget = ew;
+    c.tewTarget = tew;
+    c.condInstructions = true;
+    c.windowCombining = true;
+    c.threadPerms = true;
+    // TERP's attach performs placement inside the (already costed)
+    // system call; the separate randomization cost only arises for
+    // sweep-triggered in-place re-randomization.
+    c.randomizeOnAttach = false;
+    return c;
+}
+
+RuntimeConfig
+RuntimeConfig::ttNoCombining(Cycles ew, Cycles tew)
+{
+    RuntimeConfig c = tt(ew, tew);
+    c.windowCombining = false;
+    return c;
+}
+
+RuntimeConfig
+RuntimeConfig::basicSemantics(Cycles ew)
+{
+    RuntimeConfig c;
+    c.scheme = Scheme::TM;
+    c.insertion = Insertion::Auto;
+    c.ewTarget = ew;
+    c.threadPerms = false;
+    c.basicBlocking = true;
+    return c;
+}
+
+std::string
+RuntimeConfig::describe() const
+{
+    std::ostringstream os;
+    os << schemeName(scheme) << "(ew=" << cyclesToUs(ewTarget)
+       << "us, tew=" << cyclesToUs(tewTarget) << "us"
+       << (condInstructions ? ", cond" : "")
+       << (windowCombining ? ", cb" : "")
+       << (basicBlocking ? ", basic" : "") << ")";
+    return os.str();
+}
+
+} // namespace core
+} // namespace terp

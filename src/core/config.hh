@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scheme configurations for the evaluation (Section VI):
+ *
+ *  - MM: MERR insertion + MERR architecture. Manually inserted
+ *    attach/detach executed fully as system calls, EW target 40 us.
+ *  - TM: TERP insertion + MERR architecture. Compiler-inserted
+ *    conditional attach/detach, but every call is a full system call.
+ *  - TT: TERP insertion + TERP architecture. Conditional
+ *    attach/detach instructions + circular-buffer window combining.
+ *
+ * Ablations for Fig 11: Basic semantics (threads serialize on a
+ * process-wide attach) and "+Cond" (conditional instructions without
+ * the circular buffer).
+ */
+
+#ifndef TERP_CORE_CONFIG_HH
+#define TERP_CORE_CONFIG_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace core {
+
+/** Top-level protection scheme. */
+enum class Scheme
+{
+    Unprotected, //!< no protection; the overhead baseline
+    MM,          //!< MERR insertion on MERR architecture
+    TM,          //!< TERP insertion on MERR architecture
+    TT,          //!< TERP insertion on TERP architecture
+};
+
+const char *schemeName(Scheme s);
+
+/** Which insertion points drive attach/detach. */
+enum class Insertion
+{
+    None,   //!< no constructs at all
+    Manual, //!< coarse, manually placed bookends (MERR style)
+    Auto,   //!< compiler/region-granularity conditional constructs
+};
+
+/** Full runtime configuration. */
+struct RuntimeConfig
+{
+    Scheme scheme = Scheme::Unprotected;
+    Insertion insertion = Insertion::None;
+
+    /** Process-level exposure-window target (L in the semantics). */
+    Cycles ewTarget = target::defaultEw;
+    /** Thread exposure-window target used by automatic insertion. */
+    Cycles tewTarget = target::defaultTew;
+
+    /** Conditional instructions available (27-cycle silent path). */
+    bool condInstructions = false;
+    /** Circular-buffer window combining + sweeper. */
+    bool windowCombining = false;
+    /** MPK-style per-thread permission lowering (EW-conscious). */
+    bool threadPerms = false;
+    /**
+     * Basic-semantics ablation: a thread attaching an attached PMO
+     * must wait for the detach (Fig 11 "Basic semantics" bars).
+     */
+    bool basicBlocking = false;
+    /** Randomize PMO placement at every real attach. */
+    bool randomizeOnAttach = true;
+
+    static RuntimeConfig unprotected();
+    static RuntimeConfig mm(Cycles ew = target::defaultEw);
+    static RuntimeConfig tm(Cycles ew = target::defaultEw,
+                            Cycles tew = target::defaultTew);
+    static RuntimeConfig tt(Cycles ew = target::defaultEw,
+                            Cycles tew = target::defaultTew);
+    /** TT without the circular buffer ("+Cond" ablation). */
+    static RuntimeConfig ttNoCombining(Cycles ew = target::defaultEw,
+                                       Cycles tew = target::defaultTew);
+    /** Automatic insertion under Basic semantics (ablation). */
+    static RuntimeConfig basicSemantics(Cycles ew = target::defaultEw);
+
+    std::string describe() const;
+};
+
+} // namespace core
+} // namespace terp
+
+#endif // TERP_CORE_CONFIG_HH

@@ -1,0 +1,516 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace core {
+
+const char *
+accessOutcomeName(AccessOutcome o)
+{
+    switch (o) {
+      case AccessOutcome::Ok: return "ok";
+      case AccessOutcome::NoMapping: return "segfault(no-mapping)";
+      case AccessOutcome::NoProcessPerm: return "denied(process)";
+      case AccessOutcome::NoThreadPerm: return "denied(thread)";
+      default: return "?";
+    }
+}
+
+Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
+                 const RuntimeConfig &config)
+    : mach(machine), pm_(pmos), cfg(config)
+{
+}
+
+sim::ThreadContext *
+Runtime::minClockThread()
+{
+    sim::ThreadContext *best = nullptr;
+    for (unsigned i = 0; i < mach.threadCount(); ++i) {
+        sim::ThreadContext &t = mach.thread(i);
+        if (t.done)
+            continue;
+        if (!best || t.now() < best->now())
+            best = &t;
+    }
+    return best ? best : &mach.thread(0);
+}
+
+// ------------------------------------------------------------- helpers
+
+void
+Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
+                      pm::Mode mode)
+{
+    tc.charge(sim::Charge::Attach, latency::attachSyscall);
+    counts.inc("attach_syscalls");
+    if (cfg.randomizeOnAttach) {
+        // MERR-style randomized placement at every real attach.
+        tc.charge(sim::Charge::Rand, latency::randomize);
+        counts.inc("randomizations");
+    }
+
+    pm::Pmo &p = pm_.pmo(pmo);
+    pm_.mapRandomized(p);
+    matrix.add(pmo, p.vaddrBase(), p.size(), mode);
+    ew.processOpen(pmo, tc.now());
+
+    auto &m = maps[pmo];
+    m.mapped = true;
+    m.lastRealAttach = tc.now();
+    m.grantedMode = mode;
+}
+
+void
+Runtime::doRealDetach(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    tc.charge(sim::Charge::Detach,
+              latency::detachSyscall + latency::tlbInvalidate);
+    counts.inc("detach_syscalls");
+
+    pm::Pmo &p = pm_.pmo(pmo);
+    pm::MapChange ch = pm_.unmap(p);
+    mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
+    matrix.remove(pmo);
+    ew.processClose(pmo, tc.now());
+    maps[pmo].mapped = false;
+}
+
+void
+Runtime::doRandomize(pm::PmoId pmo, Cycles at)
+{
+    (void)at;
+    pm::Pmo &p = pm_.pmo(pmo);
+    pm::MapChange ch = pm_.rerandomize(p);
+    mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
+    matrix.rebase(pmo, ch.newBase);
+    counts.inc("randomizations");
+
+    // Randomization suspends every thread for the remap plus the TLB
+    // shootdown (Section V-B); each thread loses that time.
+    for (unsigned i = 0; i < mach.threadCount(); ++i) {
+        sim::ThreadContext &t = mach.thread(i);
+        if (!t.done) {
+            t.charge(sim::Charge::Rand,
+                     latency::randomize + latency::tlbInvalidate);
+        }
+    }
+}
+
+void
+Runtime::grantThread(sim::ThreadContext &tc, pm::PmoId pmo,
+                     pm::Mode mode)
+{
+    domains.grant(tc.tid(), pmo, mode);
+    ew.threadOpen(tc.tid(), pmo, tc.now());
+}
+
+void
+Runtime::revokeThread(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    domains.revoke(tc.tid(), pmo);
+    ew.threadClose(tc.tid(), pmo, tc.now());
+}
+
+// ------------------------------------------------- manual (MM) markers
+
+void
+Runtime::manualBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                     pm::Mode mode)
+{
+    if (cfg.insertion != Insertion::Manual)
+        return;
+    auto &m = maps[pmo];
+    TERP_ASSERT(!m.mapped, "MM: nested manual attach on PMO ", pmo);
+    doRealAttach(tc, pmo, mode);
+    maps[pmo].holders = 1;
+}
+
+void
+Runtime::manualEnd(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    if (cfg.insertion != Insertion::Manual)
+        return;
+    auto &m = maps[pmo];
+    TERP_ASSERT(m.mapped, "MM: manual detach of unattached PMO ", pmo);
+    m.holders = 0;
+    doRealDetach(tc, pmo);
+}
+
+// ------------------------------------------------ auto-inserted regions
+
+GuardResult
+Runtime::regionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                     pm::Mode mode)
+{
+    if (cfg.insertion != Insertion::Auto)
+        return GuardResult::Ok;
+    if (cfg.basicBlocking)
+        return basicRegionBegin(tc, pmo, mode);
+    if (cfg.condInstructions) {
+        ttRegionBegin(tc, pmo, mode);
+        return GuardResult::Ok;
+    }
+    tmRegionBegin(tc, pmo, mode);
+    return GuardResult::Ok;
+}
+
+void
+Runtime::regionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    if (cfg.insertion != Insertion::Auto)
+        return;
+    if (cfg.basicBlocking) {
+        basicRegionEnd(tc, pmo);
+        return;
+    }
+    if (cfg.condInstructions) {
+        ttRegionEnd(tc, pmo);
+        return;
+    }
+    tmRegionEnd(tc, pmo);
+}
+
+// TT: conditional instructions, optionally with window combining.
+
+void
+Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                       pm::Mode mode)
+{
+    tc.charge(sim::Charge::Cond, latency::silentCond);
+    counts.inc("cond_ops");
+
+    // Function composability: a dynamically nested pair (callee
+    // inside the caller's open pair) lowers to a no-op beyond the
+    // conditional instruction itself.
+    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    if (++depth > 1) {
+        counts.inc("nested_regions");
+        return;
+    }
+
+    if (cfg.windowCombining) {
+        arch::CondAttachCase c = cb.condAttach(pmo, tc.now());
+        if (c == arch::CondAttachCase::FirstAttach)
+            doRealAttach(tc, pmo, mode);
+        grantThread(tc, pmo, mode);
+        return;
+    }
+
+    // "+Cond" ablation: conditional instructions without the buffer.
+    auto &m = maps[pmo];
+    counts.inc(m.mapped ? "cond_silent_nocb" : "cond_full_nocb");
+    if (!m.mapped)
+        doRealAttach(tc, pmo, mode);
+    ++m.holders;
+    grantThread(tc, pmo, mode);
+}
+
+void
+Runtime::ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    tc.charge(sim::Charge::Cond, latency::silentCond);
+    counts.inc("cond_ops");
+
+    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    TERP_ASSERT(depth > 0, "regionEnd without begin, tid ", tc.tid(),
+                " pmo ", pmo);
+    if (--depth > 0)
+        return; // inner pair of a nest: permission stays open
+
+    if (cfg.windowCombining) {
+        revokeThread(tc, pmo);
+        arch::CondDetachCase c =
+            cb.condDetach(pmo, tc.now(), cfg.ewTarget);
+        if (c == arch::CondDetachCase::FullDetach)
+            doRealDetach(tc, pmo);
+        return;
+    }
+
+    auto &m = maps[pmo];
+    TERP_ASSERT(m.holders > 0, "regionEnd without begin, PMO ", pmo);
+    revokeThread(tc, pmo);
+    --m.holders;
+    if (m.holders == 0)
+        doRealDetach(tc, pmo); // detaches too soon: no combining
+}
+
+// TM: EW-conscious semantics implemented purely in software on the
+// MERR architecture. Boundary operations perform the full mapping
+// system calls; lowered operations still trap to the kernel for the
+// thread-permission update (no 27-cycle conditional instructions).
+
+void
+Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                       pm::Mode mode)
+{
+    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    if (++depth > 1) {
+        // Nested pair: the kernel still gets the (cheap) call.
+        tc.charge(sim::Charge::Attach, latency::permSyscall);
+        counts.inc("nested_regions");
+        return;
+    }
+
+    auto &m = maps[pmo];
+    if (!m.mapped) {
+        doRealAttach(tc, pmo, mode);
+    } else {
+        tc.charge(sim::Charge::Attach, latency::permSyscall);
+        counts.inc("perm_syscalls");
+    }
+    ++m.holders;
+    grantThread(tc, pmo, mode);
+}
+
+void
+Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    TERP_ASSERT(depth > 0, "regionEnd without begin, tid ", tc.tid(),
+                " pmo ", pmo);
+    if (--depth > 0) {
+        tc.charge(sim::Charge::Detach, latency::permSyscall);
+        return;
+    }
+
+    auto &m = maps[pmo];
+    TERP_ASSERT(m.holders > 0, "regionEnd without begin, PMO ", pmo);
+    revokeThread(tc, pmo);
+    --m.holders;
+    // EW-conscious condition: real detach only when the exposure
+    // span exceeded the target and no thread holds permission.
+    if (m.holders == 0 &&
+        tc.now() >= m.lastRealAttach + cfg.ewTarget) {
+        doRealDetach(tc, pmo);
+    } else {
+        tc.charge(sim::Charge::Detach, latency::permSyscall);
+        counts.inc("perm_syscalls");
+    }
+}
+
+// Basic-semantics ablation: process-wide exclusive attach.
+
+GuardResult
+Runtime::basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                          pm::Mode mode)
+{
+    auto &m = maps[pmo];
+    if (m.mapped && m.ownerTid != tc.tid()) {
+        // Under the basic semantics a second attach is invalid, so a
+        // well-formed thread must wait for the holder's detach.
+        tc.blockOn(pmo);
+        counts.inc("basic_blocks");
+        return GuardResult::Blocked;
+    }
+    TERP_ASSERT(!m.mapped, "basic semantics: nested attach");
+    doRealAttach(tc, pmo, mode);
+    m.ownerTid = tc.tid();
+    m.holders = 1;
+    return GuardResult::Ok;
+}
+
+void
+Runtime::basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    auto &m = maps[pmo];
+    TERP_ASSERT(m.mapped && m.ownerTid == tc.tid(),
+                "basic semantics: detach by non-owner");
+    m.holders = 0;
+    doRealDetach(tc, pmo);
+    mach.wake(pmo, tc.now());
+}
+
+// ----------------------------------------------------------- accesses
+
+AccessOutcome
+Runtime::tryAccess(sim::ThreadContext &tc, const pm::Oid &oid,
+                   bool write)
+{
+    pm::Pmo &p = pm_.pmo(oid.pool());
+
+    if (cfg.scheme == Scheme::Unprotected) {
+        if (!p.attached())
+            pm_.mapRandomized(p); // mapped once, for the whole run
+        mach.access(tc, pm_.accessFor(oid, write));
+        return AccessOutcome::Ok;
+    }
+
+    // ld/st checks the permission matrix alongside the TLB.
+    tc.charge(sim::Charge::Other, latency::permMatrix);
+
+    if (!p.attached())
+        return AccessOutcome::NoMapping;
+
+    arch::MatrixHit hit = matrix.check(p.vaddrOf(oid.offset()), write);
+    if (!hit.present)
+        return AccessOutcome::NoMapping;
+    if (!hit.permitted)
+        return AccessOutcome::NoProcessPerm;
+
+    if (cfg.threadPerms &&
+        !domains.allows(tc.tid(), oid.pool(), write)) {
+        return AccessOutcome::NoThreadPerm;
+    }
+
+    mach.access(tc, pm_.accessFor(oid, write));
+    return AccessOutcome::Ok;
+}
+
+AccessOutcome
+Runtime::tryAccessVaddr(sim::ThreadContext &tc, std::uint64_t vaddr,
+                        bool write)
+{
+    if (cfg.scheme != Scheme::Unprotected)
+        tc.charge(sim::Charge::Other, latency::permMatrix);
+
+    const pm::Pmo *p = pm_.findByVaddr(vaddr);
+    if (!p)
+        return AccessOutcome::NoMapping; // segmentation fault
+
+    if (cfg.scheme != Scheme::Unprotected) {
+        arch::MatrixHit hit = matrix.check(vaddr, write);
+        if (!hit.present)
+            return AccessOutcome::NoMapping;
+        if (!hit.permitted)
+            return AccessOutcome::NoProcessPerm;
+        if (cfg.threadPerms &&
+            !domains.allows(tc.tid(), p->id(), write)) {
+            return AccessOutcome::NoThreadPerm;
+        }
+    }
+
+    std::uint64_t off = vaddr - p->vaddrBase();
+    mach.access(tc, sim::MemAccess{vaddr, p->paddrOf(off), write,
+                                   sim::MemKind::Nvm});
+    return AccessOutcome::Ok;
+}
+
+void
+Runtime::access(sim::ThreadContext &tc, const pm::Oid &oid, bool write)
+{
+    AccessOutcome o = tryAccess(tc, oid, write);
+    TERP_ASSERT(o == AccessOutcome::Ok, "PMO access fault: ",
+                accessOutcomeName(o), " pool ", oid.pool(),
+                " offset ", oid.offset(), " tid ", tc.tid());
+}
+
+void
+Runtime::accessRange(sim::ThreadContext &tc, const pm::Oid &oid,
+                     std::uint64_t bytes, bool write)
+{
+    std::uint64_t lines = (bytes + lineSize - 1) / lineSize;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        access(tc, oid.plus(i * lineSize), write);
+}
+
+// -------------------------------------------------------------- sweep
+
+void
+Runtime::onSweep(Cycles now)
+{
+    if (cfg.scheme == Scheme::Unprotected)
+        return;
+
+    if (cfg.windowCombining) {
+        for (const arch::SweepAction &a : cb.sweep(now, cfg.ewTarget)) {
+            if (a.detach) {
+                // The hardware-triggered detach interrupts the
+                // earliest-running thread.
+                sim::ThreadContext *tc = minClockThread();
+                tc->syncTo(now, sim::Charge::Other);
+                doRealDetach(*tc, a.pmo);
+            } else {
+                // Threads still hold the PMO: randomize in place so
+                // the location never outlives the max EW (partial
+                // combining, Fig 6c).
+                doRandomize(a.pmo, now);
+                ew.processClose(a.pmo, now);
+                ew.processOpen(a.pmo, now);
+                maps[a.pmo].lastRealAttach = now;
+            }
+        }
+        return;
+    }
+
+    // MERR-architecture schemes: software timer applying the
+    // EW-conscious closing rule — when the window target elapsed,
+    // fully detach an idle PMO, or re-randomize one still in use so
+    // a location never outlives the window.
+    for (auto &[pmo, m] : maps) {
+        if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
+            continue;
+        if (m.holders == 0 && cfg.insertion == Insertion::Auto) {
+            sim::ThreadContext *tc = minClockThread();
+            tc->syncTo(now, sim::Charge::Other);
+            doRealDetach(*tc, pmo);
+        } else {
+            doRandomize(pmo, now);
+            ew.processClose(pmo, now);
+            ew.processOpen(pmo, now);
+            m.lastRealAttach = now;
+        }
+    }
+}
+
+void
+Runtime::finalize()
+{
+    if (finalized)
+        return;
+    finalized = true;
+    ew.finalize(mach.maxClock());
+}
+
+// ------------------------------------------------------------ reports
+
+OverheadReport
+Runtime::report() const
+{
+    OverheadReport r;
+    for (unsigned i = 0; i < mach.threadCount(); ++i) {
+        const sim::ThreadContext &t = mach.thread(i);
+        r.work += t.charged(sim::Charge::Work);
+        r.attach += t.charged(sim::Charge::Attach);
+        r.detach += t.charged(sim::Charge::Detach);
+        r.rand += t.charged(sim::Charge::Rand);
+        r.cond += t.charged(sim::Charge::Cond);
+        r.other += t.charged(sim::Charge::Other);
+    }
+    r.total = r.work + r.attach + r.detach + r.rand + r.cond + r.other;
+    r.attachSyscalls = counts.get("attach_syscalls");
+    r.detachSyscalls = counts.get("detach_syscalls");
+    r.randomizations = counts.get("randomizations");
+    r.condOps = counts.get("cond_ops");
+    if (cfg.windowCombining) {
+        r.silentFraction = cb.stats().silentFraction();
+    } else if (cfg.condInstructions) {
+        // Without the CB, "silent" = conditional ops that avoided a
+        // mapping-changing system call.
+        std::uint64_t silent = counts.get("cond_silent_nocb");
+        std::uint64_t full = counts.get("cond_full_nocb");
+        if (silent + full > 0) {
+            r.silentFraction = static_cast<double>(silent) /
+                               static_cast<double>(silent + full);
+        }
+    }
+    return r;
+}
+
+bool
+Runtime::mapped(pm::PmoId pmo) const
+{
+    return pm_.pmo(pmo).attached();
+}
+
+bool
+Runtime::threadHolds(unsigned tid, pm::PmoId pmo) const
+{
+    return domains.holds(tid, pmo);
+}
+
+} // namespace core
+} // namespace terp

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The protection runtime — the paper's primary contribution glued
+ * together: EW-conscious attach/detach semantics realized with the
+ * conditional-instruction + circular-buffer architecture (TT), and
+ * the MERR baseline paths (MM, TM) for comparison.
+ *
+ * Workload code marks two kinds of protection points:
+ *   - manualBegin/manualEnd: the coarse bookends a MERR programmer
+ *     writes by hand;
+ *   - regionBegin/regionEnd: the fine-grained points the TERP
+ *     compiler inserts (regions bounded by the TEW target).
+ * The runtime maps those markers onto real constructs according to
+ * the configured scheme, charges all Table II costs to the calling
+ * thread, and records exposure windows.
+ */
+
+#ifndef TERP_CORE_RUNTIME_HH
+#define TERP_CORE_RUNTIME_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/circular_buffer.hh"
+#include "arch/mpk.hh"
+#include "arch/perm_matrix.hh"
+#include "common/stats.hh"
+#include "core/config.hh"
+#include "pm/pmo_manager.hh"
+#include "semantics/ew_tracker.hh"
+#include "sim/machine.hh"
+
+namespace terp {
+namespace core {
+
+/** Result of a guarded region entry. */
+enum class GuardResult
+{
+    Ok,      //!< region entered
+    Blocked, //!< basic semantics: wait for the holder's detach
+};
+
+/** Outcome of a checked PMO access. */
+enum class AccessOutcome
+{
+    Ok,
+    NoMapping,     //!< PMO not attached: segmentation fault
+    NoProcessPerm, //!< permission matrix denies the access
+    NoThreadPerm,  //!< calling thread's permission is closed
+};
+
+const char *accessOutcomeName(AccessOutcome o);
+
+/** Aggregate report of one protected run. */
+struct OverheadReport
+{
+    Cycles work = 0;
+    Cycles attach = 0;
+    Cycles detach = 0;
+    Cycles rand = 0;
+    Cycles cond = 0;
+    Cycles other = 0;
+    Cycles total = 0;
+
+    std::uint64_t attachSyscalls = 0;
+    std::uint64_t detachSyscalls = 0;
+    std::uint64_t randomizations = 0;
+    std::uint64_t condOps = 0;
+    double silentFraction = 0.0;
+};
+
+/**
+ * The runtime. One instance per simulated process/run; owns the
+ * protection hardware state and the exposure tracker.
+ */
+class Runtime
+{
+  public:
+    Runtime(sim::Machine &machine, pm::PmoManager &pmos,
+            const RuntimeConfig &config);
+
+    const RuntimeConfig &config() const { return cfg; }
+
+    // ---- protection constructs -------------------------------------
+
+    /** Manual (MERR-style) bookends; no-ops unless insertion=Manual. */
+    void manualBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                     pm::Mode mode);
+    void manualEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+
+    /**
+     * Compiler-inserted region entry; no-op unless insertion=Auto.
+     * May return Blocked under the basic-semantics ablation, in
+     * which case the thread has been blocked and the caller must
+     * retry after being woken.
+     */
+    GuardResult regionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                            pm::Mode mode);
+    void regionEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+
+    // ---- data access ------------------------------------------------
+
+    /** Checked, timed PMO access. */
+    AccessOutcome tryAccess(sim::ThreadContext &tc, const pm::Oid &oid,
+                            bool write);
+
+    /**
+     * Checked, timed access through a raw virtual address — the path
+     * an attacker-injected pointer takes. Fails with NoMapping when
+     * the address is not covered by any attached PMO (e.g. a stale
+     * pre-randomization address).
+     */
+    AccessOutcome tryAccessVaddr(sim::ThreadContext &tc,
+                                 std::uint64_t vaddr, bool write);
+
+    /** Checked access that must succeed (panics on a fault). */
+    void access(sim::ThreadContext &tc, const pm::Oid &oid, bool write);
+
+    /**
+     * Convenience: sequentially access @p bytes starting at @p oid
+     * at cache-line granularity (one timed access per line).
+     */
+    void accessRange(sim::ThreadContext &tc, const pm::Oid &oid,
+                     std::uint64_t bytes, bool write);
+
+    // ---- periodic hardware hook --------------------------------------
+
+    /**
+     * The sweeper tick (Fig 7a). Call from the Machine's periodic
+     * hook. Applies delayed detaches and forced randomizations.
+     */
+    void onSweep(Cycles now);
+
+    /** Close any still-open windows at end of run. */
+    void finalize();
+
+    // ---- reporting ---------------------------------------------------
+
+    OverheadReport report() const;
+    const semantics::EwTracker &exposure() const { return ew; }
+    const arch::CircularBuffer &circularBuffer() const { return cb; }
+    const CounterSet &counters() const { return counts; }
+
+    /** Is the PMO currently mapped? */
+    bool mapped(pm::PmoId pmo) const;
+
+    /** The PMO manager this runtime protects. */
+    pm::PmoManager &pmoManager() { return pm_; }
+    const pm::PmoManager &pmoManager() const { return pm_; }
+
+    /** Does the thread hold open permission (TT schemes)? */
+    bool threadHolds(unsigned tid, pm::PmoId pmo) const;
+
+  private:
+    sim::Machine &mach;
+    pm::PmoManager &pm_;
+    RuntimeConfig cfg;
+
+    arch::CircularBuffer cb;
+    arch::ThreadDomains domains;
+    arch::PermissionMatrix matrix;
+    semantics::EwTracker ew;
+    CounterSet counts;
+
+    /** Software view of mapped PMOs (for schemes without the CB). */
+    struct MapState
+    {
+        bool mapped = false;
+        Cycles lastRealAttach = 0;
+        unsigned holders = 0; //!< threads inside regions (TM/ablation)
+        unsigned ownerTid = 0; //!< basic-semantics exclusive owner
+        pm::Mode grantedMode = pm::Mode::None;
+    };
+    std::map<pm::PmoId, MapState> maps;
+
+    /**
+     * Per-thread region nesting depth. Dynamic nesting arises from
+     * function composition (a callee with its own pairs invoked
+     * inside a caller's pair); the EW-conscious lowering makes inner
+     * pairs silent, so only the 0->1 / 1->0 transitions touch the
+     * permission hardware.
+     */
+    std::map<std::pair<unsigned, pm::PmoId>, unsigned> regionDepth;
+
+    bool finalized = false;
+
+    // Implementation helpers.
+    void doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
+                      pm::Mode mode);
+    void doRealDetach(sim::ThreadContext &tc, pm::PmoId pmo);
+    void doRandomize(pm::PmoId pmo, Cycles at);
+    void grantThread(sim::ThreadContext &tc, pm::PmoId pmo,
+                     pm::Mode mode);
+    void revokeThread(sim::ThreadContext &tc, pm::PmoId pmo);
+    sim::ThreadContext *minClockThread();
+
+    void ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                       pm::Mode mode);
+    void ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+    void tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                       pm::Mode mode);
+    void tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+    GuardResult basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
+                                 pm::Mode mode);
+    void basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+};
+
+/** RAII helper for a compiler-inserted region (never blocks). */
+class RegionGuard
+{
+  public:
+    RegionGuard(Runtime &rt, sim::ThreadContext &tc, pm::PmoId pmo,
+                pm::Mode mode)
+        : runtime(rt), thread(tc), id(pmo)
+    {
+        GuardResult r = runtime.regionBegin(thread, id, mode);
+        (void)r;
+    }
+
+    ~RegionGuard() { runtime.regionEnd(thread, id); }
+
+    RegionGuard(const RegionGuard &) = delete;
+    RegionGuard &operator=(const RegionGuard &) = delete;
+
+  private:
+    Runtime &runtime;
+    sim::ThreadContext &thread;
+    pm::PmoId id;
+};
+
+} // namespace core
+} // namespace terp
+
+#endif // TERP_CORE_RUNTIME_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Word-granularity backing store for simulated program data.
+ *
+ * Words are keyed by location-independent pointer values: ObjectIDs
+ * for PMO data (pool id in the top 16 bits) and arena offsets for
+ * DRAM data. Because the key is the ObjectID rather than the mapped
+ * virtual address, PMO re-randomization is transparent to programs —
+ * exactly the property relocatable PMO pointers give real TERP
+ * applications. Persistence across "runs" is modeled by reusing the
+ * same image in a new simulation.
+ */
+
+#ifndef TERP_PM_MEM_IMAGE_HH
+#define TERP_PM_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace terp {
+namespace pm {
+
+/** Shared word-addressed memory image. */
+class MemImage
+{
+  public:
+    /** Physical base of the simulated DRAM arena. */
+    static constexpr std::uint64_t dramPhysBase = 1ULL << 42;
+    /** Virtual base of the simulated DRAM arena. */
+    static constexpr std::uint64_t dramVirtBase = 0x7f0000000000ULL;
+
+    void
+    poke(std::uint64_t addr, std::uint64_t value)
+    {
+        words[addr] = value;
+    }
+
+    std::uint64_t
+    peek(std::uint64_t addr) const
+    {
+        auto it = words.find(addr);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    std::size_t wordCount() const { return words.size(); }
+
+    /** Is this pointer value a PMO ObjectID (pool id != 0)? */
+    static bool
+    isPmoPointer(std::uint64_t v)
+    {
+        return (v >> 48) != 0;
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> words;
+};
+
+} // namespace pm
+} // namespace terp
+
+#endif // TERP_PM_MEM_IMAGE_HH

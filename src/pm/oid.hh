@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Relocatable persistent pointers (ObjectIDs).
+ *
+ * Following PMDK-style pools (Table I of the paper), every pointer
+ * stored inside a PMO is a 64-bit ObjectID consisting of a pool id
+ * and an offset within that pool, so PMOs can be attached at a
+ * different (randomized) virtual address on every attach.
+ */
+
+#ifndef TERP_PM_OID_HH
+#define TERP_PM_OID_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace terp {
+namespace pm {
+
+/** Identifier of a PMO / pool. 10 bits in the paper's hardware. */
+using PmoId = std::uint32_t;
+
+/** Sentinel for "no PMO". */
+constexpr PmoId invalidPmoId = 0xffffffffu;
+
+/**
+ * A relocatable persistent pointer: pool id (16 bits) + offset
+ * (48 bits). ObjectID 0 (pool 0, offset 0) is reserved as null.
+ */
+struct Oid
+{
+    std::uint64_t raw = 0;
+
+    Oid() = default;
+
+    Oid(PmoId pool, std::uint64_t offset)
+        : raw((static_cast<std::uint64_t>(pool) << 48) |
+              (offset & offsetMask))
+    {
+    }
+
+    static constexpr std::uint64_t offsetMask = (1ULL << 48) - 1;
+
+    /** Reconstruct from a raw 64-bit pointer value. */
+    static Oid
+    fromRaw(std::uint64_t raw_value)
+    {
+        Oid o;
+        o.raw = raw_value;
+        return o;
+    }
+
+    PmoId pool() const { return static_cast<PmoId>(raw >> 48); }
+    std::uint64_t offset() const { return raw & offsetMask; }
+
+    bool isNull() const { return raw == 0; }
+
+    /** Pointer arithmetic stays within the same pool. */
+    Oid
+    plus(std::uint64_t delta) const
+    {
+        return Oid(pool(), offset() + delta);
+    }
+
+    bool operator==(const Oid &o) const { return raw == o.raw; }
+    bool operator!=(const Oid &o) const { return raw != o.raw; }
+};
+
+/** Null ObjectID constant. */
+inline const Oid nullOid{};
+
+} // namespace pm
+} // namespace terp
+
+template <>
+struct std::hash<terp::pm::Oid>
+{
+    std::size_t
+    operator()(const terp::pm::Oid &o) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(o.raw);
+    }
+};
+
+#endif // TERP_PM_OID_HH

@@ -1,0 +1,30 @@
+#include "pm/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace pm {
+
+EmbeddedSubtree::EmbeddedSubtree(std::uint64_t size)
+{
+    TERP_ASSERT(size > 0);
+
+    // Leaf PTEs: one per 4 KB page.
+    std::uint64_t leaves = (size + pageSize - 1) / pageSize;
+    std::uint64_t ptes = leaves;
+
+    // Interior nodes up to the level whose single entry covers the
+    // whole PMO.
+    std::uint64_t nodes = leaves;
+    level = 1;
+    while (nodes > 1) {
+        nodes = (nodes + PageTableGeometry::entriesPerTable - 1) /
+                PageTableGeometry::entriesPerTable;
+        ptes += nodes;
+        ++level;
+    }
+    nSubtreePtes = ptes;
+}
+
+} // namespace pm
+} // namespace terp

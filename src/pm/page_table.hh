@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Embedded page-table subtree model (MERR / Fig 1a of the paper).
+ *
+ * A conventional attach initializes one PTE per 4 KB page, so its
+ * cost grows linearly with PMO size. MERR embeds a page-table subtree
+ * in the PMO itself as persistent metadata: an attach then installs a
+ * single upper-level entry pointing at the subtree root, making
+ * attach/detach O(1). This model counts the PTE writes each scheme
+ * performs so the claim is measurable.
+ */
+
+#ifndef TERP_PM_PAGE_TABLE_HH
+#define TERP_PM_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace pm {
+
+/** Four-level x86-64-style page-table geometry. */
+struct PageTableGeometry
+{
+    static constexpr unsigned entriesPerTable = 512;
+    static constexpr std::uint64_t l1Coverage = pageSize;          // 4 KB
+    static constexpr std::uint64_t l2Coverage = l1Coverage * 512;  // 2 MB
+    static constexpr std::uint64_t l3Coverage = l2Coverage * 512;  // 1 GB
+};
+
+/**
+ * The page-table subtree embedded in a PMO. Built once at PMO
+ * creation; an attach installs a single entry in the process table.
+ */
+class EmbeddedSubtree
+{
+  public:
+    /** Build the subtree for a PMO of @p size bytes. */
+    explicit EmbeddedSubtree(std::uint64_t size);
+
+    /** Number of PTEs materialized inside the PMO (persistent). */
+    std::uint64_t subtreePteCount() const { return nSubtreePtes; }
+
+    /**
+     * PTE writes a conventional (non-embedded) attach would perform:
+     * one per 4 KB page plus interior nodes.
+     */
+    std::uint64_t conventionalAttachPtes() const { return nSubtreePtes; }
+
+    /** PTE writes an embedded attach performs: exactly one. */
+    static constexpr std::uint64_t embeddedAttachPtes = 1;
+
+    /**
+     * Depth of the subtree root under the process root (how many
+     * levels the single installed entry shortcuts).
+     */
+    unsigned rootLevel() const { return level; }
+
+  private:
+    std::uint64_t nSubtreePtes = 0;
+    unsigned level = 0;
+};
+
+} // namespace pm
+} // namespace terp
+
+#endif // TERP_PM_PAGE_TABLE_HH

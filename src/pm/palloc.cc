@@ -1,0 +1,96 @@
+#include "pm/palloc.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace pm {
+
+PoolAllocator::PoolAllocator(PmoId pmo_id, std::uint64_t pool_size,
+                             std::uint64_t reserve)
+    : pool(pmo_id), capacity(pool_size)
+{
+    TERP_ASSERT(pool_size > reserve);
+    freeList[align(reserve)] = pool_size - align(reserve);
+}
+
+Oid
+PoolAllocator::pmalloc(std::uint64_t size)
+{
+    if (size == 0)
+        size = 1;
+    size = align(size);
+
+    for (auto it = freeList.begin(); it != freeList.end(); ++it) {
+        if (it->second < size)
+            continue;
+        std::uint64_t off = it->first;
+        std::uint64_t len = it->second;
+        freeList.erase(it);
+        if (len > size)
+            freeList[off + size] = len - size;
+        allocated[off] = size;
+        live += size;
+        ++nAllocs;
+        return Oid(pool, off);
+    }
+    return nullOid; // pool exhausted
+}
+
+void
+PoolAllocator::pfree(Oid oid)
+{
+    TERP_ASSERT(oid.pool() == pool, "pfree: wrong pool");
+    auto it = allocated.find(oid.offset());
+    TERP_ASSERT(it != allocated.end(), "pfree: not a live block");
+    std::uint64_t off = it->first;
+    std::uint64_t len = it->second;
+    allocated.erase(it);
+    live -= len;
+    ++nFrees;
+
+    // Insert and coalesce with neighbours.
+    auto [fit, inserted] = freeList.emplace(off, len);
+    TERP_ASSERT(inserted);
+    // Coalesce with next.
+    auto next = std::next(fit);
+    if (next != freeList.end() && fit->first + fit->second == next->first) {
+        fit->second += next->second;
+        freeList.erase(next);
+    }
+    // Coalesce with previous.
+    if (fit != freeList.begin()) {
+        auto prev = std::prev(fit);
+        if (prev->first + prev->second == fit->first) {
+            prev->second += fit->second;
+            freeList.erase(fit);
+        }
+    }
+}
+
+void
+PoolAllocator::reservePrefix(std::uint64_t up_to)
+{
+    TERP_ASSERT(nAllocs == 0, "reservePrefix after pmalloc");
+    up_to = align(up_to);
+    for (auto it = freeList.begin(); it != freeList.end();) {
+        std::uint64_t off = it->first;
+        std::uint64_t len = it->second;
+        if (off >= up_to) {
+            ++it;
+            continue;
+        }
+        it = freeList.erase(it);
+        if (off + len > up_to)
+            freeList[up_to] = off + len - up_to;
+    }
+}
+
+std::uint64_t
+PoolAllocator::blockSize(Oid oid) const
+{
+    auto it = allocated.find(oid.offset());
+    return it == allocated.end() ? 0 : it->second;
+}
+
+} // namespace pm
+} // namespace terp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Persistent pool allocator: pmalloc()/pfree() over the byte range of
+ * one PMO (Table I of the paper). First-fit free list with
+ * coalescing; all metadata is host-side for simplicity, as the paper
+ * never measures allocator persistence itself.
+ */
+
+#ifndef TERP_PM_PALLOC_HH
+#define TERP_PM_PALLOC_HH
+
+#include <cstdint>
+#include <map>
+
+#include "pm/oid.hh"
+
+namespace terp {
+namespace pm {
+
+class Pmo;
+
+/** First-fit allocator over a single PMO's offset space. */
+class PoolAllocator
+{
+  public:
+    /**
+     * @param pmo_id    Pool id used in returned ObjectIDs.
+     * @param pool_size Bytes available (offsets [reserve, pool_size)).
+     * @param reserve   Bytes at offset 0 kept for the root object.
+     */
+    PoolAllocator(PmoId pmo_id, std::uint64_t pool_size,
+                  std::uint64_t reserve = 64);
+
+    /**
+     * Allocate @p size bytes (16-byte aligned).
+     * @return ObjectID of the first byte, or nullOid if exhausted.
+     */
+    Oid pmalloc(std::uint64_t size);
+
+    /** Free a block previously returned by pmalloc. */
+    void pfree(Oid oid);
+
+    /**
+     * Permanently remove offsets below @p up_to from the free space,
+     * reserving them for fixed data-structure layout (root objects,
+     * bucket arrays, tables). Must be called before any pmalloc.
+     */
+    void reservePrefix(std::uint64_t up_to);
+
+    /** Size of the live block at @p oid (0 if not live). */
+    std::uint64_t blockSize(Oid oid) const;
+
+    std::uint64_t liveBytes() const { return live; }
+    std::uint64_t liveBlocks() const
+    {
+        return static_cast<std::uint64_t>(allocated.size());
+    }
+    std::uint64_t allocCount() const { return nAllocs; }
+    std::uint64_t freeCount() const { return nFrees; }
+
+  private:
+    PmoId pool;
+    std::uint64_t capacity;
+    std::map<std::uint64_t, std::uint64_t> freeList;  //!< offset -> len
+    std::map<std::uint64_t, std::uint64_t> allocated; //!< offset -> len
+    std::uint64_t live = 0;
+    std::uint64_t nAllocs = 0;
+    std::uint64_t nFrees = 0;
+
+    static std::uint64_t align(std::uint64_t v) { return (v + 15) & ~15ULL; }
+};
+
+} // namespace pm
+} // namespace terp
+
+#endif // TERP_PM_PALLOC_HH

@@ -1,0 +1,154 @@
+#include "pm/persist.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace pm {
+
+// ------------------------------------------------- PersistController
+
+void
+PersistController::store(Oid oid, std::uint64_t value)
+{
+    vol.poke(oid.raw, value);
+    dirty[lineKeyOf(oid.raw)][oid.raw] = value;
+}
+
+std::uint64_t
+PersistController::load(Oid oid) const
+{
+    return vol.peek(oid.raw);
+}
+
+std::uint64_t
+PersistController::persistedLoad(Oid oid) const
+{
+    return dur.peek(oid.raw);
+}
+
+void
+PersistController::clwb(sim::ThreadContext &tc, Oid oid)
+{
+    tc.work(clwbCost);
+    ++nClwb;
+    auto it = dirty.find(lineKeyOf(oid.raw));
+    if (it == dirty.end())
+        return; // line already clean
+    auto &dst = pending[it->first];
+    for (const auto &[addr, val] : it->second)
+        dst[addr] = val;
+    dirty.erase(it);
+}
+
+void
+PersistController::sfence(sim::ThreadContext &tc)
+{
+    ++nFence;
+    tc.work(drainCostPerLine *
+            static_cast<Cycles>(pending.size()));
+    for (const auto &[line, words] : pending) {
+        (void)line;
+        for (const auto &[addr, val] : words)
+            dur.poke(addr, val);
+    }
+    pending.clear();
+}
+
+void
+PersistController::persistentStore(sim::ThreadContext &tc, Oid oid,
+                                   std::uint64_t value)
+{
+    store(oid, value);
+    clwb(tc, oid);
+}
+
+void
+PersistController::crash()
+{
+    // Unflushed and unfenced updates are lost with power.
+    dirty.clear();
+    pending.clear();
+    vol = dur;
+}
+
+// --------------------------------------------------------- UndoLog
+
+// Log layout: header word 0 = number of valid entries (0 = no
+// transaction in flight); entries are (address raw, old value)
+// pairs. Every log update is made durable before the corresponding
+// data update, and the header is cleared (durably) only after the
+// data is durable — the textbook undo protocol.
+
+UndoLog::UndoLog(PersistController &pc, PmoId pmo_,
+                 std::uint64_t log_off)
+    : ctl(pc), pmo(pmo_), logOff(log_off)
+{
+}
+
+void
+UndoLog::begin(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(!active, "UndoLog: nested transaction");
+    active = true;
+    entries = 0;
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+}
+
+void
+UndoLog::write(sim::ThreadContext &tc, Oid oid, std::uint64_t value)
+{
+    TERP_ASSERT(active, "UndoLog: write outside a transaction");
+    // 1. Persist the undo record.
+    ctl.persistentStore(tc, entryOid(entries, 0), oid.raw);
+    ctl.persistentStore(tc, entryOid(entries, 1), ctl.load(oid));
+    ctl.sfence(tc);
+    // 2. Publish the record durably before touching the data.
+    ++entries;
+    ctl.persistentStore(tc, headerOid(), entries);
+    ctl.sfence(tc);
+    // 3. Now the data update may proceed (durable at commit).
+    ctl.store(oid, value);
+}
+
+void
+UndoLog::commit(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(active, "UndoLog: commit outside a transaction");
+    // Make the transaction's data updates durable: the write-set is
+    // exactly what the log recorded.
+    for (std::uint64_t i = 0; i < entries; ++i) {
+        Oid target = Oid::fromRaw(
+            ctl.load(entryOid(i, 0)));
+        ctl.clwb(tc, target);
+    }
+    ctl.sfence(tc);
+    // Invalidate the log durably: the transaction is committed.
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+    active = false;
+    entries = 0;
+}
+
+void
+UndoLog::recover(sim::ThreadContext &tc)
+{
+    active = false;
+    entries = 0;
+    std::uint64_t valid = ctl.persistedLoad(headerOid());
+    if (valid == 0)
+        return; // nothing in flight at the crash
+    // Roll back in reverse order from the durable log.
+    for (std::uint64_t i = valid; i-- > 0;) {
+        Oid target =
+            Oid::fromRaw(ctl.persistedLoad(entryOid(i, 0)));
+        std::uint64_t old = ctl.persistedLoad(entryOid(i, 1));
+        ctl.persistentStore(tc, target, old);
+    }
+    ctl.sfence(tc);
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+}
+
+} // namespace pm
+} // namespace terp

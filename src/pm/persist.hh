@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Crash-consistency substrate for PMOs.
+ *
+ * The PMO abstraction the paper builds on requires crash consistency
+ * ("a PMO remains in a consistent state even upon software crashes
+ * or system power failures", Section II). This module models the
+ * x86-style persistence path — stores land in volatile caches and
+ * only become durable after an explicit cache-line write-back (CLWB)
+ * followed by a store fence (SFENCE) — plus an undo-log transaction
+ * layer on top.
+ *
+ * The PersistController keeps two images: the volatile view every
+ * access sees, and the persisted view that survives a crash().
+ * Recovery rolls incomplete transactions back from the persisted
+ * undo log.
+ */
+
+#ifndef TERP_PM_PERSIST_HH
+#define TERP_PM_PERSIST_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "pm/mem_image.hh"
+#include "pm/oid.hh"
+#include "sim/thread.hh"
+
+namespace terp {
+namespace pm {
+
+/** Cache-line key of a word address. */
+inline std::uint64_t
+lineKeyOf(std::uint64_t addr)
+{
+    return addr & ~(lineSize - 1);
+}
+
+/**
+ * Models the volatile-cache / persistent-media boundary at
+ * cache-line granularity.
+ */
+class PersistController
+{
+  public:
+    /** Cost of one CLWB issue (cycles). */
+    static constexpr Cycles clwbCost = 5;
+    /** Cost per line drained by an SFENCE (NVM write bandwidth). */
+    static constexpr Cycles drainCostPerLine = 100;
+
+    /** A store: visible immediately, durable only after clwb+fence. */
+    void store(Oid oid, std::uint64_t value);
+
+    /** Read the volatile view. */
+    std::uint64_t load(Oid oid) const;
+
+    /** Read the persisted view (what a crash would preserve). */
+    std::uint64_t persistedLoad(Oid oid) const;
+
+    /** CLWB: schedule the line holding @p oid for write-back. */
+    void clwb(sim::ThreadContext &tc, Oid oid);
+
+    /** SFENCE: block until all scheduled write-backs are durable. */
+    void sfence(sim::ThreadContext &tc);
+
+    /** Convenience: store + clwb + (deferred) fence by the caller. */
+    void persistentStore(sim::ThreadContext &tc, Oid oid,
+                         std::uint64_t value);
+
+    /**
+     * Power failure: the volatile view is reset to the persisted
+     * one; scheduled-but-unfenced write-backs are lost.
+     */
+    void crash();
+
+    /** Dirty (stored, not yet written back) lines. */
+    std::size_t dirtyLines() const { return dirty.size(); }
+    /** Lines written back but not yet fenced durable. */
+    std::size_t pendingLines() const { return pending.size(); }
+
+    std::uint64_t clwbCount() const { return nClwb; }
+    std::uint64_t fenceCount() const { return nFence; }
+
+    MemImage &volatileImage() { return vol; }
+
+  private:
+    MemImage vol;  //!< what loads see
+    MemImage dur;  //!< what survives a crash
+    //! line -> words written since the last write-back of that line.
+    std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+        dirty;
+    //! write-backs issued but not yet fenced.
+    std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+        pending;
+    std::uint64_t nClwb = 0;
+    std::uint64_t nFence = 0;
+};
+
+/**
+ * A classic undo-log giving single-threaded transactional updates to
+ * one PMO: old values are persisted to a log region before the data
+ * is touched; recovery after a crash rolls back any transaction
+ * whose commit record never became durable.
+ */
+class UndoLog
+{
+  public:
+    /**
+     * @param pc      The persistence controller.
+     * @param pmo     The PMO being protected.
+     * @param log_off Offset of the log region inside the PMO.
+     */
+    UndoLog(PersistController &pc, PmoId pmo,
+            std::uint64_t log_off);
+
+    /** Begin a transaction (must not be nested). */
+    void begin(sim::ThreadContext &tc);
+
+    /** Transactional store: logs the old value first. */
+    void write(sim::ThreadContext &tc, Oid oid, std::uint64_t value);
+
+    /** Commit: persist data, then mark the log invalid. */
+    void commit(sim::ThreadContext &tc);
+
+    /** After a crash: undo any uncommitted transaction. */
+    void recover(sim::ThreadContext &tc);
+
+    bool inTransaction() const { return active; }
+
+  private:
+    PersistController &ctl;
+    PmoId pmo;
+    std::uint64_t logOff;
+    bool active = false;
+    std::uint64_t entries = 0;
+
+    Oid headerOid() const { return Oid(pmo, logOff); }
+    Oid entryOid(std::uint64_t i, unsigned word) const
+    {
+        return Oid(pmo, logOff + 64 + i * 16 + word * 8);
+    }
+};
+
+} // namespace pm
+} // namespace terp
+
+#endif // TERP_PM_PERSIST_HH

@@ -1,0 +1,59 @@
+#include "security/attack_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace security {
+
+double
+probesPerWindow(const AttackScenario &s)
+{
+    TERP_ASSERT(s.attackTimeUs > 0.0);
+    return s.ewUs * s.accessibleFraction / s.attackTimeUs;
+}
+
+double
+successProbabilityPercent(const AttackScenario &s)
+{
+    double slots = std::pow(2.0, static_cast<double>(s.entropyBits));
+    double p = probesPerWindow(s) / slots;
+    if (p > 1.0)
+        p = 1.0;
+    return p * 100.0;
+}
+
+double
+monteCarloSuccessPercent(const AttackScenario &s,
+                         std::uint64_t windows, Rng &rng)
+{
+    const std::uint64_t slots = 1ULL << s.entropyBits;
+    const auto probes =
+        static_cast<std::uint64_t>(probesPerWindow(s));
+    std::uint64_t hits = 0;
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        std::uint64_t target = rng.nextBelow(slots);
+        for (std::uint64_t i = 0; i < probes; ++i) {
+            if (rng.nextBelow(slots) == target) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return 100.0 * static_cast<double>(hits) /
+           static_cast<double>(windows);
+}
+
+double
+expectedWindowsToBreach(const AttackScenario &s)
+{
+    double p = successProbabilityPercent(s) / 100.0;
+    if (p <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / p;
+}
+
+} // namespace security
+} // namespace terp

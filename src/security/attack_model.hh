@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantitative attack model for Table V of the paper.
+ *
+ * An attacker who can issue one probe per "attack time" x must find
+ * the PMO's randomized placement among 2^entropy slots before the
+ * exposure window closes and the placement changes. With MERR the
+ * whole EW is usable; with TERP the compromised thread only holds
+ * access permission for a small fraction of the EW (the thread
+ * exposure rate), shrinking the probe budget ~30x.
+ *
+ * successProbability = (ewUs * accessibleFraction / attackTimeUs)
+ *                      / 2^entropyBits
+ *
+ * A Monte-Carlo probing simulation validates the closed form.
+ */
+
+#ifndef TERP_SECURITY_ATTACK_MODEL_HH
+#define TERP_SECURITY_ATTACK_MODEL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace terp {
+namespace security {
+
+/** One attack scenario (a row/column of Table V). */
+struct AttackScenario
+{
+    unsigned entropyBits = 18;  //!< 1 GB PMO placement entropy
+    double ewUs = 40.0;         //!< exposure-window size
+    double attackTimeUs = 1.0;  //!< x: time per probe/attempt
+    /**
+     * Fraction of the window during which the compromised thread
+     * actually holds access permission: 1.0 for MERR; the measured
+     * thread exposure rate divided by exposure rate for TERP.
+     */
+    double accessibleFraction = 1.0;
+};
+
+/** Probes the attacker can issue within one exposure window. */
+double probesPerWindow(const AttackScenario &s);
+
+/** Closed-form per-window success probability, in percent. */
+double successProbabilityPercent(const AttackScenario &s);
+
+/**
+ * Monte-Carlo estimate: simulate @p windows exposure windows, each
+ * with a freshly randomized placement, the attacker probing
+ * uniformly random slots. Returns the measured percent of windows
+ * in which the placement was found.
+ */
+double monteCarloSuccessPercent(const AttackScenario &s,
+                                std::uint64_t windows, Rng &rng);
+
+/**
+ * Expected exposure windows until an attack succeeds (the
+ * "longevity" of protection under sustained attack).
+ */
+double expectedWindowsToBreach(const AttackScenario &s);
+
+} // namespace security
+} // namespace terp
+
+#endif // TERP_SECURITY_ATTACK_MODEL_HH

@@ -1,0 +1,44 @@
+#include "security/dead_time.hh"
+
+namespace terp {
+namespace security {
+
+DeadTimeAnalysis::DeadTimeAnalysis()
+    : hist(Histogram::log2Buckets(0.5, 1024.0))
+{
+}
+
+void
+DeadTimeAnalysis::add(double dead_time_us)
+{
+    hist.add(dead_time_us);
+}
+
+void
+DeadTimeAnalysis::addAll(const std::vector<double> &samples_us)
+{
+    for (double s : samples_us)
+        hist.add(s);
+}
+
+double
+DeadTimeAnalysis::surfaceReduction(double tew_us) const
+{
+    return hist.fractionAbove(tew_us);
+}
+
+double
+DeadTimeAnalysis::recommendTew(double target) const
+{
+    // The largest TEW (coarsest, cheapest insertion) that still
+    // removes the target share of the attack surface.
+    double best = 0.0;
+    for (double bound : hist.bounds()) {
+        if (surfaceReduction(bound) + 1e-12 >= target)
+            best = bound;
+    }
+    return best;
+}
+
+} // namespace security
+} // namespace terp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dead-time analysis (Section VII-A / Fig 8 of the paper).
+ *
+ * The object dead time — from the last write to a heap object until
+ * its deallocation — is the window during which a data-only attack
+ * can plant a corruption that persists (earlier corruptions would be
+ * overwritten by the victim). The distribution of dead times
+ * therefore sets the TEW target: choosing a TEW below the p-th
+ * percentile removes p percent of the attack surface.
+ */
+
+#ifndef TERP_SECURITY_DEAD_TIME_HH
+#define TERP_SECURITY_DEAD_TIME_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace terp {
+namespace security {
+
+/** Aggregates dead-time samples and answers TEW-selection queries. */
+class DeadTimeAnalysis
+{
+  public:
+    DeadTimeAnalysis();
+
+    /** Record one dead time (microseconds). */
+    void add(double dead_time_us);
+
+    /** Record a batch of samples. */
+    void addAll(const std::vector<double> &samples_us);
+
+    /**
+     * Fraction of the attack surface a TEW of @p tew_us removes:
+     * the share of dead times at or above the TEW (corruptions need
+     * the permission to stay open into the dead window).
+     */
+    double surfaceReduction(double tew_us) const;
+
+    /**
+     * Smallest TEW (from the Fig 8 bucket boundaries) whose surface
+     * reduction reaches @p target (e.g. 0.95 -> 2 us in the paper).
+     */
+    double recommendTew(double target) const;
+
+    /** The Fig 8 histogram (log2 buckets, 0.5 us .. 1024 us). */
+    const Histogram &histogram() const { return hist; }
+
+    std::uint64_t sampleCount() const { return hist.totalCount(); }
+    double medianUs() const { return hist.percentile(50.0); }
+
+  private:
+    Histogram hist;
+};
+
+} // namespace security
+} // namespace terp
+
+#endif // TERP_SECURITY_DEAD_TIME_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The data-only attack case study of Section VII-D / Fig 12.
+ *
+ * A vulnerable FTP-server-like program processes requests in a
+ * dispatcher loop; a buffer overflow in readData() lets the attacker
+ * control three local pointers each round. By chaining the
+ * program's own dereference / assignment / addition gadgets, the
+ * attacker increments every node of a linked list stored in a PMO
+ * (the attack goal of Fig 12b) without touching control flow.
+ *
+ * The simulation runs the same vulnerable program under different
+ * protection schemes:
+ *  - Unprotected: the attack corrupts the whole list.
+ *  - MM (MERR with a coarse, whole-loop manual window): corruption
+ *    proceeds until the first re-randomization invalidates the
+ *    attacker's leaked addresses.
+ *  - TT (TERP): the gadgets execute outside any thread exposure
+ *    window, so every attacker access is denied.
+ *
+ * The attacker is granted a one-time leak of the PMO's base address
+ * in the first exposure window (the strongest realistic starting
+ * point); all later placements are unknown.
+ */
+
+#ifndef TERP_SECURITY_DOP_HH
+#define TERP_SECURITY_DOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+
+namespace terp {
+namespace security {
+
+/** Outcome of one attack run. */
+struct DopResult
+{
+    std::string scheme;
+    std::uint64_t listLength = 0;
+    std::uint64_t roundsExecuted = 0;
+    std::uint64_t nodesCorrupted = 0; //!< props changed by the value
+    std::uint64_t accessFaults = 0;   //!< denied attacker accesses
+    std::uint64_t randomizations = 0; //!< placement changes observed
+    double totalUs = 0;               //!< simulated run time
+    bool attackGoalAchieved = false;  //!< every node corrupted
+};
+
+/**
+ * Run the Fig 12 attack under a scheme.
+ *
+ * @param cfg      Protection scheme configuration.
+ * @param list_len Linked-list length (one attack per node, two
+ *                 dispatcher rounds each).
+ * @param value    The increment the attacker tries to apply.
+ */
+DopResult runFtpAttack(const core::RuntimeConfig &cfg,
+                       unsigned list_len = 64,
+                       std::uint64_t value = 7);
+
+} // namespace security
+} // namespace terp
+
+#endif // TERP_SECURITY_DOP_HH

@@ -1,0 +1,141 @@
+#include "security/gadget.hh"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace security {
+
+namespace {
+
+using compiler::BasicBlock;
+using compiler::BlockId;
+using compiler::Function;
+using compiler::Instr;
+using compiler::Op;
+
+/** Open-pair counts at a program point: (cond pairs, manual pairs). */
+struct PairState
+{
+    std::map<pm::PmoId, int> cond;
+    std::map<pm::PmoId, int> manual;
+
+    bool
+    anyCondOpen() const
+    {
+        for (const auto &[p, d] : cond)
+            if (d > 0)
+                return true;
+        return false;
+    }
+
+    bool
+    anyManualOpen() const
+    {
+        for (const auto &[p, d] : manual)
+            if (d > 0)
+                return true;
+        return false;
+    }
+
+    bool
+    operator==(const PairState &o) const
+    {
+        auto nonzero_equal = [](const std::map<pm::PmoId, int> &a,
+                                const std::map<pm::PmoId, int> &b) {
+            for (const auto &[k, v] : a) {
+                auto it = b.find(k);
+                if (v != (it == b.end() ? 0 : it->second))
+                    return false;
+            }
+            for (const auto &[k, v] : b) {
+                auto it = a.find(k);
+                if (v != (it == a.end() ? 0 : it->second))
+                    return false;
+            }
+            return true;
+        };
+        return nonzero_equal(cond, o.cond) &&
+               nonzero_equal(manual, o.manual);
+    }
+};
+
+void
+censusFunction(const Function &f, GadgetCensus &census)
+{
+    std::vector<std::optional<PairState>> in(f.blockCount());
+    std::deque<BlockId> wl;
+    in[0] = PairState{};
+    wl.push_back(0);
+
+    while (!wl.empty()) {
+        BlockId b = wl.front();
+        wl.pop_front();
+        PairState st = *in[b];
+
+        for (const Instr &ins : f.block(b).instrs) {
+            switch (ins.op) {
+              case Op::CondAttach:
+                ++st.cond[ins.pmo];
+                break;
+              case Op::CondDetach:
+                --st.cond[ins.pmo];
+                break;
+              case Op::ManualAttach:
+                ++st.manual[ins.pmo];
+                break;
+              case Op::ManualDetach:
+                --st.manual[ins.pmo];
+                break;
+              case Op::Load:
+              case Op::Store:
+                ++census.totalGadgets;
+                if (st.anyCondOpen())
+                    ++census.terpExposed;
+                if (st.anyManualOpen())
+                    ++census.merrExposed;
+                break;
+              default:
+                break;
+            }
+        }
+
+        for (BlockId s : f.successors(b)) {
+            if (!in[s]) {
+                in[s] = st;
+                wl.push_back(s);
+            }
+            // Joins with inconsistent states would be verifier
+            // errors; for the census we keep the first-seen state.
+        }
+    }
+}
+
+} // namespace
+
+GadgetCensus
+analyzeGadgets(const compiler::Module &m)
+{
+    GadgetCensus census;
+    for (const Function &f : m.functions)
+        censusFunction(f, census);
+    return census;
+}
+
+double
+terpTimeWeightedDisarmRate(double thread_exposure_rate)
+{
+    return 1.0 - thread_exposure_rate;
+}
+
+double
+merrTimeWeightedKeptRate(double exposure_rate)
+{
+    return exposure_rate;
+}
+
+} // namespace security
+} // namespace terp

@@ -1,0 +1,259 @@
+#include "semantics/attach_semantics.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace semantics {
+
+const char *
+semanticsName(SemanticsKind k)
+{
+    switch (k) {
+      case SemanticsKind::Basic: return "Basic";
+      case SemanticsKind::Outermost: return "Outermost";
+      case SemanticsKind::Fcfs: return "FCFS";
+      case SemanticsKind::EwConscious: return "EW-Conscious";
+      default: return "?";
+    }
+}
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Performed: return "performed";
+      case Verdict::Silent: return "silent";
+      case Verdict::Reattach: return "reattach";
+      case Verdict::Valid: return "valid";
+      case Verdict::Invalid: return "invalid";
+      case Verdict::Undefined: return "undefined";
+      case Verdict::SegFault: return "segfault";
+      default: return "?";
+    }
+}
+
+std::unique_ptr<AttachSemantics>
+AttachSemantics::make(SemanticsKind k, Cycles ew_limit)
+{
+    switch (k) {
+      case SemanticsKind::Basic:
+        return std::make_unique<BasicSemantics>();
+      case SemanticsKind::Outermost:
+        return std::make_unique<OutermostSemantics>();
+      case SemanticsKind::Fcfs:
+        return std::make_unique<FcfsSemantics>();
+      case SemanticsKind::EwConscious:
+        return std::make_unique<EwConsciousSemantics>(ew_limit);
+    }
+    TERP_PANIC("unknown semantics kind");
+}
+
+// ---------------------------------------------------------------- Basic
+
+Verdict
+BasicSemantics::onAttach(unsigned, pm::PmoId pmo, Cycles, pm::Mode)
+{
+    auto &s = st[pmo];
+    if (s.poisoned)
+        return Verdict::Undefined;
+    if (s.attached) {
+        // An attach must be followed by a detach, not another attach.
+        s.poisoned = true;
+        return Verdict::Invalid;
+    }
+    s.attached = true;
+    return Verdict::Performed;
+}
+
+Verdict
+BasicSemantics::onDetach(unsigned, pm::PmoId pmo, Cycles)
+{
+    auto &s = st[pmo];
+    if (s.poisoned)
+        return Verdict::Undefined;
+    if (!s.attached) {
+        s.poisoned = true;
+        return Verdict::Invalid;
+    }
+    s.attached = false;
+    return Verdict::Performed;
+}
+
+Verdict
+BasicSemantics::onAccess(unsigned, pm::PmoId pmo, Cycles, bool)
+{
+    auto &s = st[pmo];
+    if (s.poisoned)
+        return Verdict::Undefined;
+    return s.attached ? Verdict::Valid : Verdict::Invalid;
+}
+
+bool
+BasicSemantics::mapped(pm::PmoId pmo) const
+{
+    auto it = st.find(pmo);
+    return it != st.end() && it->second.attached &&
+           !it->second.poisoned;
+}
+
+// ------------------------------------------------------------ Outermost
+
+Verdict
+OutermostSemantics::onAttach(unsigned, pm::PmoId pmo, Cycles,
+                             pm::Mode)
+{
+    int &d = depth[pmo];
+    ++d;
+    return d == 1 ? Verdict::Performed : Verdict::Silent;
+}
+
+Verdict
+OutermostSemantics::onDetach(unsigned, pm::PmoId pmo, Cycles)
+{
+    int &d = depth[pmo];
+    if (d <= 0)
+        return Verdict::Invalid;
+    --d;
+    return d == 0 ? Verdict::Performed : Verdict::Silent;
+}
+
+Verdict
+OutermostSemantics::onAccess(unsigned, pm::PmoId pmo, Cycles, bool)
+{
+    auto it = depth.find(pmo);
+    return (it != depth.end() && it->second > 0) ? Verdict::Valid
+                                                 : Verdict::SegFault;
+}
+
+bool
+OutermostSemantics::mapped(pm::PmoId pmo) const
+{
+    auto it = depth.find(pmo);
+    return it != depth.end() && it->second > 0;
+}
+
+// ----------------------------------------------------------------- FCFS
+
+Verdict
+FcfsSemantics::onAttach(unsigned, pm::PmoId pmo, Cycles, pm::Mode)
+{
+    auto &s = st[pmo];
+    ++s.depth;
+    if (!s.attached) {
+        s.attached = true;
+        return s.depth == 1 ? Verdict::Performed : Verdict::Reattach;
+    }
+    return Verdict::Silent;
+}
+
+Verdict
+FcfsSemantics::onDetach(unsigned, pm::PmoId pmo, Cycles)
+{
+    auto &s = st[pmo];
+    if (s.depth <= 0)
+        return Verdict::Invalid;
+    --s.depth;
+    if (s.attached) {
+        // First detach encountered after an attach is performed.
+        s.attached = false;
+        return Verdict::Performed;
+    }
+    return Verdict::Silent;
+}
+
+Verdict
+FcfsSemantics::onAccess(unsigned, pm::PmoId pmo, Cycles, bool)
+{
+    auto &s = st[pmo];
+    if (s.attached)
+        return Verdict::Valid;
+    if (s.depth > 0) {
+        // Inside the outermost pair but after a performed detach:
+        // the access triggers an automatic re-attach.
+        s.attached = true;
+        return Verdict::Reattach;
+    }
+    return Verdict::SegFault;
+}
+
+bool
+FcfsSemantics::mapped(pm::PmoId pmo) const
+{
+    auto it = st.find(pmo);
+    return it != st.end() && it->second.attached;
+}
+
+// --------------------------------------------------------- EW-Conscious
+
+Verdict
+EwConsciousSemantics::onAttach(unsigned tid, pm::PmoId pmo, Cycles t,
+                               pm::Mode mode)
+{
+    auto &s = st[pmo];
+    if (s.holders.count(tid)) {
+        // No overlap of pairs within a thread.
+        return Verdict::Invalid;
+    }
+    s.holders[tid] = mode;
+    if (!s.attached) {
+        s.attached = true;
+        s.lastRealAttach = t;
+        return Verdict::Performed;
+    }
+    // Lowered to a thread-level permission grant.
+    return Verdict::Silent;
+}
+
+Verdict
+EwConsciousSemantics::onDetach(unsigned tid, pm::PmoId pmo, Cycles t)
+{
+    auto &s = st[pmo];
+    auto it = s.holders.find(tid);
+    if (it == s.holders.end())
+        return Verdict::Invalid; // detach without matching attach
+    s.holders.erase(it);
+    // Guard the subtraction: with per-thread clocks a detach may be
+    // issued by a thread whose local time is behind the attacher's.
+    bool span_exceeded =
+        t > s.lastRealAttach && (t - s.lastRealAttach) > limit;
+    if (span_exceeded && s.holders.empty()) {
+        s.attached = false;
+        return Verdict::Performed;
+    }
+    // Lowered to a thread-level permission revoke.
+    return Verdict::Silent;
+}
+
+Verdict
+EwConsciousSemantics::onAccess(unsigned tid, pm::PmoId pmo, Cycles,
+                               bool write)
+{
+    auto it = st.find(pmo);
+    if (it == st.end() || !it->second.attached)
+        return Verdict::SegFault;
+    // Access requires the calling thread's permission to be open and
+    // to include the requested right (Fig 4: st after attach(R) is
+    // denied).
+    auto h = it->second.holders.find(tid);
+    if (h == it->second.holders.end())
+        return Verdict::Invalid;
+    return pm::modeAllows(h->second, write) ? Verdict::Valid
+                                            : Verdict::Invalid;
+}
+
+bool
+EwConsciousSemantics::mapped(pm::PmoId pmo) const
+{
+    auto it = st.find(pmo);
+    return it != st.end() && it->second.attached;
+}
+
+std::size_t
+EwConsciousSemantics::permHolders(pm::PmoId pmo) const
+{
+    auto it = st.find(pmo);
+    return it == st.end() ? 0 : it->second.holders.size();
+}
+
+} // namespace semantics
+} // namespace terp

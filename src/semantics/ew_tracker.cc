@@ -1,0 +1,153 @@
+#include "semantics/ew_tracker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace semantics {
+
+void
+EwTracker::processOpen(pm::PmoId pmo, Cycles t)
+{
+    auto &s = perPmo[pmo];
+    TERP_ASSERT(!s.open, "double process-open of PMO ", pmo);
+    s.open = true;
+    s.openSince = t;
+}
+
+void
+EwTracker::processClose(pm::PmoId pmo, Cycles t)
+{
+    auto &s = perPmo[pmo];
+    TERP_ASSERT(s.open, "process-close of unopened PMO ", pmo);
+    TERP_ASSERT(t >= s.openSince, "time went backwards");
+    s.ew.add(t - s.openSince);
+    s.open = false;
+}
+
+void
+EwTracker::threadOpen(unsigned tid, pm::PmoId pmo, Cycles t)
+{
+    auto &s = perPmo[pmo];
+    TERP_ASSERT(!s.threadOpenSince.count(tid),
+                "double thread-open, tid ", tid, " pmo ", pmo);
+    s.threadOpenSince[tid] = t;
+}
+
+void
+EwTracker::threadClose(unsigned tid, pm::PmoId pmo, Cycles t)
+{
+    auto &s = perPmo[pmo];
+    auto it = s.threadOpenSince.find(tid);
+    TERP_ASSERT(it != s.threadOpenSince.end(),
+                "thread-close without open, tid ", tid);
+    TERP_ASSERT(t >= it->second, "time went backwards");
+    s.tew.add(t - it->second);
+    s.threadOpenSince.erase(it);
+}
+
+void
+EwTracker::finalize(Cycles t_end)
+{
+    for (auto &[pmo, s] : perPmo) {
+        (void)pmo;
+        if (s.open) {
+            s.ew.add(t_end >= s.openSince ? t_end - s.openSince : 0);
+            s.open = false;
+        }
+        for (auto &[tid, since] : s.threadOpenSince) {
+            (void)tid;
+            s.tew.add(t_end >= since ? t_end - since : 0);
+        }
+        s.threadOpenSince.clear();
+    }
+}
+
+bool
+EwTracker::processWindowOpen(pm::PmoId pmo) const
+{
+    auto it = perPmo.find(pmo);
+    return it != perPmo.end() && it->second.open;
+}
+
+namespace {
+
+ExposureMetrics
+fromSummaries(const Summary &ew, const Summary &tew, Cycles total,
+              unsigned threads)
+{
+    ExposureMetrics m;
+    m.ewCount = ew.count();
+    m.tewCount = tew.count();
+    m.ewAvgUs = cyclesToUs(static_cast<Cycles>(ew.mean()));
+    m.ewMaxUs = cyclesToUs(ew.max());
+    m.tewAvgUs = cyclesToUs(static_cast<Cycles>(tew.mean()));
+    m.tewMaxUs = cyclesToUs(tew.max());
+    if (total > 0) {
+        m.er = static_cast<double>(ew.sum()) /
+               static_cast<double>(total);
+        m.ter = static_cast<double>(tew.sum()) /
+                (static_cast<double>(total) *
+                 std::max(1u, threads));
+    }
+    return m;
+}
+
+} // namespace
+
+ExposureMetrics
+EwTracker::metricsFor(pm::PmoId pmo, Cycles total,
+                      unsigned threads) const
+{
+    auto it = perPmo.find(pmo);
+    if (it == perPmo.end())
+        return {};
+    return fromSummaries(it->second.ew, it->second.tew, total, threads);
+}
+
+ExposureMetrics
+EwTracker::metricsAll(Cycles total, unsigned threads) const
+{
+    // Average the per-PMO metrics, as Table IV does ("avg over all
+    // PMOs").
+    ExposureMetrics acc;
+    unsigned n = 0;
+    for (const auto &[pmo, s] : perPmo) {
+        (void)s;
+        ExposureMetrics m = metricsFor(pmo, total, threads);
+        if (m.ewCount == 0 && m.tewCount == 0)
+            continue;
+        acc.ewAvgUs += m.ewAvgUs;
+        acc.ewMaxUs = std::max(acc.ewMaxUs, m.ewMaxUs);
+        acc.er += m.er;
+        acc.tewAvgUs += m.tewAvgUs;
+        acc.tewMaxUs = std::max(acc.tewMaxUs, m.tewMaxUs);
+        acc.ter += m.ter;
+        acc.ewCount += m.ewCount;
+        acc.tewCount += m.tewCount;
+        ++n;
+    }
+    if (n > 0) {
+        acc.ewAvgUs /= n;
+        acc.er /= n;
+        acc.tewAvgUs /= n;
+        acc.ter /= n;
+    }
+    return acc;
+}
+
+std::vector<pm::PmoId>
+EwTracker::pmosSeen() const
+{
+    std::vector<pm::PmoId> out;
+    out.reserve(perPmo.size());
+    for (const auto &[pmo, s] : perPmo) {
+        (void)s;
+        out.push_back(pmo);
+    }
+    return out;
+}
+
+} // namespace semantics
+} // namespace terp

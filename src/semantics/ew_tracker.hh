@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Exposure-window bookkeeping (Definition 5 of the paper).
+ *
+ * Tracks, per PMO, the process-level exposure windows (EW: the PMO is
+ * mapped in the address space) and per-thread exposure windows (TEW:
+ * a specific thread holds access permission), and derives the
+ * metrics the evaluation tables report:
+ *   EW avg/max, ER = sum(EW)/total time,
+ *   TEW avg,    TER = sum(TEW)/(total time * threads).
+ */
+
+#ifndef TERP_SEMANTICS_EW_TRACKER_HH
+#define TERP_SEMANTICS_EW_TRACKER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "pm/oid.hh"
+
+namespace terp {
+namespace semantics {
+
+/** Aggregated exposure metrics for one PMO (or averaged over all). */
+struct ExposureMetrics
+{
+    double ewAvgUs = 0;   //!< mean exposure-window length
+    double ewMaxUs = 0;   //!< max exposure-window length
+    double er = 0;        //!< exposure rate (fraction of time mapped)
+    double tewAvgUs = 0;  //!< mean thread exposure window
+    double tewMaxUs = 0;  //!< max thread exposure window
+    double ter = 0;       //!< thread exposure rate
+    std::uint64_t ewCount = 0;
+    std::uint64_t tewCount = 0;
+};
+
+/** Records open/close events and summarizes exposure windows. */
+class EwTracker
+{
+  public:
+    /** The PMO became mapped (real attach) at time @p t. */
+    void processOpen(pm::PmoId pmo, Cycles t);
+
+    /** The PMO became unmapped (real detach) at time @p t. */
+    void processClose(pm::PmoId pmo, Cycles t);
+
+    /** Thread @p tid gained access permission at time @p t. */
+    void threadOpen(unsigned tid, pm::PmoId pmo, Cycles t);
+
+    /** Thread @p tid lost access permission at time @p t. */
+    void threadClose(unsigned tid, pm::PmoId pmo, Cycles t);
+
+    /** Close any windows still open at the end of the run. */
+    void finalize(Cycles t_end);
+
+    /** True if the PMO is currently in an open process window. */
+    bool processWindowOpen(pm::PmoId pmo) const;
+
+    /** Metrics for a single PMO. */
+    ExposureMetrics metricsFor(pm::PmoId pmo, Cycles total,
+                               unsigned threads) const;
+
+    /** Metrics averaged over every PMO that had any window. */
+    ExposureMetrics metricsAll(Cycles total, unsigned threads) const;
+
+    /** PMOs seen by the tracker. */
+    std::vector<pm::PmoId> pmosSeen() const;
+
+  private:
+    struct PerPmo
+    {
+        Summary ew;                        //!< closed process windows
+        Summary tew;                       //!< closed thread windows
+        Cycles openSince = 0;
+        bool open = false;
+        std::map<unsigned, Cycles> threadOpenSince;
+    };
+
+    std::map<pm::PmoId, PerPmo> perPmo;
+};
+
+} // namespace semantics
+} // namespace terp
+
+#endif // TERP_SEMANTICS_EW_TRACKER_HH

@@ -1,0 +1,50 @@
+#include "semantics/permission.hh"
+
+namespace terp {
+namespace semantics {
+
+bool
+PermissionSet::subsetOf(const PermissionSet &q) const
+{
+    for (const auto &[obj, rights] : perms) {
+        if (!rights.subsetOf(q.rightsOn(obj)))
+            return false;
+    }
+    return true;
+}
+
+PermissionSet
+PermissionSet::intersect(const PermissionSet &q) const
+{
+    PermissionSet out;
+    for (const auto &[obj, rights] : perms) {
+        Rights both = rights.intersect(q.rightsOn(obj));
+        if (both.raw() != 0)
+            out.set(obj, both);
+    }
+    return out;
+}
+
+void
+PermissionGroup::addAgent(std::uint64_t agent,
+                          const PermissionSet &agent_perms)
+{
+    members.insert(agent);
+    memberPerms[agent] = agent_perms;
+}
+
+bool
+PermissionGroup::wellFormed() const
+{
+    // P must be a subset of the intersection of all members'
+    // permission sets; equivalently, a subset of each member's set.
+    for (const auto &[agent, perms] : memberPerms) {
+        (void)agent;
+        if (!sharedPerms.subsetOf(perms))
+            return false;
+    }
+    return true;
+}
+
+} // namespace semantics
+} // namespace terp

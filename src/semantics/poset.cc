@@ -1,0 +1,194 @@
+#include "semantics/poset.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace semantics {
+
+std::size_t
+Poset::add(const std::string &name)
+{
+    auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    std::size_t i = elems.size();
+    elems.push_back(name);
+    index[name] = i;
+    for (auto &row : rel)
+        row.push_back(false);
+    rel.emplace_back(elems.size(), false);
+    rel[i][i] = true; // reflexive
+    return i;
+}
+
+std::size_t
+Poset::idx(const std::string &name) const
+{
+    auto it = index.find(name);
+    TERP_ASSERT(it != index.end(), "unknown poset element: ", name);
+    return it->second;
+}
+
+bool
+Poset::contains(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+bool
+Poset::leqIdx(std::size_t a, std::size_t b) const
+{
+    return rel[a][b];
+}
+
+bool
+Poset::order(const std::string &lo, const std::string &hi)
+{
+    std::size_t a = add(lo);
+    std::size_t b = add(hi);
+    if (a == b)
+        return true;
+    if (rel[b][a])
+        return false; // would violate antisymmetry
+    // Close transitively: everything <= a becomes <= everything >= b.
+    const std::size_t n = elems.size();
+    for (std::size_t x = 0; x < n; ++x) {
+        if (!rel[x][a])
+            continue;
+        for (std::size_t y = 0; y < n; ++y) {
+            if (rel[b][y])
+                rel[x][y] = true;
+        }
+    }
+    return true;
+}
+
+bool
+Poset::leq(const std::string &a, const std::string &b) const
+{
+    return leqIdx(idx(a), idx(b));
+}
+
+bool
+Poset::comparable(const std::string &a, const std::string &b) const
+{
+    std::size_t i = idx(a), j = idx(b);
+    return rel[i][j] || rel[j][i];
+}
+
+std::vector<std::string>
+Poset::maximal() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+        bool is_max = true;
+        for (std::size_t j = 0; j < elems.size(); ++j) {
+            if (i != j && rel[i][j]) {
+                is_max = false;
+                break;
+            }
+        }
+        if (is_max)
+            out.push_back(elems[i]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Poset::minimal() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+        bool is_min = true;
+        for (std::size_t j = 0; j < elems.size(); ++j) {
+            if (i != j && rel[j][i]) {
+                is_min = false;
+                break;
+            }
+        }
+        if (is_min)
+            out.push_back(elems[i]);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Poset::hasseEdges() const
+{
+    std::vector<std::pair<std::string, std::string>> edges;
+    const std::size_t n = elems.size();
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            if (a == b || !rel[a][b])
+                continue;
+            // a < b is a cover if no c strictly between.
+            bool cover = true;
+            for (std::size_t c = 0; c < n; ++c) {
+                if (c == a || c == b)
+                    continue;
+                if (rel[a][c] && rel[c][b]) {
+                    cover = false;
+                    break;
+                }
+            }
+            if (cover)
+                edges.emplace_back(elems[a], elems[b]);
+        }
+    }
+    return edges;
+}
+
+std::string
+Poset::toDot(const std::string &graph_name) const
+{
+    std::ostringstream os;
+    os << "digraph " << graph_name << " {\n"
+       << "  rankdir=BT;\n";
+    for (const auto &e : elems)
+        os << "  \"" << e << "\";\n";
+    for (const auto &[lo, hi] : hasseEdges())
+        os << "  \"" << lo << "\" -> \"" << hi << "\";\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+Poset::meet(const std::string &a, const std::string &b) const
+{
+    std::size_t i = idx(a), j = idx(b);
+    // Lower bounds of both.
+    std::vector<std::size_t> lbs;
+    for (std::size_t c = 0; c < elems.size(); ++c)
+        if (rel[c][i] && rel[c][j])
+            lbs.push_back(c);
+    // Greatest among them: an lb above all other lbs.
+    for (std::size_t c : lbs) {
+        bool greatest = true;
+        for (std::size_t d : lbs) {
+            if (!rel[d][c]) {
+                greatest = false;
+                break;
+            }
+        }
+        if (greatest)
+            return elems[c];
+    }
+    return {};
+}
+
+Poset
+makeCanonicalTerpPoset()
+{
+    Poset p;
+    p.add("thread-permission-control");
+    p.add("process-attach-detach");
+    p.add("user-level-acl");
+    p.order("thread-permission-control", "process-attach-detach");
+    p.order("process-attach-detach", "user-level-acl");
+    return p;
+}
+
+} // namespace semantics
+} // namespace terp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Definition 4 of the paper: a TERP poset — protection mechanisms
+ * partially ordered by strength.
+ *
+ * The Poset class is a small order-theory toolkit over named
+ * elements: it maintains the relation closed under transitivity,
+ * rejects antisymmetry violations, answers leq/comparable queries,
+ * computes the cover relation (Hasse diagram edges), and exports
+ * Graphviz. The TERP runtime uses a two-level instance
+ * (process-wide attach/detach above thread permission control) to
+ * implement "lowering" of constructs.
+ */
+
+#ifndef TERP_SEMANTICS_POSET_HH
+#define TERP_SEMANTICS_POSET_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace terp {
+namespace semantics {
+
+/** A finite partially ordered set over named elements. */
+class Poset
+{
+  public:
+    /** Add an element; returns its index. Idempotent per name. */
+    std::size_t add(const std::string &name);
+
+    /**
+     * Record lo <= hi and close transitively.
+     * @return false (and no change) if this would break antisymmetry.
+     */
+    bool order(const std::string &lo, const std::string &hi);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return elems.size(); }
+    const std::string &name(std::size_t i) const { return elems.at(i); }
+
+    /** Is a <= b in the partial order? (reflexive) */
+    bool leq(const std::string &a, const std::string &b) const;
+
+    /** Are a and b ordered either way? */
+    bool comparable(const std::string &a, const std::string &b) const;
+
+    /** Elements with nothing above them. */
+    std::vector<std::string> maximal() const;
+
+    /** Elements with nothing below them. */
+    std::vector<std::string> minimal() const;
+
+    /**
+     * Cover relation: pairs (lo, hi) with lo < hi and no element
+     * strictly between — the edges of the Hasse diagram (Fig 2).
+     */
+    std::vector<std::pair<std::string, std::string>> hasseEdges() const;
+
+    /** Graphviz dot of the Hasse diagram. */
+    std::string toDot(const std::string &graph_name = "terp_poset") const;
+
+    /**
+     * Greatest element <= both a and b, if a unique one exists
+     * (meet); empty string otherwise.
+     */
+    std::string meet(const std::string &a, const std::string &b) const;
+
+  private:
+    std::vector<std::string> elems;
+    std::map<std::string, std::size_t> index;
+    // rel[a][b] == true  <=>  a <= b (strictly below or equal).
+    std::vector<std::vector<bool>> rel;
+
+    std::size_t idx(const std::string &name) const;
+    bool leqIdx(std::size_t a, std::size_t b) const;
+};
+
+/**
+ * The canonical TERP poset used by the runtime: thread-level
+ * permission control below process-wide attach/detach (which is in
+ * turn below user/ACL-level protection).
+ */
+Poset makeCanonicalTerpPoset();
+
+} // namespace semantics
+} // namespace terp
+
+#endif // TERP_SEMANTICS_POSET_HH

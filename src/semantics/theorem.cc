@@ -1,0 +1,39 @@
+#include "semantics/theorem.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace semantics {
+
+Cycles
+maxStationaryExposure(const std::vector<StationaryWindow> &history)
+{
+    Cycles best = 0;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        TERP_ASSERT(history[i].end >= history[i].begin);
+        Cycles span = history[i].length();
+        // Coalesce with later windows that kept the same location:
+        // probing progress made in one window stays valid in the
+        // next if the region did not move.
+        std::size_t j = i;
+        while (j + 1 < history.size() &&
+               history[j + 1].location == history[j].location) {
+            ++j;
+            span += history[j].length();
+        }
+        best = std::max(best, span);
+    }
+    return best;
+}
+
+bool
+attackPrevented(const std::vector<StationaryWindow> &history,
+                Cycles attack_cycles)
+{
+    return maxStationaryExposure(history) < attack_cycles;
+}
+
+} // namespace semantics
+} // namespace terp

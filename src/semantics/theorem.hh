@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Theorem 6 of the paper — the temporal protection theorem: an
+ * attack that needs a memory region to be stationary and accessible
+ * for at least t time is prevented if every exposure window is
+ * shorter than t and the region's location changes before t elapses.
+ *
+ * This header provides a small checker used by the security tests to
+ * validate that a recorded exposure history satisfies the theorem's
+ * precondition for a given attack time.
+ */
+
+#ifndef TERP_SEMANTICS_THEOREM_HH
+#define TERP_SEMANTICS_THEOREM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace semantics {
+
+/** One span during which a region was accessible at a fixed address. */
+struct StationaryWindow
+{
+    Cycles begin;
+    Cycles end;
+    std::uint64_t location; //!< the region's base address in this span
+
+    Cycles length() const { return end - begin; }
+};
+
+/**
+ * Check the premise of Theorem 6: with attack time @p attack_cycles,
+ * the attack is prevented iff no single window is >= the attack time
+ * and consecutive windows never keep the same location (so progress
+ * cannot carry across windows).
+ */
+bool
+attackPrevented(const std::vector<StationaryWindow> &history,
+                Cycles attack_cycles);
+
+/**
+ * The longest stationary-and-accessible span in the history,
+ * coalescing adjacent windows that kept the same location.
+ */
+Cycles
+maxStationaryExposure(const std::vector<StationaryWindow> &history);
+
+} // namespace semantics
+} // namespace terp
+
+#endif // TERP_SEMANTICS_THEOREM_HH

@@ -1,0 +1,79 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace sim {
+
+Cache::Cache(std::uint64_t size_bytes, unsigned ways,
+             std::uint64_t line_bytes)
+    : nWays(ways)
+{
+    TERP_ASSERT(std::has_single_bit(line_bytes));
+    TERP_ASSERT(ways > 0);
+    lineShiftBits = static_cast<std::uint64_t>(
+        std::countr_zero(line_bytes));
+    nSets = size_bytes / (line_bytes * ways);
+    TERP_ASSERT(nSets > 0 && std::has_single_bit(nSets),
+                "cache geometry must give a power-of-two set count");
+    lines.assign(nSets * ways, Line{});
+}
+
+bool
+Cache::access(std::uint64_t paddr)
+{
+    const std::uint64_t line_addr = paddr >> lineShiftBits;
+    const std::uint64_t set_idx = line_addr & (nSets - 1);
+    const std::uint64_t tag = line_addr >> std::countr_zero(nSets);
+    Line *s = set(set_idx);
+    ++useClock;
+
+    Line *victim = &s[0];
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (s[w].valid && s[w].tag == tag) {
+            s[w].lru = useClock;
+            ++nHits;
+            return true;
+        }
+        if (!s[w].valid) {
+            victim = &s[w];
+        } else if (victim->valid && s[w].lru < victim->lru) {
+            victim = &s[w];
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = useClock;
+    ++nMisses;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines)
+        l.valid = false;
+}
+
+void
+Cache::invalidateRange(std::uint64_t lo, std::uint64_t hi)
+{
+    const std::uint64_t first_line = lo >> lineShiftBits;
+    const std::uint64_t last_line = (hi - 1) >> lineShiftBits;
+    for (std::uint64_t set_idx = 0; set_idx < nSets; ++set_idx) {
+        Line *s = set(set_idx);
+        for (unsigned w = 0; w < nWays; ++w) {
+            if (!s[w].valid)
+                continue;
+            std::uint64_t line_addr =
+                (s[w].tag << std::countr_zero(nSets)) | set_idx;
+            if (line_addr >= first_line && line_addr <= last_line)
+                s[w].valid = false;
+        }
+    }
+}
+
+} // namespace sim
+} // namespace terp

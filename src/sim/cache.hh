@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * The model tracks tags only (no data) and answers hit/miss queries;
+ * the Machine composes an L1D per core with a shared L2 and charges
+ * the Table II latencies.
+ */
+
+#ifndef TERP_SIM_CACHE_HH
+#define TERP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace sim {
+
+/** Tag-only set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity in bytes.
+     * @param ways       Associativity.
+     * @param line_bytes Line size in bytes (default 64).
+     */
+    Cache(std::uint64_t size_bytes, unsigned ways,
+          std::uint64_t line_bytes = lineSize);
+
+    /**
+     * Access one line by physical address.
+     * @return true on hit; on miss the line is filled.
+     */
+    bool access(std::uint64_t paddr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    /** Drop lines whose physical address falls in [lo, hi). */
+    void invalidateRange(std::uint64_t lo, std::uint64_t hi);
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t sets() const { return nSets; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0; //!< larger = more recently used
+    };
+
+    std::uint64_t lineShiftBits;
+    std::uint64_t nSets;
+    unsigned nWays;
+    std::vector<Line> lines; //!< nSets * nWays, row-major by set
+    std::uint64_t useClock = 0;
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+
+    Line *set(std::uint64_t idx) { return &lines[idx * nWays]; }
+};
+
+} // namespace sim
+} // namespace terp
+
+#endif // TERP_SIM_CACHE_HH

@@ -1,0 +1,56 @@
+#include "sim/tlb.hh"
+
+namespace terp {
+namespace sim {
+
+namespace {
+
+// Map a virtual address to a pseudo-address whose cache line is the
+// page number, so a Cache of N entries with line size 1<<lineShift
+// behaves as an N-entry TLB.
+std::uint64_t
+pageKey(std::uint64_t vaddr)
+{
+    return (vaddr >> pageShift) << lineShift;
+}
+
+} // namespace
+
+TlbHierarchy::TlbHierarchy()
+    // 64 entries, 4-way; 1536 entries, 6-way. Capacity in "bytes" is
+    // entries * lineSize for the tag-only Cache model. The L2 TLB is
+    // 1536 = 256 sets * 6 ways; 256 is a power of two so geometry is
+    // valid.
+    : l1(64 * lineSize, 4), l2(1536 * lineSize, 6)
+{
+}
+
+TlbResult
+TlbHierarchy::lookup(std::uint64_t vaddr)
+{
+    const std::uint64_t key = pageKey(vaddr);
+    if (l1.access(key))
+        return {TlbResult::Where::L1, latency::tlbL1};
+    if (l2.access(key))
+        return {TlbResult::Where::L2, latency::tlbL2};
+    ++nWalks;
+    return {TlbResult::Where::Walk,
+            latency::tlbL2 + latency::tlbMiss};
+}
+
+void
+TlbHierarchy::shootdownAll()
+{
+    l1.invalidateAll();
+    l2.invalidateAll();
+}
+
+void
+TlbHierarchy::shootdownRange(std::uint64_t lo, std::uint64_t hi)
+{
+    l1.invalidateRange(pageKey(lo), pageKey(hi - 1) + lineSize);
+    l2.invalidateRange(pageKey(lo), pageKey(hi - 1) + lineSize);
+}
+
+} // namespace sim
+} // namespace terp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Allocation-lifetime workloads for the Fig 8 study: the time from
+ * the last write to a heap object until its deallocation ("object
+ * dead time") is the window during which a data-only attack can
+ * cause persistent corruption, so its distribution sets the TEW
+ * target (95% of dead times are >= 2 us, hence TEW = 2 us).
+ *
+ * Thirteen profiles stand in for the paper's eight SPEC 2017 and
+ * five Heap Layers benchmarks: each drives a PMO allocator with its
+ * own allocation rate, write count and hold duration, and the dead
+ * times are measured in simulated cycles as the run executes.
+ */
+
+#ifndef TERP_WORKLOADS_ALLOC_HH
+#define TERP_WORKLOADS_ALLOC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace workloads {
+
+/** One benchmark profile for the dead-time study. */
+struct AllocProfile
+{
+    std::string name;
+    Cycles opCycles;           //!< mean work per application op
+    std::uint64_t allocEvery;  //!< ops between allocations
+    std::uint64_t useOpsMean;  //!< ops during which the object is
+                               //!< still written
+    std::uint64_t holdOpsMean; //!< extra ops until deallocation
+    std::uint64_t sizeMin;     //!< allocation size range
+    std::uint64_t sizeMax;
+};
+
+/** The thirteen profiles (8 SPEC-like + 5 HeapLayers-like). */
+const std::vector<AllocProfile> &allocProfiles();
+
+/**
+ * Run one profile and return the measured dead times (microseconds),
+ * one sample per freed object.
+ */
+std::vector<double> runAllocWorkload(const AllocProfile &profile,
+                                     std::uint64_t objects,
+                                     std::uint64_t seed);
+
+/**
+ * Dead times pooled over all profiles, as Fig 8 reports.
+ * @param objects_per_profile Samples per profile.
+ */
+std::vector<double> runAllAllocWorkloads(
+    std::uint64_t objects_per_profile, std::uint64_t seed);
+
+} // namespace workloads
+} // namespace terp
+
+#endif // TERP_WORKLOADS_ALLOC_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * WHISPER benchmark surrogates (Section VI of the paper): six
+ * persistent-memory applications — echo, ycsb, tpcc, ctree, hashmap,
+ * redis — each running transactions over a single 1 GB PMO with a
+ * single thread, as the paper's WHISPER evaluation does.
+ *
+ * Each workload implements its real data structure (log + index,
+ * record store, TPC-C-style tables, binary tree, chained hash map,
+ * dict + lists) over the PMO allocator and memory image, and marks
+ * two granularities of protection points:
+ *   - manual bookends around each transaction/batch (what a MERR
+ *     programmer writes; honored by the MM scheme), and
+ *   - region markers around each data-structure operation (where the
+ *     TERP compiler would insert CONDAT/CONDDT; honored by TM/TT).
+ */
+
+#ifndef TERP_WORKLOADS_WHISPER_HH
+#define TERP_WORKLOADS_WHISPER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/runtime.hh"
+#include "pm/mem_image.hh"
+#include "pm/pmo_manager.hh"
+#include "semantics/ew_tracker.hh"
+#include "sim/machine.hh"
+
+namespace terp {
+namespace workloads {
+
+/** Shared run parameters. */
+struct WhisperParams
+{
+    std::uint64_t sections = 400; //!< transactions / batches to run
+    std::uint64_t seed = 1234;
+    std::uint64_t pmoSize = 1 * GiB;
+    Cycles sweepPeriod = cyclesPerUs; //!< hardware sweep timer period
+};
+
+/** Result of one protected run. */
+struct RunResult
+{
+    std::string name;
+    core::OverheadReport report;
+    semantics::ExposureMetrics exposure;
+    Cycles totalCycles = 0;
+    std::uint64_t pmoCount = 1;
+};
+
+/** The six WHISPER workload names. */
+const std::vector<std::string> &whisperNames();
+
+/** Run one WHISPER workload under the given scheme. */
+RunResult runWhisper(const std::string &name,
+                     const core::RuntimeConfig &cfg,
+                     const WhisperParams &params = {});
+
+/**
+ * Overhead of a protected run relative to an unprotected run of the
+ * same workload/params: (protected - base) / base.
+ */
+double overheadVsBase(const RunResult &protected_run,
+                      const RunResult &base_run);
+
+} // namespace workloads
+} // namespace terp
+
+#endif // TERP_WORKLOADS_WHISPER_HH

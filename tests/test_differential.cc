@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Differential tests:
+ *
+ *  1. The production TT runtime against the EW-Conscious semantics
+ *     specification model: random multi-thread attach/detach/access
+ *     traces must agree on mapped state and access decisions.
+ *
+ *  2. Program-semantics preservation: a random program produces the
+ *     same results (return value and memory image) whether it runs
+ *     uninstrumented on an unprotected runtime or pass-instrumented
+ *     under full TERP — protection must never change what a correct
+ *     program computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "compiler/interp.hh"
+#include "compiler/pass.hh"
+#include "core/runtime.hh"
+#include "pm/pmo_manager.hh"
+#include "semantics/attach_semantics.hh"
+#include "sim/machine.hh"
+
+using namespace terp;
+
+// ------------------------------------------------ runtime vs model
+
+namespace {
+
+/** Drive the runtime and the spec model with one trace. */
+class DifferentialDriver
+{
+  public:
+    explicit DifferentialDriver(std::uint64_t seed)
+        : rng(seed), pmos(seed),
+          // Huge EW target so neither side closes windows on time —
+          // we compare the construct semantics, not the sweeps.
+          model(usToCycles(1e9)),
+          cfg(core::RuntimeConfig::tt(usToCycles(1e9)))
+    {
+        for (int i = 0; i < 3; ++i)
+            pmos.create("pmo" + std::to_string(i), 1 * MiB);
+        rt = std::make_unique<core::Runtime>(mach, pmos, cfg);
+        for (int t = 0; t < 4; ++t)
+            mach.spawnThread();
+    }
+
+    void
+    step()
+    {
+        unsigned tid = static_cast<unsigned>(rng.nextBelow(4));
+        auto pmo = static_cast<pm::PmoId>(1 + rng.nextBelow(3));
+        sim::ThreadContext &tc = mach.thread(tid);
+        tc.work(10);
+
+        switch (rng.nextBelow(3)) {
+          case 0: { // attach
+            if (open.count({tid, pmo}))
+                break; // both sides forbid same-thread overlap
+            semantics::Verdict v =
+                model.onAttach(tid, pmo, tc.now());
+            rt->regionBegin(tc, pmo, pm::Mode::ReadWrite);
+            open.insert({tid, pmo});
+            EXPECT_NE(v, semantics::Verdict::Invalid);
+            break;
+          }
+          case 1: { // detach
+            if (!open.count({tid, pmo}))
+                break;
+            model.onDetach(tid, pmo, tc.now());
+            rt->regionEnd(tc, pmo);
+            open.erase({tid, pmo});
+            break;
+          }
+          default: { // access
+            semantics::Verdict v =
+                model.onAccess(tid, pmo, tc.now(), true);
+            core::AccessOutcome o =
+                rt->tryAccess(tc, pm::Oid(pmo, 64), true);
+            if (v == semantics::Verdict::Valid) {
+                EXPECT_EQ(o, core::AccessOutcome::Ok)
+                    << "tid " << tid << " pmo " << pmo;
+            } else {
+                EXPECT_NE(o, core::AccessOutcome::Ok)
+                    << "tid " << tid << " pmo " << pmo;
+            }
+            break;
+          }
+        }
+
+        // Mapped state must agree at every step.
+        EXPECT_EQ(model.mapped(pmo), rt->mapped(pmo))
+            << "pmo " << pmo;
+    }
+
+    Rng rng;
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    semantics::EwConsciousSemantics model;
+    core::RuntimeConfig cfg;
+    std::unique_ptr<core::Runtime> rt;
+    std::set<std::pair<unsigned, pm::PmoId>> open;
+};
+
+} // namespace
+
+class RuntimeVsModelTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RuntimeVsModelTest, RandomTracesAgree)
+{
+    DifferentialDriver d(GetParam());
+    for (int i = 0; i < 1500; ++i)
+        d.step();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeVsModelTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------- protection preserves programs
+
+namespace {
+
+/** A random but deterministic program computing over PM and DRAM. */
+compiler::Module
+genComputation(std::uint64_t seed)
+{
+    using namespace compiler;
+    Rng rng(seed);
+    Module m;
+    FunctionBuilder b(m, "compute", 0);
+
+    // Accumulator in DRAM; data spread over two PMOs.
+    Reg acc = b.dramBase(0x20);
+    b.store(acc, b.constant(0));
+
+    unsigned loops = 2 + static_cast<unsigned>(rng.nextBelow(3));
+    for (unsigned l = 0; l < loops; ++l) {
+        auto pmo = static_cast<pm::PmoId>(1 + rng.nextBelow(2));
+        std::uint64_t stride = 8 * (1 + rng.nextBelow(16));
+        b.forLoop(8 + rng.nextBelow(24), [&](Reg i) {
+            Reg addr =
+                b.add(b.pmoBase(pmo, 0),
+                      b.mul(i, b.constant(
+                                   static_cast<std::int64_t>(stride))));
+            Reg v = b.load(addr);
+            Reg nv = b.add(v, b.add(i, b.constant(
+                                           static_cast<std::int64_t>(
+                                               l + 1))));
+            b.ifThenElse(
+                b.cmpLt(nv, b.constant(1000000)),
+                [&]() { b.store(addr, nv); },
+                [&]() { b.store(addr, b.constant(0)); });
+            b.store(acc, b.add(b.load(acc), nv));
+        });
+    }
+    b.ret(b.load(acc));
+    b.finish();
+    return m;
+}
+
+struct ProgramRun
+{
+    std::uint64_t result;
+    std::uint64_t pmoChecksum;
+};
+
+ProgramRun
+runProgram(compiler::Module &m, const core::RuntimeConfig &cfg,
+           std::uint64_t seed)
+{
+    sim::Machine mach;
+    pm::PmoManager pmos(seed);
+    pm::PmoId a = pmos.create("a", 1 * MiB).id();
+    pm::PmoId bb = pmos.create("b", 1 * MiB).id();
+    core::Runtime rt(mach, pmos, cfg);
+    pm::MemImage img;
+
+    // Deterministic initial PM content.
+    Rng content(seed ^ 0x1111);
+    for (int i = 0; i < 256; ++i) {
+        img.poke(pm::Oid(a, 8ULL * i).raw, content.nextBelow(100));
+        img.poke(pm::Oid(bb, 8ULL * i).raw, content.nextBelow(100));
+    }
+
+    compiler::Interpreter in(m, rt, mach, img, 0);
+    mach.spawnThread();
+    std::vector<sim::Job *> jobs{&in};
+    mach.run(jobs, [&](Cycles now) { rt.onSweep(now); });
+    rt.finalize();
+
+    ProgramRun r;
+    r.result = in.result();
+    r.pmoChecksum = 0;
+    for (int i = 0; i < 256; ++i) {
+        r.pmoChecksum =
+            r.pmoChecksum * 31 + img.peek(pm::Oid(a, 8ULL * i).raw);
+        r.pmoChecksum =
+            r.pmoChecksum * 31 + img.peek(pm::Oid(bb, 8ULL * i).raw);
+    }
+    return r;
+}
+
+} // namespace
+
+class ProtectionPreservesSemanticsTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ProtectionPreservesSemanticsTest,
+       InstrumentedTtMatchesUnprotected)
+{
+    std::uint64_t seed = GetParam();
+
+    compiler::Module plain = genComputation(seed);
+    ProgramRun base =
+        runProgram(plain, core::RuntimeConfig::unprotected(), seed);
+
+    compiler::Module prot = genComputation(seed);
+    compiler::runInsertionPass(prot, compiler::PassConfig{});
+    for (const auto &cfg :
+         {core::RuntimeConfig::tt(), core::RuntimeConfig::tm(),
+          core::RuntimeConfig::ttNoCombining()}) {
+        ProgramRun r = runProgram(prot, cfg, seed);
+        EXPECT_EQ(r.result, base.result) << cfg.describe();
+        EXPECT_EQ(r.pmoChecksum, base.pmoChecksum) << cfg.describe();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtectionPreservesSemanticsTest,
+                         ::testing::Range<std::uint64_t>(1, 11));

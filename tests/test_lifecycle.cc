@@ -1,0 +1,132 @@
+/**
+ * @file
+ * PMO lifecycle across process runs: persistence of data and
+ * namespace between simulated executions (the defining property of
+ * persistent memory objects), plus the Fig 5-style CFG dot export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/dot.hh"
+#include "compiler/pass.hh"
+#include "core/runtime.hh"
+#include "pm/mem_image.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+
+using namespace terp;
+
+TEST(Lifecycle, DataSurvivesProcessRestart)
+{
+    // "Persistent memory": the manager (namespace + physical
+    // storage) and the image (contents) outlive each process run;
+    // machines and runtimes do not.
+    pm::PmoManager pmos(11);
+    pm::MemImage image;
+    pm::PmoId id;
+
+    { // ---- run 1: create the PMO and write data -----------------
+        sim::Machine mach;
+        core::Runtime rt(mach, pmos, core::RuntimeConfig::tt());
+        sim::ThreadContext &tc = mach.spawnThread();
+
+        pm::Pmo &p = pmos.create("app.state", 4 * MiB);
+        id = p.id();
+        rt.regionBegin(tc, id, pm::Mode::ReadWrite);
+        for (int i = 0; i < 16; ++i) {
+            pm::Oid o(id, 0x100 + 64ULL * i);
+            rt.access(tc, o, true);
+            image.poke(o.raw, 7000 + i);
+        }
+        rt.regionEnd(tc, id);
+        rt.finalize();
+        pmos.resetMappings(); // process exit unmaps everything
+    }
+
+    EXPECT_FALSE(pmos.pmo(id).attached());
+
+    { // ---- run 2: reopen by name and read the data back ----------
+        sim::Machine mach;
+        core::Runtime rt(mach, pmos, core::RuntimeConfig::tt());
+        sim::ThreadContext &tc = mach.spawnThread();
+
+        pm::Pmo *p = pmos.open("app.state", pm::Mode::Read);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->id(), id);
+
+        rt.regionBegin(tc, id, pm::Mode::Read);
+        for (int i = 0; i < 16; ++i) {
+            pm::Oid o(id, 0x100 + 64ULL * i);
+            EXPECT_EQ(rt.tryAccess(tc, o, false),
+                      core::AccessOutcome::Ok);
+            EXPECT_EQ(image.peek(o.raw), 7000ULL + i);
+        }
+        rt.regionEnd(tc, id);
+        rt.finalize();
+    }
+}
+
+TEST(Lifecycle, FreshRunGetsFreshRandomizedPlacement)
+{
+    pm::PmoManager pmos(13);
+    pm::Pmo &p = pmos.create("x", 4 * MiB);
+    pmos.mapRandomized(p);
+    std::uint64_t base1 = p.vaddrBase();
+    pmos.resetMappings();
+    pmos.mapRandomized(p);
+    EXPECT_NE(p.vaddrBase(), base1); // new run, new location
+    EXPECT_EQ(p.mapCount, 2u);
+}
+
+TEST(Lifecycle, AllocatorStateSpansRuns)
+{
+    pm::PmoManager pmos(17);
+    pm::Pmo &p = pmos.create("heap", 1 * MiB);
+    pm::Oid a = pmos.allocator(p.id()).pmalloc(256);
+    pmos.resetMappings();
+    // A new run must not hand out the same block again.
+    pm::Oid b = pmos.allocator(p.id()).pmalloc(256);
+    EXPECT_NE(a, b);
+    pmos.allocator(p.id()).pfree(a);
+    pmos.allocator(p.id()).pfree(b);
+}
+
+// ------------------------------------------------------- dot export
+
+TEST(Dot, RendersShadedBlocksAndRegions)
+{
+    using namespace compiler;
+    Module m;
+    FunctionBuilder b(m, "viz", 1);
+    b.ifThenElse(
+        b.param(0),
+        [&]() { b.store(b.pmoBase(1, 0), b.constant(1)); },
+        [&]() { b.compute(3); });
+    b.ret();
+    b.finish();
+
+    PassResult pr = runInsertionPass(m, PassConfig{});
+    PmoFacts facts = PmoFacts::analyze(m);
+    std::string dot = cfgToDot(m.function(0), 0, facts, pr.regions);
+
+    EXPECT_NE(dot.find("digraph \"viz\""), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor=gray80"), std::string::npos);
+    EXPECT_NE(dot.find("cond op"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, MarksBackEdges)
+{
+    using namespace compiler;
+    Module m;
+    FunctionBuilder b(m, "loopy", 0);
+    b.forLoop(4, [&](Reg) { b.compute(2); });
+    b.ret();
+    b.finish();
+    PmoFacts facts = PmoFacts::analyze(m);
+    std::string dot = cfgToDot(m.function(0), 0, facts);
+    EXPECT_NE(dot.find("style=dashed, constraint=false"),
+              std::string::npos);
+}

@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Tests for the Algorithm-1 insertion pass, the protection verifier
+ * and the IR interpreter — including a property test that runs the
+ * pass over randomly generated structured programs and requires the
+ * strict verifier to accept every result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "compiler/interp.hh"
+#include "compiler/pass.hh"
+#include "compiler/verifier.hh"
+#include "core/runtime.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+
+using namespace terp;
+using namespace terp::compiler;
+
+namespace {
+
+/** Count instructions of one opcode across a module. */
+std::uint64_t
+countOps(const Module &m, Op op)
+{
+    std::uint64_t n = 0;
+    for (const Function &f : m.functions)
+        for (const BasicBlock &bb : f.blocks)
+            for (const Instr &in : bb.instrs)
+                if (in.op == op)
+                    ++n;
+    return n;
+}
+
+bool
+verifiesStrict(const Module &m)
+{
+    PmoFacts facts = PmoFacts::analyze(m);
+    return verifyModule(m, facts, true).ok;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ verifier
+
+TEST(Verifier, AcceptsWellFormedPairs)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.condAttach(1);
+    b.store(b.pmoBase(1, 0), b.constant(5));
+    b.condDetach(1);
+    b.ret();
+    b.finish();
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Verifier, RejectsUnprotectedAccess)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.store(b.pmoBase(1, 0), b.constant(5));
+    b.ret();
+    b.finish();
+    PmoFacts facts = PmoFacts::analyze(m);
+    VerifyResult r = verifyModule(m, facts, true);
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_NE(r.errors[0].find("unprotected access"),
+              std::string::npos);
+}
+
+TEST(Verifier, RejectsDetachWithoutAttach)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.condDetach(1);
+    b.ret();
+    b.finish();
+    EXPECT_FALSE(verifiesStrict(m));
+}
+
+TEST(Verifier, RejectsOpenPairAtReturn)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.condAttach(1);
+    b.ret();
+    b.finish();
+    EXPECT_FALSE(verifiesStrict(m));
+}
+
+TEST(Verifier, RejectsSameThreadOverlapInStrictMode)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.condAttach(1);
+    b.condAttach(1);
+    b.condDetach(1);
+    b.condDetach(1);
+    b.ret();
+    b.finish();
+    PmoFacts facts = PmoFacts::analyze(m);
+    EXPECT_FALSE(verifyModule(m, facts, true).ok);
+    // Tolerant mode (function composability) accepts nesting.
+    EXPECT_TRUE(verifyModule(m, facts, false).ok);
+}
+
+TEST(Verifier, RejectsInconsistentJoinStates)
+{
+    // Attach on one branch only: the join sees conflicting states.
+    Module m;
+    FunctionBuilder b(m, "f", 1);
+    b.ifThenElse(
+        b.param(0), [&]() { b.condAttach(1); }, [&]() {});
+    b.condDetach(1);
+    b.ret();
+    b.finish();
+    EXPECT_FALSE(verifiesStrict(m));
+}
+
+TEST(Verifier, PmoFilterScopesTheCheck)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.store(b.pmoBase(2, 0), b.constant(1)); // unprotected pmo2
+    b.ret();
+    b.finish();
+    PmoFacts facts = PmoFacts::analyze(m);
+    // Checking only pmo 1 ignores the pmo-2 violation.
+    EXPECT_TRUE(
+        verifyProtection(m.function(0), 0, facts, true, pmoBit(1)).ok);
+    EXPECT_FALSE(
+        verifyProtection(m.function(0), 0, facts, true, pmoBit(2)).ok);
+}
+
+// ---------------------------------------------------------------- pass
+
+TEST(Pass, StraightLineGetsOnePair)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.compute(10);
+    Reg p = b.pmoBase(1, 0);
+    b.store(p, b.constant(1));
+    b.store(b.add(p, b.constant(64)), b.constant(2));
+    b.compute(10);
+    b.ret();
+    b.finish();
+
+    PassResult r = runInsertionPass(m, PassConfig{});
+    EXPECT_EQ(r.condAttach, 1u);
+    EXPECT_EQ(r.condDetach, 1u);
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Pass, LoopBodyGetsPerIterationPair)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    // Unknown trip count -> LET assumes 1000 iterations, far beyond
+    // the TEW threshold, so pairs live inside the body.
+    b.forLoop(
+        50,
+        [&](Reg i) {
+            Reg addr =
+                b.add(b.pmoBase(1, 0), b.mul(i, b.constant(64)));
+            b.store(addr, i);
+        },
+        false);
+    b.ret();
+    b.finish();
+
+    runInsertionPass(m, PassConfig{});
+    EXPECT_TRUE(verifiesStrict(m));
+    // The pair must be in the loop body (executed per iteration),
+    // not hoisted above the header.
+    const Function &f = m.function(0);
+    bool attach_in_body = false;
+    PmoFacts facts = PmoFacts::analyze(m);
+    Analysis an(f, facts.blockMasks(0));
+    for (BlockId bb = 0; bb < f.blockCount(); ++bb) {
+        for (const Instr &in : f.block(bb).instrs) {
+            if (in.op == Op::CondAttach) {
+                // Some loop header must dominate the attach block.
+                for (BlockId h = 0; h < f.blockCount(); ++h) {
+                    if (an.isLoopHeader(h) && an.dominates(h, bb))
+                        attach_in_body = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(attach_in_body);
+}
+
+TEST(Pass, MultiplePmosGetIndependentPairs)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.store(b.pmoBase(1, 0), b.constant(1));
+    b.compute(5);
+    b.store(b.pmoBase(2, 0), b.constant(2));
+    b.ret();
+    b.finish();
+
+    PassResult r = runInsertionPass(m, PassConfig{});
+    EXPECT_EQ(r.condAttach, 2u);
+    EXPECT_EQ(r.condDetach, 2u);
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Pass, CallsActAsPairBarriers)
+{
+    Module m;
+    std::uint32_t leaf;
+    {
+        FunctionBuilder lb(m, "leaf", 0);
+        lb.store(lb.pmoBase(1, 128), lb.constant(9));
+        lb.ret();
+        leaf = lb.finish();
+    }
+    FunctionBuilder b(m, "f", 0);
+    b.store(b.pmoBase(1, 0), b.constant(1));
+    b.call(leaf);
+    b.store(b.pmoBase(1, 64), b.constant(2));
+    b.ret();
+    b.finish();
+
+    PassResult r = runInsertionPass(m, PassConfig{});
+    // Both caller segments and the callee get their own pairs, so
+    // pairs never dynamically nest across the call.
+    EXPECT_GE(r.condAttach, 3u);
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Pass, BranchyAccessesVerify)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 1);
+    b.ifThenElse(
+        b.param(0),
+        [&]() { b.store(b.pmoBase(1, 0), b.constant(1)); },
+        [&]() { b.store(b.pmoBase(1, 64), b.constant(2)); });
+    b.ret();
+    b.finish();
+
+    runInsertionPass(m, PassConfig{});
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Pass, EntranceExitModeWithZeroTew)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.compute(4);
+    b.store(b.pmoBase(1, 0), b.constant(1));
+    b.compute(4);
+    b.ret();
+    b.finish();
+
+    PassConfig cfg;
+    cfg.tewLetThreshold = 0; // Algorithm 1 line 15
+    PassResult r = runInsertionPass(m, cfg);
+    EXPECT_GE(r.condAttach, 1u);
+    EXPECT_TRUE(verifiesStrict(m));
+}
+
+TEST(Pass, ReportsWfgRegions)
+{
+    Module m;
+    FunctionBuilder b(m, "f", 0);
+    b.store(b.pmoBase(1, 0), b.constant(1));
+    b.ret();
+    b.finish();
+    PassResult r = runInsertionPass(m, PassConfig{});
+    ASSERT_EQ(r.regions.size(), 1u);
+    EXPECT_EQ(r.regions[0].pmoMask, pmoBit(1));
+    EXPECT_GT(r.regions[0].let, 0u);
+}
+
+// ------------------------------------------ property: random programs
+
+namespace {
+
+/** Generate a random structured program with PMO accesses. */
+void
+genBody(FunctionBuilder &b, Rng &rng, int depth)
+{
+    int stmts = 1 + static_cast<int>(rng.nextBelow(4));
+    for (int i = 0; i < stmts; ++i) {
+        switch (rng.nextBelow(depth > 2 ? 3 : 5)) {
+          case 0:
+            b.compute(1 + rng.nextBelow(20));
+            break;
+          case 1: { // PMO access burst
+            pm::PmoId p = 1 + static_cast<pm::PmoId>(rng.nextBelow(3));
+            Reg base = b.pmoBase(p, 0);
+            unsigned n = 1 + static_cast<unsigned>(rng.nextBelow(3));
+            for (unsigned k = 0; k < n; ++k) {
+                Reg addr = b.add(
+                    base, b.constant(static_cast<std::int64_t>(
+                              64 * rng.nextBelow(64))));
+                if (rng.nextBool(0.5))
+                    b.load(addr);
+                else
+                    b.store(addr, b.constant(1));
+            }
+            break;
+          }
+          case 2: { // DRAM access
+            b.load(b.dramBase(
+                static_cast<std::int64_t>(8 * rng.nextBelow(100))));
+            break;
+          }
+          case 3: { // if/else
+            Reg c = b.cmpLt(b.constant(0),
+                            b.constant(static_cast<std::int64_t>(
+                                rng.nextBelow(2))));
+            if (rng.nextBool(0.5)) {
+                b.ifThenElse(
+                    c, [&]() { genBody(b, rng, depth + 1); },
+                    [&]() { genBody(b, rng, depth + 1); });
+            } else {
+                b.ifThenElse(c,
+                             [&]() { genBody(b, rng, depth + 1); });
+            }
+            break;
+          }
+          default: { // loop (sometimes unknown-bound)
+            bool known = rng.nextBool(0.7);
+            b.forLoop(
+                1 + rng.nextBelow(8),
+                [&](Reg) { genBody(b, rng, depth + 1); }, known);
+            break;
+          }
+        }
+    }
+}
+
+Module
+genProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Module m;
+    FunctionBuilder b(m, "random", 0);
+    genBody(b, rng, 0);
+    b.ret();
+    b.finish();
+    return m;
+}
+
+} // namespace
+
+class PassPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PassPropertyTest, RandomProgramsVerifyAfterInsertion)
+{
+    Module m = genProgram(GetParam());
+    PassResult r = runInsertionPass(m, PassConfig{});
+    PmoFacts facts = PmoFacts::analyze(m);
+    VerifyResult v = verifyModule(m, facts, true);
+    EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors[0]);
+    EXPECT_EQ(r.condAttach, countOps(m, Op::CondAttach));
+    EXPECT_EQ(r.condDetach, countOps(m, Op::CondDetach));
+    EXPECT_EQ(r.condAttach, r.condDetach);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// --------------------------------------------------------- interpreter
+
+namespace {
+
+struct InterpRig
+{
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    pm::PmoId pmo;
+    std::unique_ptr<core::Runtime> rt;
+    MemoryImage img;
+
+    explicit InterpRig(
+        const core::RuntimeConfig &cfg =
+            core::RuntimeConfig::unprotected())
+        : pmos(3)
+    {
+        pmo = pmos.create("interp", 4 * MiB).id();
+        rt = std::make_unique<core::Runtime>(mach, pmos, cfg);
+    }
+
+    std::uint64_t
+    run(const Module &m, std::uint32_t entry,
+        std::vector<std::uint64_t> args = {})
+    {
+        Interpreter in(m, *rt, mach, img, entry, std::move(args));
+        mach.spawnThread();
+        std::vector<sim::Job *> jobs{&in};
+        mach.run(jobs, [&](Cycles now) { rt->onSweep(now); });
+        rt->finalize();
+        return in.result();
+    }
+};
+
+} // namespace
+
+TEST(Interp, ArithmeticAndControlFlow)
+{
+    Module m;
+    FunctionBuilder b(m, "sum", 1);
+    // sum 0..n-1 via a loop with a memory accumulator.
+    Reg acc = b.dramBase(0x40);
+    b.store(acc, b.constant(0));
+    b.forLoop(10, [&](Reg i) {
+        Reg cur = b.load(acc);
+        b.store(acc, b.add(cur, i));
+    });
+    b.ret(b.load(acc));
+    b.finish();
+
+    InterpRig rig;
+    EXPECT_EQ(rig.run(m, 0), 45u);
+}
+
+TEST(Interp, BranchesPickCorrectArm)
+{
+    Module m;
+    FunctionBuilder b(m, "max", 2);
+    Reg out = b.dramBase(0x80);
+    Reg c = b.cmpLt(b.param(0), b.param(1));
+    b.ifThenElse(
+        c, [&]() { b.store(out, b.param(1)); },
+        [&]() { b.store(out, b.param(0)); });
+    b.ret(b.load(out));
+    b.finish();
+
+    InterpRig rig;
+    EXPECT_EQ(rig.run(m, 0, {3, 9}), 9u);
+    InterpRig rig2;
+    EXPECT_EQ(rig2.run(m, 0, {12, 9}), 12u);
+}
+
+TEST(Interp, CallsPassArgsAndReturnValues)
+{
+    Module m;
+    std::uint32_t sq;
+    {
+        FunctionBuilder f(m, "sq", 1);
+        f.ret(f.mul(f.param(0), f.param(0)));
+        sq = f.finish();
+    }
+    FunctionBuilder b(m, "main", 0);
+    Reg r = b.call(sq, {b.constant(7)});
+    b.ret(r);
+    b.finish();
+
+    InterpRig rig;
+    EXPECT_EQ(rig.run(m, 1), 49u);
+}
+
+TEST(Interp, PmoMemoryIsPersistentAcrossRuns)
+{
+    Module writer;
+    {
+        FunctionBuilder b(writer, "w", 0);
+        b.condAttach(1);
+        b.store(b.pmoBase(1, 256), b.constant(1234));
+        b.condDetach(1);
+        b.ret();
+        b.finish();
+    }
+    Module reader;
+    {
+        FunctionBuilder b(reader, "r", 0);
+        b.condAttach(1);
+        Reg v = b.load(b.pmoBase(1, 256));
+        b.condDetach(1);
+        b.ret(v);
+        b.finish();
+    }
+
+    InterpRig rig(core::RuntimeConfig::tt());
+    rig.run(writer, 0);
+    // Second "run" reuses the same image: data survived. Stepped
+    // manually on a fresh thread (the first one already finished).
+    Interpreter in(reader, *rig.rt, rig.mach, rig.img, 0);
+    sim::ThreadContext &tc = rig.mach.spawnThread();
+    while (in.step(tc)) {
+    }
+    EXPECT_EQ(in.result(), 1234u);
+}
+
+TEST(Interp, InstrumentedProgramRunsUnderTtWithoutFaults)
+{
+    Module m;
+    FunctionBuilder b(m, "k", 0);
+    b.forLoop(100, [&](Reg i) {
+        Reg addr = b.add(b.pmoBase(1, 0), b.mul(i, b.constant(64)));
+        b.store(addr, i);
+        Reg v = b.load(addr);
+        b.store(b.dramBase(0x10), v);
+    });
+    b.ret();
+    b.finish();
+    runInsertionPass(m, PassConfig{});
+
+    InterpRig rig(core::RuntimeConfig::tt());
+    Interpreter in(m, *rig.rt, rig.mach, rig.img, 0);
+    rig.mach.spawnThread();
+    std::vector<sim::Job *> jobs{&in};
+    rig.mach.run(jobs,
+                 [&](Cycles now) { rig.rt->onSweep(now); });
+    EXPECT_EQ(in.faultCount(), 0u);
+    // The stored values really landed in PMO storage.
+    EXPECT_EQ(rig.img.peek(pm::Oid(rig.pmo, 99 * 64).raw), 99u);
+}
+
+TEST(Interp, UnprotectedAccessToPmoFaultsWhenTrapped)
+{
+    Module m;
+    FunctionBuilder b(m, "bad", 0);
+    // No condAttach: under TT this access has no permission.
+    b.store(b.pmoBase(1, 0), b.constant(1));
+    b.ret();
+    b.finish();
+
+    InterpRig rig(core::RuntimeConfig::tt());
+    Interpreter in(m, *rig.rt, rig.mach, rig.img, 0);
+    in.trapFaults = true;
+    rig.mach.spawnThread();
+    std::vector<sim::Job *> jobs{&in};
+    rig.mach.run(jobs);
+    EXPECT_EQ(in.faultCount(), 1u);
+    EXPECT_EQ(rig.img.peek(pm::Oid(rig.pmo, 0).raw), 0u); // blocked
+}
+
+TEST(Interp, DivisionByZeroYieldsZero)
+{
+    Module m;
+    FunctionBuilder b(m, "d", 2);
+    b.ret(b.arith(Op::Div, b.param(0), b.param(1)));
+    b.finish();
+    InterpRig rig;
+    EXPECT_EQ(rig.run(m, 0, {10, 0}), 0u);
+}
+
+TEST(Interp, ChargesSimulatedTime)
+{
+    Module m;
+    FunctionBuilder b(m, "t", 0);
+    b.compute(1000);
+    b.ret();
+    b.finish();
+    InterpRig rig;
+    rig.run(m, 0);
+    // ~1001 instructions at CPI 0.5.
+    EXPECT_NEAR(
+        static_cast<double>(rig.mach.thread(0).now()), 500.0, 30.0);
+}

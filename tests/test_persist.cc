@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the crash-consistency substrate: persistence ordering
+ * (store -> CLWB -> SFENCE), crash/recovery behaviour, the undo-log
+ * transaction protocol, the watch-register alternative hardware
+ * design, and a property test crashing transactions at random points
+ * and requiring atomicity after recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/watch_regs.hh"
+#include "common/rng.hh"
+#include "pm/persist.hh"
+#include "sim/thread.hh"
+
+using namespace terp;
+using namespace terp::pm;
+
+namespace {
+
+sim::ThreadContext
+makeTc()
+{
+    return sim::ThreadContext(0, 0);
+}
+
+} // namespace
+
+// ------------------------------------------------ persist controller
+
+TEST(Persist, StoreVisibleButNotDurable)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    Oid a(1, 0x100);
+    ctl.store(a, 42);
+    EXPECT_EQ(ctl.load(a), 42u);
+    EXPECT_EQ(ctl.persistedLoad(a), 0u);
+    ctl.crash();
+    EXPECT_EQ(ctl.load(a), 0u); // lost with power
+    (void)tc;
+}
+
+TEST(Persist, ClwbAloneIsNotDurable)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    Oid a(1, 0x100);
+    ctl.store(a, 42);
+    ctl.clwb(tc, a);
+    // Write-back issued but not fenced: a crash may still lose it.
+    ctl.crash();
+    EXPECT_EQ(ctl.load(a), 0u);
+}
+
+TEST(Persist, ClwbPlusFenceIsDurable)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    Oid a(1, 0x100);
+    ctl.store(a, 42);
+    ctl.clwb(tc, a);
+    ctl.sfence(tc);
+    EXPECT_EQ(ctl.persistedLoad(a), 42u);
+    ctl.crash();
+    EXPECT_EQ(ctl.load(a), 42u); // survived
+}
+
+TEST(Persist, ClwbCoversWholeLine)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    Oid a(1, 0x100), b(1, 0x108); // same 64-byte line
+    ctl.store(a, 1);
+    ctl.store(b, 2);
+    ctl.clwb(tc, a); // one CLWB drains both words
+    ctl.sfence(tc);
+    ctl.crash();
+    EXPECT_EQ(ctl.load(a), 1u);
+    EXPECT_EQ(ctl.load(b), 2u);
+}
+
+TEST(Persist, LinesAreIndependent)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    Oid a(1, 0x100), b(1, 0x200); // different lines
+    ctl.store(a, 1);
+    ctl.store(b, 2);
+    ctl.clwb(tc, a);
+    ctl.sfence(tc);
+    ctl.crash();
+    EXPECT_EQ(ctl.load(a), 1u);
+    EXPECT_EQ(ctl.load(b), 0u); // never written back
+}
+
+TEST(Persist, FenceCostScalesWithPendingLines)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    for (int i = 0; i < 8; ++i) {
+        Oid o(1, 0x1000 + 64ULL * i);
+        ctl.store(o, i);
+        ctl.clwb(tc, o);
+    }
+    Cycles before = tc.now();
+    ctl.sfence(tc);
+    EXPECT_GE(tc.now() - before,
+              8 * PersistController::drainCostPerLine);
+}
+
+// ------------------------------------------------------- undo log
+
+TEST(UndoLog, CommittedTransactionSurvivesCrash)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+    Oid x(1, 0x100), y(1, 0x200);
+    ctl.persistentStore(tc, x, 10);
+    ctl.persistentStore(tc, y, 20);
+    ctl.sfence(tc);
+
+    log.begin(tc);
+    log.write(tc, x, 11);
+    log.write(tc, y, 21);
+    log.commit(tc);
+
+    ctl.crash();
+    log.recover(tc);
+    EXPECT_EQ(ctl.load(x), 11u);
+    EXPECT_EQ(ctl.load(y), 21u);
+}
+
+TEST(UndoLog, UncommittedTransactionRollsBack)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+    Oid x(1, 0x100), y(1, 0x200);
+    ctl.persistentStore(tc, x, 10);
+    ctl.persistentStore(tc, y, 20);
+    ctl.sfence(tc);
+
+    log.begin(tc);
+    log.write(tc, x, 11);
+    log.write(tc, y, 21);
+    // Crash before commit.
+    ctl.crash();
+    log.recover(tc);
+    EXPECT_EQ(ctl.load(x), 10u);
+    EXPECT_EQ(ctl.load(y), 20u);
+}
+
+TEST(UndoLog, NestedBeginPanics)
+{
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+    log.begin(tc);
+    EXPECT_THROW(log.begin(tc), std::logic_error);
+}
+
+class UndoLogCrashPointTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UndoLogCrashPointTest, TransactionsAreAtomicAtAnyCrashPoint)
+{
+    // Run a sequence of transactions, crash after a random number of
+    // transactional writes, recover, and require that every cell
+    // reflects a prefix of COMMITTED transactions only (all-or-
+    // nothing per transaction).
+    Rng rng(GetParam());
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+
+    constexpr int nCells = 8;
+    std::vector<std::uint64_t> committed(nCells, 0);
+    for (int c = 0; c < nCells; ++c) {
+        ctl.persistentStore(tc, Oid(1, 0x100 + 64ULL * c), 0);
+    }
+    ctl.sfence(tc);
+
+    std::uint64_t ops_until_crash = 1 + rng.nextBelow(40);
+    bool crashed = false;
+    for (int txn = 1; txn <= 10 && !crashed; ++txn) {
+        log.begin(tc);
+        std::vector<std::uint64_t> staged = committed;
+        unsigned writes = 1 + static_cast<unsigned>(rng.nextBelow(4));
+        for (unsigned w = 0; w < writes; ++w) {
+            int cell = static_cast<int>(rng.nextBelow(nCells));
+            staged[cell] = static_cast<std::uint64_t>(txn) * 100 + w;
+            log.write(tc, Oid(1, 0x100 + 64ULL * cell),
+                      staged[cell]);
+            if (--ops_until_crash == 0) {
+                ctl.crash();
+                crashed = true;
+                break;
+            }
+        }
+        if (!crashed) {
+            log.commit(tc);
+            committed = staged;
+        }
+    }
+
+    if (crashed) {
+        log.recover(tc);
+        for (int c = 0; c < nCells; ++c) {
+            EXPECT_EQ(ctl.load(Oid(1, 0x100 + 64ULL * c)),
+                      committed[c])
+                << "cell " << c;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoLogCrashPointTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// -------------------------------------------------- watch registers
+
+TEST(WatchRegs, EquivalentToConditionalInstructions)
+{
+    // The same call pattern through the watch-register front end and
+    // through direct CONDAT/CONDDT must produce identical case
+    // sequences and identical syscall decisions.
+    arch::CircularBuffer cb_instr, cb_watch;
+    arch::WatchRegisterFile wrf;
+    const std::uint64_t attach_pc = 0x400100, detach_pc = 0x400200;
+    ASSERT_TRUE(wrf.watchAttach(attach_pc, 1, pm::Mode::ReadWrite));
+    ASSERT_TRUE(wrf.watchDetach(detach_pc, 1));
+
+    Cycles t = 0;
+    for (int i = 0; i < 50; ++i) {
+        t += 500;
+        arch::CondAttachCase ai = cb_instr.condAttach(1, t);
+        arch::InterceptResult aw =
+            wrf.onFetch(attach_pc, cb_watch, t, 40000);
+        ASSERT_TRUE(aw.intercepted);
+        EXPECT_EQ(ai, aw.attachCase.value());
+        EXPECT_EQ(aw.performCall,
+                  ai == arch::CondAttachCase::FirstAttach);
+
+        t += 500;
+        arch::CondDetachCase di = cb_instr.condDetach(1, t, 40000);
+        arch::InterceptResult dw =
+            wrf.onFetch(detach_pc, cb_watch, t, 40000);
+        ASSERT_TRUE(dw.intercepted);
+        EXPECT_EQ(di, dw.detachCase.value());
+        EXPECT_EQ(dw.performCall,
+                  di == arch::CondDetachCase::FullDetach);
+    }
+    EXPECT_EQ(cb_instr.stats().silentFraction(),
+              cb_watch.stats().silentFraction());
+}
+
+TEST(WatchRegs, UnwatchedPcPassesThrough)
+{
+    arch::CircularBuffer cb;
+    arch::WatchRegisterFile wrf;
+    wrf.watchAttach(0x400100, 1, pm::Mode::ReadWrite);
+    arch::InterceptResult r = wrf.onFetch(0x999999, cb, 0, 1000);
+    EXPECT_FALSE(r.intercepted);
+}
+
+TEST(WatchRegs, CapacityBounded)
+{
+    arch::WatchRegisterFile wrf;
+    for (unsigned i = 0; i < arch::WatchRegisterFile::capacity; ++i)
+        EXPECT_TRUE(wrf.watchAttach(0x1000 + i, 1 + i % 3,
+                                    pm::Mode::Read));
+    EXPECT_FALSE(wrf.watchAttach(0x9999, 1, pm::Mode::Read));
+    wrf.unwatch(0x1000);
+    EXPECT_TRUE(wrf.watchDetach(0x9999, 1));
+}

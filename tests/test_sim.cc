@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for src/sim: cache, TLB, thread contexts and the
+ * machine scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/thread.hh"
+#include "sim/tlb.hh"
+
+using namespace terp;
+using namespace terp::sim;
+
+// -------------------------------------------------------------- cache
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(4 * KiB, 4);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1020)); // same 64B line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Direct construct a tiny cache: 2 sets x 2 ways of 64B lines.
+    Cache c(256, 2);
+    ASSERT_EQ(c.sets(), 2u);
+    // Three distinct lines mapping to set 0: line addrs 0, 2, 4.
+    EXPECT_FALSE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64));
+    EXPECT_FALSE(c.access(4 * 64)); // evicts line 0
+    EXPECT_FALSE(c.access(0 * 64)); // line 0 gone
+    EXPECT_TRUE(c.access(4 * 64));  // line 4 retained
+}
+
+TEST(Cache, LruRefreshOnHit)
+{
+    Cache c(256, 2);
+    c.access(0 * 64);
+    c.access(2 * 64);
+    c.access(0 * 64);       // refresh line 0
+    c.access(4 * 64);       // evicts line 2, not line 0
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(4 * KiB, 4);
+    c.access(0x0);
+    c.access(0x40);
+    c.invalidateAll();
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x40));
+}
+
+TEST(Cache, InvalidateRangeIsSelective)
+{
+    Cache c(64 * KiB, 8);
+    c.access(0x1000);
+    c.access(0x8000);
+    c.invalidateRange(0x0, 0x4000);
+    EXPECT_FALSE(c.access(0x1000)); // invalidated
+    EXPECT_TRUE(c.access(0x8000));  // untouched
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    // 3 sets is not a power of two.
+    EXPECT_THROW(Cache(3 * 64 * 2, 2), std::logic_error);
+}
+
+struct CacheGeometry
+{
+    std::uint64_t size;
+    unsigned ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(CacheGeometryTest, FillsToCapacityWithoutConflict)
+{
+    auto [size, ways] = GetParam();
+    Cache c(size, ways);
+    const std::uint64_t lines = size / lineSize;
+    // Sequential fill touches each line once: all misses.
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_FALSE(c.access(i * lineSize));
+    // Re-touch: all hits (LRU never evicted within capacity).
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * lineSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(CacheGeometry{4 * KiB, 2},
+                      CacheGeometry{32 * KiB, 8},
+                      CacheGeometry{1 * MiB, 16},
+                      CacheGeometry{64 * KiB, 1}));
+
+// ---------------------------------------------------------------- tlb
+
+TEST(Tlb, MissCostsWalkThenHitsL1)
+{
+    TlbHierarchy t;
+    TlbResult r = t.lookup(0x10000);
+    EXPECT_EQ(r.where, TlbResult::Where::Walk);
+    EXPECT_EQ(r.cycles, latency::tlbL2 + latency::tlbMiss);
+    r = t.lookup(0x10008); // same page
+    EXPECT_EQ(r.where, TlbResult::Where::L1);
+    EXPECT_EQ(t.walkCount(), 1u);
+}
+
+TEST(Tlb, L2CatchesL1Evictions)
+{
+    TlbHierarchy t;
+    // Fill well past the 64-entry L1 but within the 1536-entry L2.
+    for (std::uint64_t p = 0; p < 512; ++p)
+        t.lookup(p * pageSize);
+    // The first page fell out of L1 but should be in L2.
+    TlbResult r = t.lookup(0);
+    EXPECT_EQ(r.where, TlbResult::Where::L2);
+}
+
+TEST(Tlb, ShootdownRangeForcesRewalk)
+{
+    TlbHierarchy t;
+    t.lookup(0x4000);
+    t.lookup(0x400000);
+    t.shootdownRange(0x0, 0x10000);
+    EXPECT_EQ(t.lookup(0x4000).where, TlbResult::Where::Walk);
+    EXPECT_EQ(t.lookup(0x400000).where, TlbResult::Where::L1);
+}
+
+TEST(Tlb, ShootdownAll)
+{
+    TlbHierarchy t;
+    t.lookup(0x4000);
+    t.shootdownAll();
+    EXPECT_EQ(t.lookup(0x4000).where, TlbResult::Where::Walk);
+}
+
+// ------------------------------------------------------------- thread
+
+TEST(Thread, ChargeAccumulatesPerCategory)
+{
+    ThreadContext tc(0, 0);
+    tc.work(100);
+    tc.charge(Charge::Attach, 50);
+    tc.charge(Charge::Cond, 7);
+    EXPECT_EQ(tc.now(), 157u);
+    EXPECT_EQ(tc.charged(Charge::Work), 100u);
+    EXPECT_EQ(tc.charged(Charge::Attach), 50u);
+    EXPECT_EQ(tc.overheadTotal(), 57u);
+}
+
+TEST(Thread, SyncToOnlyMovesForward)
+{
+    ThreadContext tc(0, 0);
+    tc.work(100);
+    tc.syncTo(150, Charge::Rand);
+    EXPECT_EQ(tc.now(), 150u);
+    EXPECT_EQ(tc.charged(Charge::Rand), 50u);
+    tc.syncTo(120, Charge::Rand); // no-op: in the past
+    EXPECT_EQ(tc.now(), 150u);
+}
+
+TEST(Thread, BlockUnblock)
+{
+    ThreadContext tc(3, 1);
+    EXPECT_FALSE(tc.blocked());
+    tc.blockOn(77);
+    EXPECT_TRUE(tc.blocked());
+    EXPECT_EQ(tc.blockToken(), 77u);
+    EXPECT_THROW(tc.blockOn(78), std::logic_error); // double block
+    tc.unblock();
+    EXPECT_FALSE(tc.blocked());
+}
+
+// ------------------------------------------------------------ machine
+
+namespace {
+
+/** Job performing fixed work per step for a given number of steps. */
+class WorkJob : public Job
+{
+  public:
+    WorkJob(Cycles per_step, int steps) : per(per_step), left(steps) {}
+
+    bool
+    step(ThreadContext &tc) override
+    {
+        tc.work(per);
+        return --left > 0;
+    }
+
+    Cycles per;
+    int left;
+};
+
+} // namespace
+
+TEST(Machine, ExecuteHonoursCpiWithCarry)
+{
+    Machine m;
+    ThreadContext &tc = m.spawnThread();
+    m.execute(tc, 1); // 0.5 cycles: carried, not lost
+    m.execute(tc, 1);
+    EXPECT_EQ(tc.now(), 1u);
+    m.execute(tc, 100);
+    EXPECT_EQ(tc.now(), 51u);
+}
+
+TEST(Machine, ColdNvmAccessCostsFullLatency)
+{
+    Machine m;
+    ThreadContext &tc = m.spawnThread();
+    MemAccess a{0x100000, 0x200000, false, MemKind::Nvm};
+    Cycles c = m.access(tc, a);
+    // walk (4+30) + L1 miss (1) + L2 miss (8) + NVM (360)
+    EXPECT_EQ(c, latency::tlbL2 + latency::tlbMiss + latency::l1Hit +
+                     latency::l2Hit + latency::nvm);
+    // Hot access: L1 TLB + L1 hit = 1 cycle.
+    c = m.access(tc, a);
+    EXPECT_EQ(c, latency::l1Hit);
+}
+
+TEST(Machine, DramCheaperThanNvm)
+{
+    Machine m;
+    ThreadContext &tc = m.spawnThread();
+    Cycles dram = m.access(
+        tc, MemAccess{0x1000, 0x1000, false, MemKind::Dram});
+    Cycles nvm = m.access(
+        tc, MemAccess{0x900000, 0x900000, false, MemKind::Nvm});
+    EXPECT_EQ(nvm - dram, latency::nvm - latency::dram);
+}
+
+TEST(Machine, SchedulerPicksMinClockThread)
+{
+    Machine m;
+    m.spawnThread();
+    m.spawnThread();
+    WorkJob fast(10, 100);
+    WorkJob slow(1000, 100);
+    std::vector<Job *> jobs{&slow, &fast};
+    m.run(jobs);
+    // Both ran to completion; total times reflect their work.
+    EXPECT_EQ(m.thread(0).now(), 100u * 1000u);
+    EXPECT_EQ(m.thread(1).now(), 100u * 10u);
+    EXPECT_EQ(m.maxClock(), 100u * 1000u);
+}
+
+TEST(Machine, HookFiresAtPeriodBoundaries)
+{
+    MachineConfig cfg;
+    cfg.hookPeriod = 100;
+    Machine m(cfg);
+    m.spawnThread();
+    WorkJob job(250, 4); // 1000 cycles of work
+    std::vector<Cycles> fired;
+    std::vector<Job *> jobs{&job};
+    m.run(jobs, [&](Cycles t) { fired.push_back(t); });
+    ASSERT_GE(fired.size(), 7u);
+    EXPECT_EQ(fired[0], 100u);
+    EXPECT_EQ(fired[1], 200u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i] - fired[i - 1], 100u);
+}
+
+TEST(Machine, WakeReleasesBlockedThread)
+{
+    Machine m;
+    ThreadContext &a = m.spawnThread();
+    a.blockOn(5);
+    m.wake(5, 1234);
+    EXPECT_FALSE(a.blocked());
+    EXPECT_EQ(a.now(), 1234u);
+}
+
+TEST(Machine, AllBlockedIsDeadlockPanic)
+{
+    Machine m;
+    ThreadContext &a = m.spawnThread();
+
+    class BlockJob : public Job
+    {
+      public:
+        bool
+        step(ThreadContext &tc) override
+        {
+            tc.blockOn(1);
+            return true;
+        }
+    } job;
+
+    (void)a;
+    std::vector<Job *> jobs{&job};
+    EXPECT_THROW(m.run(jobs), std::logic_error);
+}
+
+TEST(Machine, SuspendAllChargesEveryLiveThread)
+{
+    Machine m;
+    m.spawnThread();
+    m.spawnThread();
+    m.thread(0).work(10);
+    m.suspendAllUntil(500, Charge::Rand);
+    EXPECT_EQ(m.thread(0).now(), 500u);
+    EXPECT_EQ(m.thread(1).now(), 500u);
+    EXPECT_EQ(m.thread(0).charged(Charge::Rand), 490u);
+}
+
+TEST(Machine, ShootdownRangeAffectsAllCores)
+{
+    Machine m;
+    ThreadContext &t0 = m.spawnThread(); // core 0
+    ThreadContext &t1 = m.spawnThread(); // core 1
+    MemAccess a{0x40000, 0x40000, false, MemKind::Dram};
+    m.access(t0, a);
+    m.access(t1, a);
+    m.shootdownRange(0x40000, 0x41000);
+    // Both cores must re-walk.
+    std::uint64_t walks_before = m.totalWalks();
+    m.access(t0, a);
+    m.access(t1, a);
+    EXPECT_EQ(m.totalWalks(), walks_before + 2);
+}
