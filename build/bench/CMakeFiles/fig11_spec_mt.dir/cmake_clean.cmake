@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_spec_mt.dir/fig11_spec_mt.cc.o"
+  "CMakeFiles/fig11_spec_mt.dir/fig11_spec_mt.cc.o.d"
+  "fig11_spec_mt"
+  "fig11_spec_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_spec_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_arch.dir/micro_arch.cc.o"
+  "CMakeFiles/micro_arch.dir/micro_arch.cc.o.d"
+  "micro_arch"
+  "micro_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

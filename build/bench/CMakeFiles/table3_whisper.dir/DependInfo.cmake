@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_whisper.cc" "bench/CMakeFiles/table3_whisper.dir/table3_whisper.cc.o" "gcc" "bench/CMakeFiles/table3_whisper.dir/table3_whisper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/terp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/terp_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/terp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/terp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/terp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/terp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/terp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

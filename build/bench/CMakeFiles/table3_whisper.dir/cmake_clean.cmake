@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_whisper.dir/table3_whisper.cc.o"
+  "CMakeFiles/table3_whisper.dir/table3_whisper.cc.o.d"
+  "table3_whisper"
+  "table3_whisper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

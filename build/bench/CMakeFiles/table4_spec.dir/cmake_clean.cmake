@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_spec.dir/table4_spec.cc.o"
+  "CMakeFiles/table4_spec.dir/table4_spec.cc.o.d"
+  "table4_spec"
+  "table4_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_security.dir/table5_security.cc.o"
+  "CMakeFiles/table5_security.dir/table5_security.cc.o.d"
+  "table5_security"
+  "table5_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_gadgets.dir/table6_gadgets.cc.o"
+  "CMakeFiles/table6_gadgets.dir/table6_gadgets.cc.o.d"
+  "table6_gadgets"
+  "table6_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/circular_buffer.cc" "src/arch/CMakeFiles/terp_arch.dir/circular_buffer.cc.o" "gcc" "src/arch/CMakeFiles/terp_arch.dir/circular_buffer.cc.o.d"
+  "/root/repo/src/arch/mpk.cc" "src/arch/CMakeFiles/terp_arch.dir/mpk.cc.o" "gcc" "src/arch/CMakeFiles/terp_arch.dir/mpk.cc.o.d"
+  "/root/repo/src/arch/perm_matrix.cc" "src/arch/CMakeFiles/terp_arch.dir/perm_matrix.cc.o" "gcc" "src/arch/CMakeFiles/terp_arch.dir/perm_matrix.cc.o.d"
+  "/root/repo/src/arch/watch_regs.cc" "src/arch/CMakeFiles/terp_arch.dir/watch_regs.cc.o" "gcc" "src/arch/CMakeFiles/terp_arch.dir/watch_regs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/terp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_arch.dir/circular_buffer.cc.o"
+  "CMakeFiles/terp_arch.dir/circular_buffer.cc.o.d"
+  "CMakeFiles/terp_arch.dir/mpk.cc.o"
+  "CMakeFiles/terp_arch.dir/mpk.cc.o.d"
+  "CMakeFiles/terp_arch.dir/perm_matrix.cc.o"
+  "CMakeFiles/terp_arch.dir/perm_matrix.cc.o.d"
+  "CMakeFiles/terp_arch.dir/watch_regs.cc.o"
+  "CMakeFiles/terp_arch.dir/watch_regs.cc.o.d"
+  "libterp_arch.a"
+  "libterp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

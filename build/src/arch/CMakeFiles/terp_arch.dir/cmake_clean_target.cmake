@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libterp_arch.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_common.dir/logging.cc.o"
+  "CMakeFiles/terp_common.dir/logging.cc.o.d"
+  "CMakeFiles/terp_common.dir/rng.cc.o"
+  "CMakeFiles/terp_common.dir/rng.cc.o.d"
+  "CMakeFiles/terp_common.dir/stats.cc.o"
+  "CMakeFiles/terp_common.dir/stats.cc.o.d"
+  "libterp_common.a"
+  "libterp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/terp_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/builder.cc" "src/compiler/CMakeFiles/terp_compiler.dir/builder.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/builder.cc.o.d"
+  "/root/repo/src/compiler/dot.cc" "src/compiler/CMakeFiles/terp_compiler.dir/dot.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/dot.cc.o.d"
+  "/root/repo/src/compiler/interp.cc" "src/compiler/CMakeFiles/terp_compiler.dir/interp.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/interp.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/terp_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/ir.cc.o.d"
+  "/root/repo/src/compiler/pass.cc" "src/compiler/CMakeFiles/terp_compiler.dir/pass.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/pass.cc.o.d"
+  "/root/repo/src/compiler/pmo_analysis.cc" "src/compiler/CMakeFiles/terp_compiler.dir/pmo_analysis.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/pmo_analysis.cc.o.d"
+  "/root/repo/src/compiler/verifier.cc" "src/compiler/CMakeFiles/terp_compiler.dir/verifier.cc.o" "gcc" "src/compiler/CMakeFiles/terp_compiler.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/terp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/terp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/terp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/terp_semantics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_compiler.dir/analysis.cc.o"
+  "CMakeFiles/terp_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/builder.cc.o"
+  "CMakeFiles/terp_compiler.dir/builder.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/dot.cc.o"
+  "CMakeFiles/terp_compiler.dir/dot.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/interp.cc.o"
+  "CMakeFiles/terp_compiler.dir/interp.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/ir.cc.o"
+  "CMakeFiles/terp_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/pass.cc.o"
+  "CMakeFiles/terp_compiler.dir/pass.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/pmo_analysis.cc.o"
+  "CMakeFiles/terp_compiler.dir/pmo_analysis.cc.o.d"
+  "CMakeFiles/terp_compiler.dir/verifier.cc.o"
+  "CMakeFiles/terp_compiler.dir/verifier.cc.o.d"
+  "libterp_compiler.a"
+  "libterp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

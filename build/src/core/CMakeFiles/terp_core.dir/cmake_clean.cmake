@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_core.dir/config.cc.o"
+  "CMakeFiles/terp_core.dir/config.cc.o.d"
+  "CMakeFiles/terp_core.dir/runtime.cc.o"
+  "CMakeFiles/terp_core.dir/runtime.cc.o.d"
+  "libterp_core.a"
+  "libterp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/page_table.cc" "src/pm/CMakeFiles/terp_pm.dir/page_table.cc.o" "gcc" "src/pm/CMakeFiles/terp_pm.dir/page_table.cc.o.d"
+  "/root/repo/src/pm/palloc.cc" "src/pm/CMakeFiles/terp_pm.dir/palloc.cc.o" "gcc" "src/pm/CMakeFiles/terp_pm.dir/palloc.cc.o.d"
+  "/root/repo/src/pm/persist.cc" "src/pm/CMakeFiles/terp_pm.dir/persist.cc.o" "gcc" "src/pm/CMakeFiles/terp_pm.dir/persist.cc.o.d"
+  "/root/repo/src/pm/pmo.cc" "src/pm/CMakeFiles/terp_pm.dir/pmo.cc.o" "gcc" "src/pm/CMakeFiles/terp_pm.dir/pmo.cc.o.d"
+  "/root/repo/src/pm/pmo_manager.cc" "src/pm/CMakeFiles/terp_pm.dir/pmo_manager.cc.o" "gcc" "src/pm/CMakeFiles/terp_pm.dir/pmo_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

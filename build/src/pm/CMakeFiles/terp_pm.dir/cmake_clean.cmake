@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_pm.dir/page_table.cc.o"
+  "CMakeFiles/terp_pm.dir/page_table.cc.o.d"
+  "CMakeFiles/terp_pm.dir/palloc.cc.o"
+  "CMakeFiles/terp_pm.dir/palloc.cc.o.d"
+  "CMakeFiles/terp_pm.dir/persist.cc.o"
+  "CMakeFiles/terp_pm.dir/persist.cc.o.d"
+  "CMakeFiles/terp_pm.dir/pmo.cc.o"
+  "CMakeFiles/terp_pm.dir/pmo.cc.o.d"
+  "CMakeFiles/terp_pm.dir/pmo_manager.cc.o"
+  "CMakeFiles/terp_pm.dir/pmo_manager.cc.o.d"
+  "libterp_pm.a"
+  "libterp_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

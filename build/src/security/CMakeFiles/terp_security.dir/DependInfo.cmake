@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/attack_model.cc" "src/security/CMakeFiles/terp_security.dir/attack_model.cc.o" "gcc" "src/security/CMakeFiles/terp_security.dir/attack_model.cc.o.d"
+  "/root/repo/src/security/dead_time.cc" "src/security/CMakeFiles/terp_security.dir/dead_time.cc.o" "gcc" "src/security/CMakeFiles/terp_security.dir/dead_time.cc.o.d"
+  "/root/repo/src/security/dop.cc" "src/security/CMakeFiles/terp_security.dir/dop.cc.o" "gcc" "src/security/CMakeFiles/terp_security.dir/dop.cc.o.d"
+  "/root/repo/src/security/gadget.cc" "src/security/CMakeFiles/terp_security.dir/gadget.cc.o" "gcc" "src/security/CMakeFiles/terp_security.dir/gadget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/terp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/terp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/terp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/terp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/terp_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

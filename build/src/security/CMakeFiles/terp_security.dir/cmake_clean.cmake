@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_security.dir/attack_model.cc.o"
+  "CMakeFiles/terp_security.dir/attack_model.cc.o.d"
+  "CMakeFiles/terp_security.dir/dead_time.cc.o"
+  "CMakeFiles/terp_security.dir/dead_time.cc.o.d"
+  "CMakeFiles/terp_security.dir/dop.cc.o"
+  "CMakeFiles/terp_security.dir/dop.cc.o.d"
+  "CMakeFiles/terp_security.dir/gadget.cc.o"
+  "CMakeFiles/terp_security.dir/gadget.cc.o.d"
+  "libterp_security.a"
+  "libterp_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/attach_semantics.cc" "src/semantics/CMakeFiles/terp_semantics.dir/attach_semantics.cc.o" "gcc" "src/semantics/CMakeFiles/terp_semantics.dir/attach_semantics.cc.o.d"
+  "/root/repo/src/semantics/ew_tracker.cc" "src/semantics/CMakeFiles/terp_semantics.dir/ew_tracker.cc.o" "gcc" "src/semantics/CMakeFiles/terp_semantics.dir/ew_tracker.cc.o.d"
+  "/root/repo/src/semantics/permission.cc" "src/semantics/CMakeFiles/terp_semantics.dir/permission.cc.o" "gcc" "src/semantics/CMakeFiles/terp_semantics.dir/permission.cc.o.d"
+  "/root/repo/src/semantics/poset.cc" "src/semantics/CMakeFiles/terp_semantics.dir/poset.cc.o" "gcc" "src/semantics/CMakeFiles/terp_semantics.dir/poset.cc.o.d"
+  "/root/repo/src/semantics/theorem.cc" "src/semantics/CMakeFiles/terp_semantics.dir/theorem.cc.o" "gcc" "src/semantics/CMakeFiles/terp_semantics.dir/theorem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/terp_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_semantics.dir/attach_semantics.cc.o"
+  "CMakeFiles/terp_semantics.dir/attach_semantics.cc.o.d"
+  "CMakeFiles/terp_semantics.dir/ew_tracker.cc.o"
+  "CMakeFiles/terp_semantics.dir/ew_tracker.cc.o.d"
+  "CMakeFiles/terp_semantics.dir/permission.cc.o"
+  "CMakeFiles/terp_semantics.dir/permission.cc.o.d"
+  "CMakeFiles/terp_semantics.dir/poset.cc.o"
+  "CMakeFiles/terp_semantics.dir/poset.cc.o.d"
+  "CMakeFiles/terp_semantics.dir/theorem.cc.o"
+  "CMakeFiles/terp_semantics.dir/theorem.cc.o.d"
+  "libterp_semantics.a"
+  "libterp_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

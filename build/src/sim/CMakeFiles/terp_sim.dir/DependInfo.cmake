@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/terp_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/terp_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/terp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/terp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/thread.cc" "src/sim/CMakeFiles/terp_sim.dir/thread.cc.o" "gcc" "src/sim/CMakeFiles/terp_sim.dir/thread.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/terp_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/terp_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/terp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

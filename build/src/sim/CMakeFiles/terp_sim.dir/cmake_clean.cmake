@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_sim.dir/cache.cc.o"
+  "CMakeFiles/terp_sim.dir/cache.cc.o.d"
+  "CMakeFiles/terp_sim.dir/machine.cc.o"
+  "CMakeFiles/terp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/terp_sim.dir/thread.cc.o"
+  "CMakeFiles/terp_sim.dir/thread.cc.o.d"
+  "CMakeFiles/terp_sim.dir/tlb.cc.o"
+  "CMakeFiles/terp_sim.dir/tlb.cc.o.d"
+  "libterp_sim.a"
+  "libterp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terp_workloads.dir/alloc.cc.o"
+  "CMakeFiles/terp_workloads.dir/alloc.cc.o.d"
+  "CMakeFiles/terp_workloads.dir/spec.cc.o"
+  "CMakeFiles/terp_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/terp_workloads.dir/whisper.cc.o"
+  "CMakeFiles/terp_workloads.dir/whisper.cc.o.d"
+  "libterp_workloads.a"
+  "libterp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

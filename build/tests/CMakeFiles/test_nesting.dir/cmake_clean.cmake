@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nesting.dir/test_nesting.cc.o"
+  "CMakeFiles/test_nesting.dir/test_nesting.cc.o.d"
+  "test_nesting"
+  "test_nesting.pdb"
+  "test_nesting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pass.dir/test_pass.cc.o"
+  "CMakeFiles/test_pass.dir/test_pass.cc.o.d"
+  "test_pass"
+  "test_pass.pdb"
+  "test_pass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

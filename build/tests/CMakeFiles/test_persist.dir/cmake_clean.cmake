@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persist.dir/test_persist.cc.o"
+  "CMakeFiles/test_persist.dir/test_persist.cc.o.d"
+  "test_persist"
+  "test_persist.pdb"
+  "test_persist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

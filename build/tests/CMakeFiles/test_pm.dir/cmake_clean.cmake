@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm.dir/test_pm.cc.o"
+  "CMakeFiles/test_pm.dir/test_pm.cc.o.d"
+  "test_pm"
+  "test_pm.pdb"
+  "test_pm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
