@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/runtime.hh"
+#include "trace/export.hh"
 #include "workloads/whisper.hh"
 
 namespace terp {
@@ -86,6 +87,45 @@ argOr(int argc, char **argv, int i, double fallback)
     if (argc > i)
         return std::atof(argv[i]);
     return fallback;
+}
+
+/**
+ * Extract an optional `--trace=DIR` flag, removing it from argv so
+ * positional argOr() parsing is unaffected. Returns the directory
+ * (empty when the flag is absent). When set, harnesses should run
+ * with cfg.withTrace() and drop one Chrome-trace JSON per run into
+ * DIR via dumpTrace().
+ */
+inline std::string
+traceDirArg(int &argc, char **argv)
+{
+    std::string dir;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--trace=", 0) == 0)
+            dir = a.substr(8);
+        else
+            argv[w++] = argv[i];
+    }
+    argc = w;
+    return dir;
+}
+
+/** Write one run's Chrome trace as DIR/LABEL.json (if traced). */
+inline void
+dumpTrace(const workloads::RunResult &r, const std::string &dir,
+          const std::string &label)
+{
+    if (dir.empty() || !r.trace)
+        return;
+    std::string path = dir + "/" + label + ".json";
+    if (!trace::writeChromeTraceFile(*r.trace, path, label))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+    if (r.traceAudit && !r.traceAudit->ok)
+        std::fprintf(stderr, "warning: %s: %s\n", label.c_str(),
+                     r.traceAudit->summary().c_str());
 }
 
 } // namespace bench

@@ -4,7 +4,11 @@
  * MM(40us), TM(40us) and TT at 40/80/160us EW targets (TEW 2us),
  * broken into Attach / Detach / Rand / Cond / Other components.
  *
- * Usage: fig09_whisper_overhead [sections]
+ * Usage: fig09_whisper_overhead [sections] [--trace=DIR]
+ *
+ * With --trace=DIR, every protected run also records an event trace
+ * and drops DIR/<prog>-<scheme>.json for Perfetto. Tracing charges
+ * no cycles, so the printed numbers are identical either way.
  */
 
 #include <cstdio>
@@ -19,6 +23,7 @@ using namespace terp::bench;
 int
 main(int argc, char **argv)
 {
+    std::string traceDir = bench::traceDirArg(argc, argv);
     WhisperParams p;
     p.sections = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 400));
@@ -30,14 +35,16 @@ main(int argc, char **argv)
     struct SchemeDef
     {
         const char *name;
+        const char *slug; // filesystem-friendly, for --trace output
         core::RuntimeConfig cfg;
     };
     const SchemeDef schemes[] = {
-        {"MM(40us)", core::RuntimeConfig::mm(usToCycles(40))},
-        {"TM(40us)", core::RuntimeConfig::tm(usToCycles(40))},
-        {"TT(40us)", core::RuntimeConfig::tt(usToCycles(40))},
-        {"TT(80us)", core::RuntimeConfig::tt(usToCycles(80))},
-        {"TT(160us)", core::RuntimeConfig::tt(usToCycles(160))},
+        {"MM(40us)", "mm40", core::RuntimeConfig::mm(usToCycles(40))},
+        {"TM(40us)", "tm40", core::RuntimeConfig::tm(usToCycles(40))},
+        {"TT(40us)", "tt40", core::RuntimeConfig::tt(usToCycles(40))},
+        {"TT(80us)", "tt80", core::RuntimeConfig::tt(usToCycles(80))},
+        {"TT(160us)", "tt160",
+         core::RuntimeConfig::tt(usToCycles(160))},
     };
 
     double avg_total[5] = {};
@@ -46,7 +53,10 @@ main(int argc, char **argv)
             runWhisper(name, core::RuntimeConfig::unprotected(), p);
         int si = 0;
         for (const SchemeDef &s : schemes) {
-            RunResult r = runWhisper(name, s.cfg, p);
+            core::RuntimeConfig cfg =
+                traceDir.empty() ? s.cfg : s.cfg.withTrace();
+            RunResult r = runWhisper(name, cfg, p);
+            dumpTrace(r, traceDir, name + "-" + s.slug);
             Breakdown d = breakdown(r, base);
             printBreakdownRow(name, s.name, d);
             avg_total[si++] += d.total;

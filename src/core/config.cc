@@ -95,7 +95,8 @@ RuntimeConfig::describe() const
        << "us, tew=" << cyclesToUs(tewTarget) << "us"
        << (condInstructions ? ", cond" : "")
        << (windowCombining ? ", cb" : "")
-       << (basicBlocking ? ", basic" : "") << ")";
+       << (basicBlocking ? ", basic" : "")
+       << (traceEnabled ? ", trace" : "") << ")";
     return os.str();
 }
 

@@ -17,6 +17,7 @@
 #ifndef TERP_CORE_CONFIG_HH
 #define TERP_CORE_CONFIG_HH
 
+#include <cstddef>
 #include <string>
 
 #include "common/units.hh"
@@ -67,6 +68,27 @@ struct RuntimeConfig
     bool basicBlocking = false;
     /** Randomize PMO placement at every real attach. */
     bool randomizeOnAttach = true;
+
+    /**
+     * Event tracing (src/trace). Off by default: with the switch off
+     * the runtime allocates no sink and every emission site is a
+     * null-pointer check, so timing and cycle totals are bit-for-bit
+     * identical to an untraced build. Tracing never charges
+     * simulated cycles either way.
+     */
+    bool traceEnabled = false;
+    /** Per-thread trace ring capacity, in events. */
+    std::size_t traceCapacity = 1u << 16;
+
+    /** Fluent helper: same config with tracing switched on. */
+    RuntimeConfig
+    withTrace(std::size_t capacity = 1u << 16) const
+    {
+        RuntimeConfig c = *this;
+        c.traceEnabled = true;
+        c.traceCapacity = capacity;
+        return c;
+    }
 
     static RuntimeConfig unprotected();
     static RuntimeConfig mm(Cycles ew = target::defaultEw);

@@ -23,6 +23,21 @@ Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
                  const RuntimeConfig &config)
     : mach(machine), pm_(pmos), cfg(config)
 {
+    if (cfg.traceEnabled) {
+        sink = std::make_shared<trace::TraceSink>(cfg.traceCapacity);
+        mach.setTraceSink(sink.get());
+        pm_.setTraceSink(sink.get());
+    }
+}
+
+Runtime::~Runtime()
+{
+    // The machine and PMO manager outlive this runtime; don't leave
+    // them holding a pointer into a sink we may be the last owner of.
+    if (sink) {
+        mach.setTraceSink(nullptr);
+        pm_.setTraceSink(nullptr);
+    }
 }
 
 sim::ThreadContext *
@@ -57,6 +72,7 @@ Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
     pm_.mapRandomized(p);
     matrix.add(pmo, p.vaddrBase(), p.size(), mode);
     ew.processOpen(pmo, tc.now());
+    emit(tc, trace::EventKind::RealAttach, pmo, p.vaddrBase());
 
     auto &m = maps[pmo];
     m.mapped = true;
@@ -76,18 +92,19 @@ Runtime::doRealDetach(sim::ThreadContext &tc, pm::PmoId pmo)
     mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
     matrix.remove(pmo);
     ew.processClose(pmo, tc.now());
+    emit(tc, trace::EventKind::RealDetach, pmo, ch.oldBase);
     maps[pmo].mapped = false;
 }
 
 void
 Runtime::doRandomize(pm::PmoId pmo, Cycles at)
 {
-    (void)at;
     pm::Pmo &p = pm_.pmo(pmo);
     pm::MapChange ch = pm_.rerandomize(p);
     mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
     matrix.rebase(pmo, ch.newBase);
     counts.inc("randomizations");
+    emitSweeper(trace::EventKind::Randomize, at, pmo, ch.newBase);
 
     // Randomization suspends every thread for the remap plus the TLB
     // shootdown (Section V-B); each thread loses that time.
@@ -106,6 +123,8 @@ Runtime::grantThread(sim::ThreadContext &tc, pm::PmoId pmo,
 {
     domains.grant(tc.tid(), pmo, mode);
     ew.threadOpen(tc.tid(), pmo, tc.now());
+    emit(tc, trace::EventKind::ThreadGrant, pmo,
+         static_cast<std::uint64_t>(mode));
 }
 
 void
@@ -113,6 +132,7 @@ Runtime::revokeThread(sim::ThreadContext &tc, pm::PmoId pmo)
 {
     domains.revoke(tc.tid(), pmo);
     ew.threadClose(tc.tid(), pmo, tc.now());
+    emit(tc, trace::EventKind::ThreadRevoke, pmo);
 }
 
 // ------------------------------------------------- manual (MM) markers
@@ -125,6 +145,8 @@ Runtime::manualBegin(sim::ThreadContext &tc, pm::PmoId pmo,
         return;
     auto &m = maps[pmo];
     TERP_ASSERT(!m.mapped, "MM: nested manual attach on PMO ", pmo);
+    emit(tc, trace::EventKind::RegionBegin, pmo,
+         static_cast<std::uint64_t>(mode));
     doRealAttach(tc, pmo, mode);
     maps[pmo].holders = 1;
 }
@@ -138,6 +160,7 @@ Runtime::manualEnd(sim::ThreadContext &tc, pm::PmoId pmo)
     TERP_ASSERT(m.mapped, "MM: manual detach of unattached PMO ", pmo);
     m.holders = 0;
     doRealDetach(tc, pmo);
+    emit(tc, trace::EventKind::RegionEnd, pmo);
 }
 
 // ------------------------------------------------ auto-inserted regions
@@ -180,6 +203,8 @@ void
 Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
                        pm::Mode mode)
 {
+    emit(tc, trace::EventKind::RegionBegin, pmo,
+         static_cast<std::uint64_t>(mode));
     tc.charge(sim::Charge::Cond, latency::silentCond);
     counts.inc("cond_ops");
 
@@ -189,13 +214,19 @@ Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     unsigned &depth = regionDepth[{tc.tid(), pmo}];
     if (++depth > 1) {
         counts.inc("nested_regions");
+        emit(tc, trace::EventKind::SilentAttach, pmo,
+             trace::silent::nested);
         return;
     }
 
     if (cfg.windowCombining) {
         arch::CondAttachCase c = cb.condAttach(pmo, tc.now());
-        if (c == arch::CondAttachCase::FirstAttach)
+        if (c == arch::CondAttachCase::FirstAttach) {
             doRealAttach(tc, pmo, mode);
+        } else {
+            emit(tc, trace::EventKind::SilentAttach, pmo,
+                 trace::silent::combined);
+        }
         grantThread(tc, pmo, mode);
         return;
     }
@@ -203,8 +234,12 @@ Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     // "+Cond" ablation: conditional instructions without the buffer.
     auto &m = maps[pmo];
     counts.inc(m.mapped ? "cond_silent_nocb" : "cond_full_nocb");
-    if (!m.mapped)
+    if (!m.mapped) {
         doRealAttach(tc, pmo, mode);
+    } else {
+        emit(tc, trace::EventKind::SilentAttach, pmo,
+             trace::silent::mapped);
+    }
     ++m.holders;
     grantThread(tc, pmo, mode);
 }
@@ -218,15 +253,27 @@ Runtime::ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
     unsigned &depth = regionDepth[{tc.tid(), pmo}];
     TERP_ASSERT(depth > 0, "regionEnd without begin, tid ", tc.tid(),
                 " pmo ", pmo);
-    if (--depth > 0)
-        return; // inner pair of a nest: permission stays open
+    if (--depth > 0) {
+        // inner pair of a nest: permission stays open
+        emit(tc, trace::EventKind::SilentDetach, pmo,
+             trace::silent::nested);
+        emit(tc, trace::EventKind::RegionEnd, pmo);
+        return;
+    }
 
     if (cfg.windowCombining) {
         revokeThread(tc, pmo);
         arch::CondDetachCase c =
             cb.condDetach(pmo, tc.now(), cfg.ewTarget);
-        if (c == arch::CondDetachCase::FullDetach)
+        if (c == arch::CondDetachCase::FullDetach) {
             doRealDetach(tc, pmo);
+        } else {
+            emit(tc, trace::EventKind::SilentDetach, pmo,
+                 c == arch::CondDetachCase::DelayedDetach
+                     ? trace::silent::delayed
+                     : trace::silent::partial);
+        }
+        emit(tc, trace::EventKind::RegionEnd, pmo);
         return;
     }
 
@@ -234,8 +281,13 @@ Runtime::ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
     TERP_ASSERT(m.holders > 0, "regionEnd without begin, PMO ", pmo);
     revokeThread(tc, pmo);
     --m.holders;
-    if (m.holders == 0)
+    if (m.holders == 0) {
         doRealDetach(tc, pmo); // detaches too soon: no combining
+    } else {
+        emit(tc, trace::EventKind::SilentDetach, pmo,
+             trace::silent::partial);
+    }
+    emit(tc, trace::EventKind::RegionEnd, pmo);
 }
 
 // TM: EW-conscious semantics implemented purely in software on the
@@ -247,11 +299,15 @@ void
 Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
                        pm::Mode mode)
 {
+    emit(tc, trace::EventKind::RegionBegin, pmo,
+         static_cast<std::uint64_t>(mode));
     unsigned &depth = regionDepth[{tc.tid(), pmo}];
     if (++depth > 1) {
         // Nested pair: the kernel still gets the (cheap) call.
         tc.charge(sim::Charge::Attach, latency::permSyscall);
         counts.inc("nested_regions");
+        emit(tc, trace::EventKind::SilentAttach, pmo,
+             trace::silent::nested);
         return;
     }
 
@@ -261,6 +317,8 @@ Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     } else {
         tc.charge(sim::Charge::Attach, latency::permSyscall);
         counts.inc("perm_syscalls");
+        emit(tc, trace::EventKind::SilentAttach, pmo,
+             trace::silent::mapped);
     }
     ++m.holders;
     grantThread(tc, pmo, mode);
@@ -274,6 +332,9 @@ Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
                 " pmo ", pmo);
     if (--depth > 0) {
         tc.charge(sim::Charge::Detach, latency::permSyscall);
+        emit(tc, trace::EventKind::SilentDetach, pmo,
+             trace::silent::nested);
+        emit(tc, trace::EventKind::RegionEnd, pmo);
         return;
     }
 
@@ -289,7 +350,11 @@ Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
     } else {
         tc.charge(sim::Charge::Detach, latency::permSyscall);
         counts.inc("perm_syscalls");
+        emit(tc, trace::EventKind::SilentDetach, pmo,
+             m.holders > 0 ? trace::silent::partial
+                           : trace::silent::delayed);
     }
+    emit(tc, trace::EventKind::RegionEnd, pmo);
 }
 
 // Basic-semantics ablation: process-wide exclusive attach.
@@ -307,6 +372,10 @@ Runtime::basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
         return GuardResult::Blocked;
     }
     TERP_ASSERT(!m.mapped, "basic semantics: nested attach");
+    // Emitted only on the successful entry so a blocked retry does
+    // not produce an unbalanced begin.
+    emit(tc, trace::EventKind::RegionBegin, pmo,
+         static_cast<std::uint64_t>(mode));
     doRealAttach(tc, pmo, mode);
     m.ownerTid = tc.tid();
     m.holders = 1;
@@ -321,6 +390,7 @@ Runtime::basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
                 "basic semantics: detach by non-owner");
     m.holders = 0;
     doRealDetach(tc, pmo);
+    emit(tc, trace::EventKind::RegionEnd, pmo);
     mach.wake(pmo, tc.now());
 }
 
@@ -342,18 +412,25 @@ Runtime::tryAccess(sim::ThreadContext &tc, const pm::Oid &oid,
     // ld/st checks the permission matrix alongside the TLB.
     tc.charge(sim::Charge::Other, latency::permMatrix);
 
-    if (!p.attached())
-        return AccessOutcome::NoMapping;
-
-    arch::MatrixHit hit = matrix.check(p.vaddrOf(oid.offset()), write);
-    if (!hit.present)
-        return AccessOutcome::NoMapping;
-    if (!hit.permitted)
-        return AccessOutcome::NoProcessPerm;
-
-    if (cfg.threadPerms &&
-        !domains.allows(tc.tid(), oid.pool(), write)) {
-        return AccessOutcome::NoThreadPerm;
+    AccessOutcome out = AccessOutcome::Ok;
+    if (!p.attached()) {
+        out = AccessOutcome::NoMapping;
+    } else {
+        arch::MatrixHit hit =
+            matrix.check(p.vaddrOf(oid.offset()), write);
+        if (!hit.present)
+            out = AccessOutcome::NoMapping;
+        else if (!hit.permitted)
+            out = AccessOutcome::NoProcessPerm;
+        else if (cfg.threadPerms &&
+                 !domains.allows(tc.tid(), oid.pool(), write)) {
+            out = AccessOutcome::NoThreadPerm;
+        }
+    }
+    if (out != AccessOutcome::Ok) {
+        emit(tc, trace::EventKind::AccessFault, oid.pool(),
+             static_cast<std::uint64_t>(out));
+        return out;
     }
 
     mach.access(tc, pm_.accessFor(oid, write));
@@ -368,18 +445,28 @@ Runtime::tryAccessVaddr(sim::ThreadContext &tc, std::uint64_t vaddr,
         tc.charge(sim::Charge::Other, latency::permMatrix);
 
     const pm::Pmo *p = pm_.findByVaddr(vaddr);
-    if (!p)
-        return AccessOutcome::NoMapping; // segmentation fault
+    if (!p) {
+        // Segmentation fault (e.g. a stale pre-randomization address).
+        emit(tc, trace::EventKind::AccessFault, pm::invalidPmoId,
+             static_cast<std::uint64_t>(AccessOutcome::NoMapping));
+        return AccessOutcome::NoMapping;
+    }
 
     if (cfg.scheme != Scheme::Unprotected) {
+        AccessOutcome out = AccessOutcome::Ok;
         arch::MatrixHit hit = matrix.check(vaddr, write);
         if (!hit.present)
-            return AccessOutcome::NoMapping;
-        if (!hit.permitted)
-            return AccessOutcome::NoProcessPerm;
-        if (cfg.threadPerms &&
-            !domains.allows(tc.tid(), p->id(), write)) {
-            return AccessOutcome::NoThreadPerm;
+            out = AccessOutcome::NoMapping;
+        else if (!hit.permitted)
+            out = AccessOutcome::NoProcessPerm;
+        else if (cfg.threadPerms &&
+                 !domains.allows(tc.tid(), p->id(), write)) {
+            out = AccessOutcome::NoThreadPerm;
+        }
+        if (out != AccessOutcome::Ok) {
+            emit(tc, trace::EventKind::AccessFault, p->id(),
+                 static_cast<std::uint64_t>(out));
+            return out;
         }
     }
 
@@ -420,6 +507,8 @@ Runtime::onSweep(Cycles now)
             if (a.detach) {
                 // The hardware-triggered detach interrupts the
                 // earliest-running thread.
+                emitSweeper(trace::EventKind::DelayedDetach, now,
+                            a.pmo);
                 sim::ThreadContext *tc = minClockThread();
                 tc->syncTo(now, sim::Charge::Other);
                 doRealDetach(*tc, a.pmo);
@@ -444,6 +533,7 @@ Runtime::onSweep(Cycles now)
         if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
             continue;
         if (m.holders == 0 && cfg.insertion == Insertion::Auto) {
+            emitSweeper(trace::EventKind::DelayedDetach, now, pmo);
             sim::ThreadContext *tc = minClockThread();
             tc->syncTo(now, sim::Charge::Other);
             doRealDetach(*tc, pmo);

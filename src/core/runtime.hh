@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "arch/circular_buffer.hh"
@@ -30,6 +31,7 @@
 #include "pm/pmo_manager.hh"
 #include "semantics/ew_tracker.hh"
 #include "sim/machine.hh"
+#include "trace/trace_buffer.hh"
 
 namespace terp {
 namespace core {
@@ -79,6 +81,10 @@ class Runtime
   public:
     Runtime(sim::Machine &machine, pm::PmoManager &pmos,
             const RuntimeConfig &config);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
 
     const RuntimeConfig &config() const { return cfg; }
 
@@ -142,6 +148,13 @@ class Runtime
     const arch::CircularBuffer &circularBuffer() const { return cb; }
     const CounterSet &counters() const { return counts; }
 
+    /**
+     * The event sink, shared so it can outlive the runtime (run
+     * results keep it for export/audit). Null unless
+     * config.traceEnabled.
+     */
+    std::shared_ptr<trace::TraceSink> traceSink() const { return sink; }
+
     /** Is the PMO currently mapped? */
     bool mapped(pm::PmoId pmo) const;
 
@@ -162,6 +175,7 @@ class Runtime
     arch::PermissionMatrix matrix;
     semantics::EwTracker ew;
     CounterSet counts;
+    std::shared_ptr<trace::TraceSink> sink; //!< null = tracing off
 
     /** Software view of mapped PMOs (for schemes without the CB). */
     struct MapState
@@ -204,6 +218,24 @@ class Runtime
     GuardResult basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
                                  pm::Mode mode);
     void basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo);
+
+    /** Emit on the calling thread's track (no-op when tracing off). */
+    void
+    emit(const sim::ThreadContext &tc, trace::EventKind k,
+         pm::PmoId pmo, std::uint64_t arg = 0)
+    {
+        if (sink)
+            sink->emit(tc.tid(), k, tc.now(), pmo, arg);
+    }
+
+    /** Emit on the sweeper pseudo-track at an explicit time. */
+    void
+    emitSweeper(trace::EventKind k, Cycles ts, pm::PmoId pmo,
+                std::uint64_t arg = 0)
+    {
+        if (sink)
+            sink->emit(trace::TraceSink::sweeperTid, k, ts, pmo, arg);
+    }
 };
 
 /** RAII helper for a compiler-inserted region (never blocks). */

@@ -118,6 +118,10 @@ PmoManager::mapRandomized(Pmo &p)
     ch.newBase = pickFreeSlot(p.size());
     p.mapAt(ch.newBase);
     ++p.mapCount;
+    if (traceSink) {
+        traceSink->emitKernel(trace::EventKind::PmoMap, p.id(),
+                              ch.newBase);
+    }
     return ch;
 }
 
@@ -129,6 +133,10 @@ PmoManager::unmap(Pmo &p)
     ch.size = p.size();
     ch.oldBase = p.vaddrBase();
     p.unmap();
+    if (traceSink) {
+        traceSink->emitKernel(trace::EventKind::PmoUnmap, p.id(),
+                              ch.oldBase);
+    }
     return ch;
 }
 
@@ -143,6 +151,10 @@ PmoManager::rerandomize(Pmo &p)
     ch.newBase = pickFreeSlot(p.size());
     p.mapAt(ch.newBase);
     ++p.mapCount;
+    if (traceSink) {
+        traceSink->emitKernel(trace::EventKind::PmoRemap, p.id(),
+                              ch.newBase);
+    }
     return ch;
 }
 

@@ -24,6 +24,7 @@
 #include "pm/palloc.hh"
 #include "pm/pmo.hh"
 #include "sim/machine.hh"
+#include "trace/trace_buffer.hh"
 
 namespace terp {
 namespace pm {
@@ -103,8 +104,16 @@ class PmoManager
     /** Entropy bits of the placement randomization. */
     static constexpr unsigned entropyBits = 18;
 
+    /**
+     * Attach (or detach, with nullptr) an event sink. Mapping-table
+     * changes — map, unmap, move — are recorded on the kernel
+     * pseudo-track with the affected virtual base address.
+     */
+    void setTraceSink(trace::TraceSink *sink) { traceSink = sink; }
+
   private:
     Rng rng;
+    trace::TraceSink *traceSink = nullptr;
     std::vector<std::unique_ptr<Pmo>> pmos;
     std::vector<std::unique_ptr<PoolAllocator>> allocs;
     std::map<std::string, PmoId> names;

@@ -137,6 +137,20 @@ EwTracker::metricsAll(Cycles total, unsigned threads) const
     return acc;
 }
 
+const Summary *
+EwTracker::ewSummaryFor(pm::PmoId pmo) const
+{
+    auto it = perPmo.find(pmo);
+    return it == perPmo.end() ? nullptr : &it->second.ew;
+}
+
+const Summary *
+EwTracker::tewSummaryFor(pm::PmoId pmo) const
+{
+    auto it = perPmo.find(pmo);
+    return it == perPmo.end() ? nullptr : &it->second.tew;
+}
+
 std::vector<pm::PmoId>
 EwTracker::pmosSeen() const
 {

@@ -69,6 +69,14 @@ class EwTracker
     /** PMOs seen by the tracker. */
     std::vector<pm::PmoId> pmosSeen() const;
 
+    /**
+     * Raw closed-window summaries, in cycles, for exact differential
+     * comparison (the trace auditor cross-checks these). Null if the
+     * PMO was never seen.
+     */
+    const Summary *ewSummaryFor(pm::PmoId pmo) const;
+    const Summary *tewSummaryFor(pm::PmoId pmo) const;
+
   private:
     struct PerPmo
     {

@@ -68,6 +68,13 @@ Machine::run(const std::vector<Job *> &jobs,
     for (auto &t : threads)
         t->done = false;
 
+    if (traceSink) {
+        for (auto &t : threads) {
+            traceSink->emit(t->tid(), trace::EventKind::ThreadStart,
+                            t->now());
+        }
+    }
+
     Cycles next_hook = cfg.hookPeriod;
     for (;;) {
         // Pick the runnable (not done, not blocked) thread with the
@@ -91,13 +98,24 @@ Machine::run(const std::vector<Job *> &jobs,
         // Fire the periodic hardware hook up to the current time.
         if (hook) {
             while (next_hook <= next->now()) {
+                if (traceSink) {
+                    traceSink->emit(trace::TraceSink::sweeperTid,
+                                    trace::EventKind::SweepTick,
+                                    next_hook);
+                }
                 hook(next_hook);
                 next_hook += cfg.hookPeriod;
             }
         }
 
-        if (!jobs[next->tid()]->step(*next))
+        if (!jobs[next->tid()]->step(*next)) {
             next->done = true;
+            if (traceSink) {
+                traceSink->emit(next->tid(),
+                                trace::EventKind::ThreadFinish,
+                                next->now());
+            }
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 #include "sim/cache.hh"
 #include "sim/thread.hh"
 #include "sim/tlb.hh"
+#include "trace/trace_buffer.hh"
 
 namespace terp {
 namespace sim {
@@ -118,8 +119,17 @@ class Machine
 
     const MachineConfig &config() const { return cfg; }
 
+    /**
+     * Attach (or detach, with nullptr) an event sink. The machine
+     * emits thread start/finish markers and one SweepTick per firing
+     * of the periodic hook; with no sink every site is a single
+     * pointer test and the simulation is untouched.
+     */
+    void setTraceSink(trace::TraceSink *sink) { traceSink = sink; }
+
   private:
     MachineConfig cfg;
+    trace::TraceSink *traceSink = nullptr;
     std::vector<std::unique_ptr<ThreadContext>> threads;
     std::vector<Cache> l1d;          //!< one per core
     std::vector<TlbHierarchy> tlbs;  //!< one per core

@@ -1,0 +1,211 @@
+#include "trace/audit.hh"
+
+#include <set>
+#include <sstream>
+
+namespace terp {
+namespace trace {
+
+namespace {
+
+/** Replay scratch state for one PMO. */
+struct PmoReplay
+{
+    bool open = false;
+    Cycles openSince = 0;
+    std::map<std::uint32_t, Cycles> threadOpenSince;
+};
+
+void
+mismatch(AuditReport &r, const std::string &msg)
+{
+    r.mismatches.push_back(msg);
+}
+
+std::string
+describe(const Event &e)
+{
+    std::ostringstream os;
+    os << "seq " << e.seq << " ts " << e.ts << " tid " << e.tid
+       << " " << eventKindName(e.kind) << " pmo " << e.pmo;
+    return os.str();
+}
+
+void
+compareTally(AuditReport &r, const char *what, std::uint64_t pmo,
+             const WindowTally &got, const Summary *want)
+{
+    std::uint64_t wc = want ? want->count() : 0;
+    std::uint64_t ws = want ? want->sum() : 0;
+    std::uint64_t wlo = want ? want->min() : 0;
+    std::uint64_t wm = want ? want->max() : 0;
+    std::uint64_t glo = got.count ? got.minCycles : 0;
+    if (got.count == wc && got.sumCycles == ws && glo == wlo &&
+        got.maxCycles == wm) {
+        return;
+    }
+    std::ostringstream os;
+    os << what << " pmo " << pmo << ": trace replay {n=" << got.count
+       << " sum=" << got.sumCycles << " min=" << glo << " max="
+       << got.maxCycles << "} vs EwTracker {n=" << wc << " sum="
+       << ws << " min=" << wlo << " max=" << wm << "}";
+    mismatch(r, os.str());
+}
+
+} // namespace
+
+std::string
+AuditReport::summary() const
+{
+    std::ostringstream os;
+    if (ok) {
+        os << "audit OK: " << ew.size() << " PMO(s), EW/TEW match "
+           << "EwTracker exactly";
+        return os.str();
+    }
+    os << "audit FAILED (" << mismatches.size() << " mismatch(es)";
+    if (!complete)
+        os << "; trace incomplete";
+    os << ")";
+    if (!mismatches.empty())
+        os << ": " << mismatches.front();
+    return os.str();
+}
+
+AuditReport
+replayTimeline(const std::vector<Event> &events, Cycles t_end)
+{
+    AuditReport r;
+    std::map<std::uint64_t, PmoReplay> state;
+
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case EventKind::RealAttach: {
+            PmoReplay &s = state[e.pmo];
+            if (s.open) {
+                mismatch(r, "attach of already-open window: " +
+                                describe(e));
+                break;
+            }
+            s.open = true;
+            s.openSince = e.ts;
+            break;
+          }
+          case EventKind::RealDetach: {
+            PmoReplay &s = state[e.pmo];
+            if (!s.open) {
+                mismatch(r, "detach without open window: " +
+                                describe(e));
+                break;
+            }
+            r.ew[e.pmo].add(e.ts >= s.openSince ? e.ts - s.openSince
+                                                : 0);
+            s.open = false;
+            break;
+          }
+          case EventKind::Randomize: {
+            // Sweeper in-place re-randomization: the location dies,
+            // so the runtime closes the window and opens a new one
+            // at the same instant.
+            PmoReplay &s = state[e.pmo];
+            if (!s.open) {
+                mismatch(r, "randomize of unmapped PMO: " +
+                                describe(e));
+                break;
+            }
+            r.ew[e.pmo].add(e.ts >= s.openSince ? e.ts - s.openSince
+                                                : 0);
+            s.openSince = e.ts;
+            break;
+          }
+          case EventKind::ThreadGrant: {
+            PmoReplay &s = state[e.pmo];
+            if (s.threadOpenSince.count(e.tid)) {
+                mismatch(r, "double thread grant: " + describe(e));
+                break;
+            }
+            s.threadOpenSince[e.tid] = e.ts;
+            break;
+          }
+          case EventKind::ThreadRevoke: {
+            PmoReplay &s = state[e.pmo];
+            auto it = s.threadOpenSince.find(e.tid);
+            if (it == s.threadOpenSince.end()) {
+                mismatch(r, "revoke without grant: " + describe(e));
+                break;
+            }
+            r.tew[e.pmo].add(e.ts >= it->second ? e.ts - it->second
+                                                : 0);
+            s.threadOpenSince.erase(it);
+            break;
+          }
+          default:
+            break; // other kinds don't move exposure state
+        }
+    }
+
+    // End of run: close every still-open window, as finalize() does.
+    for (auto &[pmo, s] : state) {
+        if (s.open)
+            r.ew[pmo].add(t_end >= s.openSince ? t_end - s.openSince
+                                               : 0);
+        for (const auto &[tid, since] : s.threadOpenSince) {
+            (void)tid;
+            r.tew[pmo].add(t_end >= since ? t_end - since : 0);
+        }
+    }
+
+    r.ok = r.mismatches.empty();
+    return r;
+}
+
+AuditReport
+auditEvents(const std::vector<Event> &events, bool complete,
+            Cycles t_end, const semantics::EwTracker &expected)
+{
+    AuditReport r = replayTimeline(events, t_end);
+    r.complete = complete;
+    if (!complete) {
+        mismatch(r, "trace incomplete: ring buffers dropped events, "
+                    "cannot audit");
+    }
+
+    // Every PMO either side saw must agree on both window kinds.
+    std::set<std::uint64_t> pmos;
+    for (const auto &[pmo, t] : r.ew) {
+        (void)t;
+        pmos.insert(pmo);
+    }
+    for (const auto &[pmo, t] : r.tew) {
+        (void)t;
+        pmos.insert(pmo);
+    }
+    for (pm::PmoId pmo : expected.pmosSeen())
+        pmos.insert(pmo);
+
+    for (std::uint64_t pmo : pmos) {
+        auto id = static_cast<pm::PmoId>(pmo);
+        auto eit = r.ew.find(pmo);
+        auto tit = r.tew.find(pmo);
+        compareTally(r, "EW", pmo,
+                     eit != r.ew.end() ? eit->second : WindowTally{},
+                     expected.ewSummaryFor(id));
+        compareTally(r, "TEW", pmo,
+                     tit != r.tew.end() ? tit->second : WindowTally{},
+                     expected.tewSummaryFor(id));
+    }
+
+    r.ok = r.mismatches.empty();
+    return r;
+}
+
+AuditReport
+auditTimeline(const TraceSink &sink, Cycles t_end,
+              const semantics::EwTracker &expected)
+{
+    return auditEvents(sink.merged(), sink.complete(), t_end,
+                       expected);
+}
+
+} // namespace trace
+} // namespace terp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Timeline auditor: an independent, trace-driven recomputation of
+ * the paper's central metric.
+ *
+ * The auditor replays the event stream — real attach/detach opens
+ * and closes process exposure windows (EW), sweeper randomization
+ * splits them, thread grant/revoke opens and closes thread exposure
+ * windows (TEW) — and cross-checks the recomputed window counts,
+ * sums and maxima cycle-for-cycle against the runtime's live
+ * `semantics::EwTracker`. A disagreement means either the trace or
+ * the tracker (or the runtime wiring between them) is wrong, which
+ * turns the trace into a differential validator rather than a
+ * second opinion derived from the same code path.
+ */
+
+#ifndef TERP_TRACE_AUDIT_HH
+#define TERP_TRACE_AUDIT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "semantics/ew_tracker.hh"
+#include "trace/trace_buffer.hh"
+
+namespace terp {
+namespace trace {
+
+/** Recomputed window statistics for one PMO. */
+struct WindowTally
+{
+    std::uint64_t count = 0;
+    std::uint64_t sumCycles = 0;
+    std::uint64_t minCycles = ~0ULL;
+    std::uint64_t maxCycles = 0;
+
+    void
+    add(std::uint64_t len)
+    {
+        ++count;
+        sumCycles += len;
+        if (len < minCycles)
+            minCycles = len;
+        if (len > maxCycles)
+            maxCycles = len;
+    }
+};
+
+/** Outcome of one audit. */
+struct AuditReport
+{
+    bool ok = false;       //!< replay clean and everything matched
+    bool complete = true;  //!< the trace lost no events to wrap
+    std::vector<std::string> mismatches;
+
+    std::map<std::uint64_t, WindowTally> ew;  //!< recomputed, per PMO
+    std::map<std::uint64_t, WindowTally> tew; //!< recomputed, per PMO
+
+    /** One-line verdict for logs. */
+    std::string summary() const;
+};
+
+/**
+ * Replay @p events (must be in emission order) and recompute the
+ * exposure windows, closing any still-open window at @p t_end. Replay
+ * invariant violations (detach without attach, double grant, ...)
+ * are reported as mismatches.
+ */
+AuditReport replayTimeline(const std::vector<Event> &events,
+                           Cycles t_end);
+
+/**
+ * Replay @p events and cross-check against @p expected. @p complete
+ * marks whether the stream retained every emitted event; an
+ * incomplete stream cannot be audited and fails with an explanatory
+ * mismatch.
+ */
+AuditReport auditEvents(const std::vector<Event> &events,
+                        bool complete, Cycles t_end,
+                        const semantics::EwTracker &expected);
+
+/** Audit a whole sink (the common entry point). */
+AuditReport auditTimeline(const TraceSink &sink, Cycles t_end,
+                          const semantics::EwTracker &expected);
+
+} // namespace trace
+} // namespace terp
+
+#endif // TERP_TRACE_AUDIT_HH

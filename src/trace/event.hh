@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace event taxonomy and the compact binary event record.
+ *
+ * The paper's central claims are temporal — exposure windows open and
+ * close, silent operations elide syscalls, the sweeper force-detaches
+ * — so the tracer records *when* every protection-relevant transition
+ * happened, not just how often. Each record is a fixed-size POD
+ * (cycle timestamp, global sequence number, PMO id, kind-specific
+ * argument, thread id, event kind) cheap enough to emit on every
+ * protection operation.
+ */
+
+#ifndef TERP_TRACE_EVENT_HH
+#define TERP_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace trace {
+
+/**
+ * What happened. The taxonomy mirrors the paper's event vocabulary:
+ * real operations perform mapping-changing system calls; silent ones
+ * are elided by window combining (TT), the EW-conscious closing rule
+ * (TM), or dynamic region nesting.
+ */
+enum class EventKind : std::uint8_t
+{
+    RealAttach = 0,  //!< attach() syscall; arg = new vaddr base
+    SilentAttach,    //!< begin elided (already mapped / nested); arg = reason
+    RealDetach,      //!< detach() syscall; arg = old vaddr base
+    SilentDetach,    //!< end elided (delayed / partial / nested); arg = reason
+    Randomize,       //!< sweeper in-place re-randomization; arg = new base
+    SweepTick,       //!< periodic hardware sweep timer fired
+    DelayedDetach,   //!< sweeper applies a pending delayed detach
+    RegionBegin,     //!< protection-region entry (manual or inserted); arg = mode
+    RegionEnd,       //!< protection-region exit
+    ThreadGrant,     //!< thread gained access permission; arg = mode
+    ThreadRevoke,    //!< thread lost access permission
+    AccessFault,     //!< checked access denied; arg = AccessOutcome
+    ThreadStart,     //!< simulated thread entered the scheduler
+    ThreadFinish,    //!< simulated thread's job completed
+    PmoMap,          //!< address space: PMO mapped; arg = vaddr base
+    PmoUnmap,        //!< address space: PMO unmapped; arg = old base
+    PmoRemap,        //!< address space: PMO moved; arg = new base
+    NumKinds
+};
+
+/** Printable name of an event kind (stable, snake_case). */
+const char *eventKindName(EventKind k);
+
+/** Reason codes carried in the arg of Silent{Attach,Detach}. */
+namespace silent {
+
+constexpr std::uint64_t nested = 1;   //!< inner pair of a dynamic nest
+constexpr std::uint64_t combined = 2; //!< CB case 2/3: window combined
+constexpr std::uint64_t mapped = 3;   //!< already mapped (TM / +Cond)
+constexpr std::uint64_t partial = 4;  //!< other threads still attached
+constexpr std::uint64_t delayed = 5;  //!< DD bit set / EW-conscious defer
+
+} // namespace silent
+
+/** Sentinel PMO id for events not tied to a PMO. */
+constexpr std::uint64_t noPmo = ~0ULL;
+
+/** One trace record. POD, fixed size, no ownership. */
+struct Event
+{
+    Cycles ts = 0;          //!< thread-virtual cycle timestamp
+    std::uint64_t seq = 0;  //!< global emission order (total order)
+    std::uint64_t pmo = noPmo;
+    std::uint64_t arg = 0;  //!< kind-specific payload
+    std::uint32_t tid = 0;  //!< emitting thread (or pseudo-tid)
+    EventKind kind = EventKind::NumKinds;
+};
+
+} // namespace trace
+} // namespace terp
+
+#endif // TERP_TRACE_EVENT_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace exporters: Chrome-trace/Perfetto JSON and JSONL.
+ *
+ * The Chrome format (open with https://ui.perfetto.dev or
+ * chrome://tracing) lays the run out as one track per simulated
+ * thread — instant events for attaches/detaches/faults and nestable
+ * async spans for protection regions — plus one async track per PMO
+ * showing the windows during which it was mapped, i.e. the exposure
+ * windows the paper measures.
+ */
+
+#ifndef TERP_TRACE_EXPORT_HH
+#define TERP_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_buffer.hh"
+
+namespace terp {
+namespace trace {
+
+/** Write the whole trace as Chrome-trace JSON. */
+void writeChromeTrace(const TraceSink &sink, std::ostream &os,
+                      const std::string &process_name = "terp");
+
+/** Write one JSON object per event, one per line (JSONL). */
+void writeJsonl(const TraceSink &sink, std::ostream &os);
+
+/** Convenience: write either format to a file path. Returns false on
+ *  I/O failure. */
+bool writeChromeTraceFile(const TraceSink &sink,
+                          const std::string &path,
+                          const std::string &process_name = "terp");
+bool writeJsonlFile(const TraceSink &sink, const std::string &path);
+
+} // namespace trace
+} // namespace terp
+
+#endif // TERP_TRACE_EXPORT_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Per-thread fixed-capacity ring-buffer event log and the process
+ * sink that owns one buffer per thread.
+ *
+ * Design constraints:
+ *   - cheap enough to leave on: emit() is a bounds-checked array
+ *     store plus two counter increments, fully inlined here so that
+ *     emitting modules (sim, pm) need no link dependency on the
+ *     trace library;
+ *   - bounded memory: when a buffer wraps, the oldest events are
+ *     overwritten and counted in an explicit drop counter — recent
+ *     history survives, and consumers (the auditor) can tell a
+ *     complete trace from a truncated one;
+ *   - a true no-op when disabled: modules hold a nullable sink
+ *     pointer and emit nothing (and charge nothing) without one.
+ */
+
+#ifndef TERP_TRACE_TRACE_BUFFER_HH
+#define TERP_TRACE_TRACE_BUFFER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace terp {
+namespace trace {
+
+/** Fixed-capacity overwrite-oldest ring buffer of events. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity)
+        : slots(capacity ? capacity : 1)
+    {
+    }
+
+    /** Append; overwrites the oldest retained event when full. */
+    void
+    push(const Event &e)
+    {
+        slots[static_cast<std::size_t>(writes % slots.size())] = e;
+        ++writes;
+    }
+
+    /** Total events ever pushed. */
+    std::uint64_t written() const { return writes; }
+
+    /** Events lost to wrap-around (written - retained). */
+    std::uint64_t
+    dropped() const
+    {
+        return writes > slots.size() ? writes - slots.size() : 0;
+    }
+
+    /** Events currently retained. */
+    std::size_t
+    size() const
+    {
+        return writes < slots.size() ? static_cast<std::size_t>(writes)
+                                     : slots.size();
+    }
+
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Retained events, oldest first. */
+    std::vector<Event>
+    events() const
+    {
+        std::vector<Event> out;
+        out.reserve(size());
+        std::uint64_t first = dropped();
+        for (std::uint64_t i = first; i < writes; ++i)
+            out.push_back(
+                slots[static_cast<std::size_t>(i % slots.size())]);
+        return out;
+    }
+
+  private:
+    std::vector<Event> slots;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * The process-wide sink: one ring buffer per emitting thread (plus
+ * pseudo-threads for the hardware sweeper and the kernel's
+ * address-space operations), a global sequence counter giving a
+ * total emission order, and aggregate drop accounting.
+ */
+class TraceSink
+{
+  public:
+    /** Pseudo-tid for sweeper-timer events. */
+    static constexpr std::uint32_t sweeperTid = 0xfffffffeu;
+    /** Pseudo-tid for kernel address-space (map/unmap) events. */
+    static constexpr std::uint32_t kernelTid = 0xffffffffu;
+
+    static constexpr std::size_t defaultCapacity = 1u << 16;
+
+    explicit TraceSink(std::size_t per_thread_capacity = defaultCapacity)
+        : cap(per_thread_capacity ? per_thread_capacity : 1)
+    {
+    }
+
+    /** Record one event. The hot path; fully inline. */
+    void
+    emit(std::uint32_t tid, EventKind kind, Cycles ts,
+         std::uint64_t pmo = noPmo, std::uint64_t arg = 0)
+    {
+        Event e;
+        e.ts = ts;
+        e.seq = nextSeq++;
+        e.pmo = pmo;
+        e.arg = arg;
+        e.tid = tid;
+        e.kind = kind;
+        bufferFor(tid).push(e);
+        if (ts > lastTs)
+            lastTs = ts;
+    }
+
+    /**
+     * Record a kernel address-space event. The kernel module has no
+     * clock of its own; the event is stamped with the latest
+     * timestamp seen, and the sequence number preserves its true
+     * position between the caller's surrounding events.
+     */
+    void
+    emitKernel(EventKind kind, std::uint64_t pmo, std::uint64_t arg = 0)
+    {
+        emit(kernelTid, kind, lastTs, pmo, arg);
+    }
+
+    /** Per-thread buffers, keyed by (pseudo-)tid. */
+    const std::map<std::uint32_t, TraceBuffer> &
+    buffers() const
+    {
+        return perThread;
+    }
+
+    /** All retained events merged into emission (seq) order. */
+    std::vector<Event>
+    merged() const
+    {
+        std::vector<Event> out;
+        for (const auto &[tid, buf] : perThread) {
+            (void)tid;
+            std::vector<Event> es = buf.events();
+            out.insert(out.end(), es.begin(), es.end());
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Event &a, const Event &b) {
+                      return a.seq < b.seq;
+                  });
+        return out;
+    }
+
+    std::uint64_t
+    totalEmitted() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[tid, buf] : perThread) {
+            (void)tid;
+            n += buf.written();
+        }
+        return n;
+    }
+
+    std::uint64_t
+    totalDropped() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[tid, buf] : perThread) {
+            (void)tid;
+            n += buf.dropped();
+        }
+        return n;
+    }
+
+    /** The trace retains every emitted event (nothing wrapped). */
+    bool complete() const { return totalDropped() == 0; }
+
+    /** Latest timestamp emitted so far. */
+    Cycles lastTimestamp() const { return lastTs; }
+
+    std::size_t perThreadCapacity() const { return cap; }
+
+  private:
+    TraceBuffer &
+    bufferFor(std::uint32_t tid)
+    {
+        auto it = perThread.find(tid);
+        if (it == perThread.end())
+            it = perThread.emplace(tid, TraceBuffer(cap)).first;
+        return it->second;
+    }
+
+    std::size_t cap;
+    std::map<std::uint32_t, TraceBuffer> perThread;
+    std::uint64_t nextSeq = 0;
+    Cycles lastTs = 0;
+};
+
+} // namespace trace
+} // namespace terp
+
+#endif // TERP_TRACE_TRACE_BUFFER_HH

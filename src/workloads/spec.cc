@@ -582,6 +582,12 @@ runSpec(const std::string &name, const core::RuntimeConfig &cfg,
     r.exposure = rt.exposure().metricsAll(r.totalCycles,
                                           params.threads);
     r.pmoCount = prog.pmos.size();
+    if (auto sink = rt.traceSink()) {
+        r.trace = sink;
+        r.traceAudit = std::make_shared<trace::AuditReport>(
+            trace::auditTimeline(*sink, r.totalCycles,
+                                 rt.exposure()));
+    }
     return r;
 }
 

@@ -642,6 +642,12 @@ runWhisper(const std::string &name, const core::RuntimeConfig &cfg,
     r.report = rt.report();
     r.totalCycles = mach.maxClock();
     r.exposure = rt.exposure().metricsFor(p.id(), r.totalCycles, 1);
+    if (auto sink = rt.traceSink()) {
+        r.trace = sink;
+        r.traceAudit = std::make_shared<trace::AuditReport>(
+            trace::auditTimeline(*sink, r.totalCycles,
+                                 rt.exposure()));
+    }
     return r;
 }
 

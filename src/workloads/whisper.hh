@@ -28,6 +28,8 @@
 #include "pm/pmo_manager.hh"
 #include "semantics/ew_tracker.hh"
 #include "sim/machine.hh"
+#include "trace/audit.hh"
+#include "trace/trace_buffer.hh"
 
 namespace terp {
 namespace workloads {
@@ -49,6 +51,14 @@ struct RunResult
     semantics::ExposureMetrics exposure;
     Cycles totalCycles = 0;
     std::uint64_t pmoCount = 1;
+
+    /**
+     * Set only when cfg.traceEnabled: the full event trace and the
+     * timeline auditor's differential verdict against the runtime's
+     * EwTracker.
+     */
+    std::shared_ptr<trace::TraceSink> trace;
+    std::shared_ptr<trace::AuditReport> traceAudit;
 };
 
 /** The six WHISPER workload names. */

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for the src/trace subsystem: ring-buffer wrap/drop
+ * semantics, the no-op guarantee when tracing is disabled, the event
+ * taxonomy emitted by the runtime, sweeper-path event ordering, event
+ * ordering under the multi-threaded SPEC surrogate, and the timeline
+ * auditor's differential check against EwTracker across every scheme
+ * and both attach-semantics styles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/runtime.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+#include "trace/audit.hh"
+#include "trace/export.hh"
+#include "workloads/spec.hh"
+#include "workloads/whisper.hh"
+
+using namespace terp;
+using namespace terp::core;
+using trace::Event;
+using trace::EventKind;
+
+namespace {
+
+struct Rig
+{
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    pm::PmoId pmo;
+    std::unique_ptr<Runtime> rt;
+    sim::ThreadContext *tc;
+
+    explicit Rig(const RuntimeConfig &cfg, unsigned threads = 1)
+        : pmos(7)
+    {
+        pmo = pmos.create("test", 8 * MiB).id();
+        rt = std::make_unique<Runtime>(mach, pmos, cfg);
+        for (unsigned i = 0; i < threads; ++i)
+            mach.spawnThread();
+        tc = &mach.thread(0);
+    }
+
+    std::vector<Event> events() const { return rt->traceSink()->merged(); }
+
+    std::vector<Event>
+    eventsOfKind(EventKind k) const
+    {
+        std::vector<Event> out;
+        for (const Event &e : events())
+            if (e.kind == k)
+                out.push_back(e);
+        return out;
+    }
+};
+
+std::uint64_t
+countKind(const std::vector<Event> &es, EventKind k)
+{
+    return static_cast<std::uint64_t>(
+        std::count_if(es.begin(), es.end(),
+                      [&](const Event &e) { return e.kind == k; }));
+}
+
+/** First event of the given kind, or nullptr. */
+const Event *
+firstOf(const std::vector<Event> &es, EventKind k)
+{
+    for (const Event &e : es)
+        if (e.kind == k)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+// ------------------------------------------------------- ring buffer
+
+TEST(TraceBuffer, RetainsEverythingBelowCapacity)
+{
+    trace::TraceBuffer b(8);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        Event e;
+        e.seq = i;
+        b.push(e);
+    }
+    EXPECT_EQ(b.written(), 5u);
+    EXPECT_EQ(b.dropped(), 0u);
+    EXPECT_EQ(b.size(), 5u);
+    std::vector<Event> es = b.events();
+    ASSERT_EQ(es.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(es[i].seq, i);
+}
+
+TEST(TraceBuffer, WrapOverwritesOldestAndCountsDrops)
+{
+    trace::TraceBuffer b(4);
+    for (std::uint64_t i = 0; i < 11; ++i) {
+        Event e;
+        e.seq = i;
+        b.push(e);
+    }
+    EXPECT_EQ(b.written(), 11u);
+    EXPECT_EQ(b.dropped(), 7u);
+    EXPECT_EQ(b.size(), 4u);
+    std::vector<Event> es = b.events();
+    ASSERT_EQ(es.size(), 4u);
+    // The newest four survive, oldest first.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(es[i].seq, 7 + i);
+}
+
+TEST(TraceSink, MergesAcrossThreadsInEmissionOrder)
+{
+    trace::TraceSink s(16);
+    s.emit(0, EventKind::RegionBegin, 10, 1);
+    s.emit(1, EventKind::RegionBegin, 5, 2);
+    s.emit(0, EventKind::RegionEnd, 20, 1);
+    s.emitKernel(EventKind::PmoMap, 3, 0xabc);
+    std::vector<Event> es = s.merged();
+    ASSERT_EQ(es.size(), 4u);
+    for (std::size_t i = 0; i < es.size(); ++i)
+        EXPECT_EQ(es[i].seq, i);
+    // Kernel events are stamped with the latest time seen.
+    EXPECT_EQ(es[3].tid, trace::TraceSink::kernelTid);
+    EXPECT_EQ(es[3].ts, 20u);
+    EXPECT_TRUE(s.complete());
+}
+
+TEST(TraceSink, DropAccountingAggregates)
+{
+    trace::TraceSink s(2);
+    for (int i = 0; i < 5; ++i)
+        s.emit(0, EventKind::SweepTick, static_cast<Cycles>(i));
+    EXPECT_EQ(s.totalEmitted(), 5u);
+    EXPECT_EQ(s.totalDropped(), 3u);
+    EXPECT_FALSE(s.complete());
+}
+
+// ------------------------------------------- disabled = true no-op
+
+TEST(TraceSwitch, DisabledAllocatesNoSink)
+{
+    Rig r(RuntimeConfig::tt());
+    EXPECT_EQ(r.rt->traceSink(), nullptr);
+}
+
+TEST(TraceSwitch, TracingNeverPerturbsCycleTotals)
+{
+    // The acceptance bar for the whole subsystem: enabling tracing
+    // must not move a single simulated cycle.
+    for (const auto &cfg :
+         {RuntimeConfig::mm(), RuntimeConfig::tm(),
+          RuntimeConfig::tt()}) {
+        workloads::WhisperParams p;
+        p.sections = 40;
+        workloads::RunResult off =
+            workloads::runWhisper("hashmap", cfg, p);
+        workloads::RunResult on =
+            workloads::runWhisper("hashmap", cfg.withTrace(), p);
+        EXPECT_EQ(off.totalCycles, on.totalCycles);
+        EXPECT_EQ(off.report.total, on.report.total);
+        EXPECT_EQ(off.report.attachSyscalls, on.report.attachSyscalls);
+        EXPECT_EQ(off.report.randomizations, on.report.randomizations);
+    }
+}
+
+// ------------------------------------------------- event taxonomy
+
+TEST(TraceEvents, TtRegionEmitsAttachGrantRevoke)
+{
+    Rig r(RuntimeConfig::tt().withTrace());
+    r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    r.rt->access(*r.tc, pm::Oid(r.pmo, 64), true);
+    r.rt->regionEnd(*r.tc, r.pmo);
+
+    std::vector<Event> es = r.events();
+    EXPECT_EQ(countKind(es, EventKind::RegionBegin), 1u);
+    EXPECT_EQ(countKind(es, EventKind::RegionEnd), 1u);
+    EXPECT_EQ(countKind(es, EventKind::RealAttach), 1u);
+    EXPECT_EQ(countKind(es, EventKind::ThreadGrant), 1u);
+    EXPECT_EQ(countKind(es, EventKind::ThreadRevoke), 1u);
+    EXPECT_EQ(countKind(es, EventKind::PmoMap), 1u);
+    // EW target not reached: the detach is deferred, not real.
+    EXPECT_EQ(countKind(es, EventKind::RealDetach), 0u);
+    const Event *sd = firstOf(es, EventKind::SilentDetach);
+    ASSERT_NE(sd, nullptr);
+    EXPECT_EQ(sd->arg, trace::silent::delayed);
+
+    // A second region on the still-resident PMO combines silently.
+    r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    const Event *sa =
+        firstOf(r.events(), EventKind::SilentAttach);
+    ASSERT_NE(sa, nullptr);
+    EXPECT_EQ(sa->arg, trace::silent::combined);
+}
+
+TEST(TraceEvents, AccessFaultEmitted)
+{
+    Rig r(RuntimeConfig::tt().withTrace());
+    EXPECT_EQ(r.rt->tryAccess(*r.tc, pm::Oid(r.pmo, 0), false),
+              AccessOutcome::NoMapping);
+    std::vector<Event> es = r.eventsOfKind(EventKind::AccessFault);
+    ASSERT_EQ(es.size(), 1u);
+    EXPECT_EQ(es[0].pmo, r.pmo);
+    EXPECT_EQ(es[0].arg, static_cast<std::uint64_t>(
+                             AccessOutcome::NoMapping));
+}
+
+TEST(TraceEvents, ManualBookendsTraced)
+{
+    Rig r(RuntimeConfig::mm().withTrace());
+    r.rt->manualBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    r.rt->manualEnd(*r.tc, r.pmo);
+    std::vector<Event> es = r.events();
+    EXPECT_EQ(countKind(es, EventKind::RegionBegin), 1u);
+    EXPECT_EQ(countKind(es, EventKind::RealAttach), 1u);
+    EXPECT_EQ(countKind(es, EventKind::RealDetach), 1u);
+    EXPECT_EQ(countKind(es, EventKind::RegionEnd), 1u);
+}
+
+// ---------------------------------------------------- sweeper path
+
+TEST(TraceSweeper, ForcedRandomizeWhileHeldThenDelayedDetach)
+{
+    // TM scheme, tiny EW target: end the region before the target so
+    // the detach is deferred, then drive onSweep past the target and
+    // expect the sweeper to apply the delayed detach.
+    RuntimeConfig cfg = RuntimeConfig::tm(usToCycles(5));
+    Rig r(cfg.withTrace());
+
+    r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    r.rt->regionEnd(*r.tc, r.pmo); // before target: deferred
+    EXPECT_TRUE(r.rt->mapped(r.pmo));
+
+    Cycles past = r.tc->now() + usToCycles(50);
+    r.rt->onSweep(past);
+    EXPECT_FALSE(r.rt->mapped(r.pmo));
+
+    std::vector<Event> es = r.events();
+    const Event *dd = firstOf(es, EventKind::DelayedDetach);
+    const Event *rd = firstOf(es, EventKind::RealDetach);
+    const Event *sd = firstOf(es, EventKind::SilentDetach);
+    ASSERT_NE(dd, nullptr);
+    ASSERT_NE(rd, nullptr);
+    ASSERT_NE(sd, nullptr);
+    // Order: the deferred (silent) detach at region end, then the
+    // sweeper's delayed-detach application, then the real detach.
+    EXPECT_LT(sd->seq, dd->seq);
+    EXPECT_LT(dd->seq, rd->seq);
+    EXPECT_EQ(dd->ts, past);
+    EXPECT_EQ(countKind(es, EventKind::Randomize), 0u);
+
+    // The audit must agree with the tracker even on forced paths.
+    r.rt->finalize();
+    trace::AuditReport a = trace::auditTimeline(
+        *r.rt->traceSink(), r.mach.maxClock(), r.rt->exposure());
+    EXPECT_TRUE(a.ok) << a.summary();
+}
+
+TEST(TraceSweeper, HeldPmoIsRandomizedInPlace)
+{
+    // A thread still inside the region when the target elapses: the
+    // sweeper must re-randomize in place, not detach.
+    RuntimeConfig cfg = RuntimeConfig::tm(usToCycles(5));
+    Rig r(cfg.withTrace());
+
+    r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    Cycles past = r.tc->now() + usToCycles(50);
+    r.rt->onSweep(past);
+    EXPECT_TRUE(r.rt->mapped(r.pmo));
+
+    std::vector<Event> es = r.events();
+    const Event *rz = firstOf(es, EventKind::Randomize);
+    ASSERT_NE(rz, nullptr);
+    EXPECT_EQ(rz->ts, past);
+    EXPECT_EQ(countKind(es, EventKind::DelayedDetach), 0u);
+    EXPECT_EQ(countKind(es, EventKind::RealDetach), 0u);
+    // The kernel track recorded the move.
+    EXPECT_EQ(countKind(es, EventKind::PmoRemap), 1u);
+
+    r.rt->regionEnd(*r.tc, r.pmo);
+    r.rt->finalize();
+    trace::AuditReport a = trace::auditTimeline(
+        *r.rt->traceSink(), r.mach.maxClock(), r.rt->exposure());
+    EXPECT_TRUE(a.ok) << a.summary();
+}
+
+TEST(TraceSweeper, TtSweepEventsOnSweeperTrack)
+{
+    // Full TT run: sweep ticks appear on the sweeper pseudo-track
+    // and every forced action still audits clean.
+    workloads::WhisperParams p;
+    p.sections = 80;
+    workloads::RunResult r = workloads::runWhisper(
+        "ctree", RuntimeConfig::tt(usToCycles(10)).withTrace(), p);
+    ASSERT_NE(r.trace, nullptr);
+    std::vector<Event> es = r.trace->merged();
+    EXPECT_GT(countKind(es, EventKind::SweepTick), 0u);
+    for (const Event &e : es) {
+        if (e.kind == EventKind::SweepTick)
+            EXPECT_EQ(e.tid, trace::TraceSink::sweeperTid);
+    }
+    ASSERT_NE(r.traceAudit, nullptr);
+    EXPECT_TRUE(r.traceAudit->ok) << r.traceAudit->summary();
+}
+
+// ------------------------------------- ordering under 4-thread SPEC
+
+TEST(TraceOrdering, FourThreadSpecSurrogate)
+{
+    workloads::SpecParams p;
+    p.threads = 4;
+    p.scale = 0.25;
+    workloads::RunResult r = workloads::runSpec(
+        "mcf", RuntimeConfig::tt().withTrace(), p);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_TRUE(r.trace->complete());
+
+    std::vector<Event> es = r.trace->merged();
+    ASSERT_FALSE(es.empty());
+
+    // seq is a strictly increasing total order.
+    for (std::size_t i = 1; i < es.size(); ++i)
+        EXPECT_LT(es[i - 1].seq, es[i].seq);
+
+    // Per real thread, virtual time never goes backwards.
+    std::map<std::uint32_t, Cycles> lastTs;
+    std::map<std::uint32_t, std::uint64_t> perTid;
+    for (const Event &e : es) {
+        if (e.tid >= 4)
+            continue;
+        auto it = lastTs.find(e.tid);
+        if (it != lastTs.end())
+            EXPECT_GE(e.ts, it->second) << "tid " << e.tid;
+        lastTs[e.tid] = e.ts;
+        ++perTid[e.tid];
+    }
+    EXPECT_EQ(perTid.size(), 4u); // every thread emitted something
+
+    // Regions balance per (thread, PMO).
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::int64_t>
+        depth;
+    for (const Event &e : es) {
+        std::int64_t &d = depth[{e.tid, e.pmo}];
+        if (e.kind == EventKind::RegionBegin)
+            ++d;
+        if (e.kind == EventKind::RegionEnd) {
+            --d;
+            EXPECT_GE(d, 0);
+        }
+    }
+    for (const auto &[key, d] : depth)
+        EXPECT_EQ(d, 0) << "tid " << key.first << " pmo "
+                        << key.second;
+
+    // Every thread got start/finish markers.
+    EXPECT_EQ(countKind(es, EventKind::ThreadStart), 4u);
+    EXPECT_EQ(countKind(es, EventKind::ThreadFinish), 4u);
+
+    ASSERT_NE(r.traceAudit, nullptr);
+    EXPECT_TRUE(r.traceAudit->ok) << r.traceAudit->summary();
+}
+
+// ------------------------- auditor vs EwTracker, all schemes
+
+namespace {
+
+void
+expectAuditOk(const workloads::RunResult &r, const std::string &what)
+{
+    ASSERT_NE(r.trace, nullptr) << what;
+    ASSERT_NE(r.traceAudit, nullptr) << what;
+    EXPECT_TRUE(r.trace->complete()) << what;
+    EXPECT_TRUE(r.traceAudit->ok)
+        << what << ": " << r.traceAudit->summary();
+}
+
+} // namespace
+
+TEST(TraceAudit, DifferentialWhisperAllSchemes)
+{
+    struct SchemeDef
+    {
+        const char *name;
+        RuntimeConfig cfg;
+    };
+    const SchemeDef schemes[] = {
+        {"unprotected", RuntimeConfig::unprotected()},
+        {"mm", RuntimeConfig::mm()},
+        {"tm", RuntimeConfig::tm()},
+        {"tt", RuntimeConfig::tt()},
+        {"tt-nocb", RuntimeConfig::ttNoCombining()},
+        {"basic", RuntimeConfig::basicSemantics()},
+    };
+    workloads::WhisperParams p;
+    p.sections = 60;
+    for (const char *w : {"echo", "hashmap"}) {
+        for (const SchemeDef &s : schemes) {
+            workloads::RunResult r =
+                workloads::runWhisper(w, s.cfg.withTrace(), p);
+            expectAuditOk(r, std::string(w) + "/" + s.name);
+        }
+    }
+}
+
+TEST(TraceAudit, DifferentialSpecBothInsertionStyles)
+{
+    // Manual (MM) vs automatic (TM/TT) attach semantics on the
+    // multi-PMO surrogates. MM manual sections don't refcount across
+    // threads, so it runs single-threaded as in bench/table4_spec.
+    for (const char *w : {"mcf", "xz"}) {
+        for (const auto &cfg :
+             {RuntimeConfig::mm(), RuntimeConfig::tm(),
+              RuntimeConfig::tt()}) {
+            workloads::SpecParams p;
+            p.threads = cfg.scheme == Scheme::MM ? 1 : 4;
+            p.scale = 0.2;
+            workloads::RunResult r =
+                workloads::runSpec(w, cfg.withTrace(), p);
+            expectAuditOk(r, std::string(w) + "/" +
+                                 schemeName(cfg.scheme));
+        }
+    }
+}
+
+TEST(TraceAudit, TamperedStreamIsCaught)
+{
+    Rig r(RuntimeConfig::tm(usToCycles(5)).withTrace());
+    r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
+    r.tc->work(usToCycles(10)); // exceed the EW target
+    r.rt->regionEnd(*r.tc, r.pmo); // past target: real detach
+    // Keep running after the detach so the missing-detach replay
+    // cannot be papered over by the end-of-run closure.
+    r.tc->work(usToCycles(10));
+    r.rt->finalize();
+
+    std::vector<Event> es = r.events();
+    trace::AuditReport good = trace::auditEvents(
+        es, true, r.mach.maxClock(), r.rt->exposure());
+    EXPECT_TRUE(good.ok) << good.summary();
+
+    // Drop the real detach: the recomputed EW must now disagree.
+    std::vector<Event> tampered;
+    bool dropped = false;
+    for (const Event &e : es) {
+        if (!dropped && e.kind == EventKind::RealDetach) {
+            dropped = true;
+            continue;
+        }
+        tampered.push_back(e);
+    }
+    ASSERT_TRUE(dropped);
+    trace::AuditReport bad = trace::auditEvents(
+        tampered, true, r.mach.maxClock(), r.rt->exposure());
+    EXPECT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.mismatches.empty());
+
+    // An incomplete (wrapped) trace must refuse to vouch.
+    trace::AuditReport inc = trace::auditEvents(
+        es, false, r.mach.maxClock(), r.rt->exposure());
+    EXPECT_FALSE(inc.ok);
+    EXPECT_FALSE(inc.complete);
+}
+
+// ------------------------------------------------------- exporters
+
+TEST(TraceExport, ChromeJsonAndJsonlWellFormed)
+{
+    workloads::WhisperParams p;
+    p.sections = 30;
+    workloads::RunResult r = workloads::runWhisper(
+        "echo", RuntimeConfig::tt().withTrace(), p);
+    ASSERT_NE(r.trace, nullptr);
+
+    std::ostringstream chrome;
+    trace::writeChromeTrace(*r.trace, chrome, "echo tt");
+    std::string cj = chrome.str();
+    EXPECT_NE(cj.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(cj.find("process_name"), std::string::npos);
+    EXPECT_NE(cj.find("real_attach"), std::string::npos);
+    EXPECT_NE(cj.find("\"cat\":\"pmo\""), std::string::npos);
+    EXPECT_NE(cj.find("\"cat\":\"region\""), std::string::npos);
+    // Balanced braces/brackets is a cheap well-formedness proxy.
+    EXPECT_EQ(std::count(cj.begin(), cj.end(), '{'),
+              std::count(cj.begin(), cj.end(), '}'));
+    EXPECT_EQ(std::count(cj.begin(), cj.end(), '['),
+              std::count(cj.begin(), cj.end(), ']'));
+
+    std::ostringstream jsonl;
+    trace::writeJsonl(*r.trace, jsonl);
+    std::string lj = jsonl.str();
+    std::uint64_t lines = static_cast<std::uint64_t>(
+        std::count(lj.begin(), lj.end(), '\n'));
+    EXPECT_EQ(lines, r.trace->totalEmitted());
+    EXPECT_NE(lj.find("\"kind\":\"thread_grant\""),
+              std::string::npos);
+}
