@@ -157,6 +157,16 @@ CircularBuffer::timestamp(pm::PmoId pmo) const
     return e->ts;
 }
 
+std::vector<pm::PmoId>
+CircularBuffer::residentPmos() const
+{
+    std::vector<pm::PmoId> out;
+    for (const auto &e : entries)
+        if (e.valid)
+            out.push_back(e.pmo);
+    return out;
+}
+
 unsigned
 CircularBuffer::liveEntries() const
 {

@@ -105,6 +105,9 @@ class CircularBuffer
     /** Number of live entries. */
     unsigned liveEntries() const;
 
+    /** Ids of all resident PMOs, in entry order (sweep visit order). */
+    std::vector<pm::PmoId> residentPmos() const;
+
     /** Forced eviction (used when a PMO is detached externally). */
     void evict(pm::PmoId pmo);
 

@@ -27,6 +27,19 @@ PermissionMatrix::remove(pm::PmoId pmo)
 }
 
 void
+PermissionMatrix::widen(pm::PmoId pmo, pm::Mode perm)
+{
+    for (auto &e : entries) {
+        if (e.pmo == pmo) {
+            e.perm = static_cast<pm::Mode>(
+                static_cast<unsigned>(e.perm) |
+                static_cast<unsigned>(perm));
+            return;
+        }
+    }
+}
+
+void
 PermissionMatrix::rebase(pm::PmoId pmo, std::uint64_t new_base)
 {
     for (auto &e : entries) {

@@ -38,6 +38,15 @@ class PermissionMatrix
     /** Remove the entry for a detach. */
     void remove(pm::PmoId pmo);
 
+    /**
+     * Grow an entry's permission to the union with @p perm. A lowered
+     * attach may request broader rights than the mode the PMO was
+     * mapped with; the process-wide entry must cover every granted
+     * mode (Fig 4's T2 attach(RW) after T1's attach(R)). No-op when
+     * no entry covers the PMO.
+     */
+    void widen(pm::PmoId pmo, pm::Mode perm);
+
     /** Update the VA range after a re-randomization. */
     void rebase(pm::PmoId pmo, std::uint64_t new_base);
 

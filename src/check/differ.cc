@@ -1,0 +1,561 @@
+#include "check/differ.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "check/oracle.hh"
+#include "common/units.hh"
+#include "core/runtime.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+#include "trace/audit.hh"
+
+namespace terp {
+namespace check {
+
+namespace {
+
+class Replay
+{
+  public:
+    Replay(const Schedule &sched, const core::RuntimeConfig &config,
+           std::vector<std::string> &complaints)
+        : s(sched), cfg(config), out(complaints),
+          rt(mach, pmos, cfg.withTrace()),
+          oracle(cfg, sched.threads),
+          hookPeriod(mach.config().hookPeriod), nextHook(hookPeriod)
+    {
+        for (unsigned p = 0; p < s.pmos; ++p) {
+            std::ostringstream name;
+            name << "fuzz-p" << p;
+            pmos.create(name.str(), s.pmoSize);
+        }
+        for (unsigned t = 0; t < s.threads; ++t)
+            mach.spawnThread();
+    }
+
+    void
+    run()
+    {
+        for (opIdx = 0; opIdx < s.ops.size(); ++opIdx) {
+            const Op &op = s.ops[opIdx];
+            if (op.kind == OpKind::Sweep) {
+                // Force the next sweeper boundary to fire now.
+                fireSweep(nextHook);
+                nextHook += hookPeriod;
+                continue;
+            }
+            sim::ThreadContext &tc = mach.thread(op.tid);
+            advanceSweeps(tc.now());
+            if (oracle.isBlocked(op.tid) != tc.blocked()) {
+                complain(oracle.isBlocked(op.tid)
+                             ? "oracle blocked, simulator runnable"
+                             : "simulator blocked, oracle runnable");
+                continue;
+            }
+            if (tc.blocked())
+                continue; // every op of a blocked thread is skipped
+            execute(op, tc);
+            probe(op);
+            checkBlockedMirror();
+        }
+        drain();
+    }
+
+    std::size_t currentOp() const { return opIdx; }
+
+  private:
+    struct Probe
+    {
+        Cycles t0 = 0;
+        std::uint64_t att0 = 0;
+        std::uint64_t det0 = 0;
+    };
+
+    const Schedule &s;
+    core::RuntimeConfig cfg;
+    std::vector<std::string> &out;
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    core::Runtime rt;
+    SpecOracle oracle;
+    Cycles hookPeriod;
+    Cycles nextHook;
+    std::size_t opIdx = 0;
+    bool draining = false;
+
+    std::string
+    context() const
+    {
+        std::ostringstream os;
+        if (draining)
+            os << "[drain] ";
+        else if (opIdx < s.ops.size())
+            os << "[op " << opIdx << ": " << describeOp(s.ops[opIdx])
+               << "] ";
+        return os.str();
+    }
+
+    void
+    complain(const std::string &msg)
+    {
+        out.push_back(context() + msg);
+    }
+
+    /** Merge oracle complaints, prefixed with the op context. */
+    void
+    flush(std::vector<std::string> &tmp)
+    {
+        for (auto &m : tmp)
+            complain(m);
+        tmp.clear();
+    }
+
+    Probe
+    preOp(const sim::ThreadContext &tc) const
+    {
+        return {tc.now(), rt.counters().get("attach_syscalls"),
+                rt.counters().get("detach_syscalls")};
+    }
+
+    Observed
+    postOp(const sim::ThreadContext &tc, const Probe &p) const
+    {
+        return {p.t0, tc.now(),
+                rt.counters().get("attach_syscalls") - p.att0,
+                rt.counters().get("detach_syscalls") - p.det0};
+    }
+
+    void
+    advanceSweeps(Cycles t)
+    {
+        while (nextHook <= t) {
+            fireSweep(nextHook);
+            nextHook += hookPeriod;
+        }
+    }
+
+    /**
+     * Fire one sweeper boundary: plan with the oracle, simulate the
+     * thread-clock charges independently, run the real sweep, then
+     * compare clocks and mapped state.
+     */
+    void
+    fireSweep(Cycles now)
+    {
+        std::vector<std::string> tmp;
+        std::vector<PlannedSweep> plan = oracle.planSweep(now, tmp);
+        flush(tmp);
+
+        // The CB applies actions in entry order; the software timer
+        // (and the oracle) in ascending PMO id.
+        std::vector<PlannedSweep> ordered;
+        if (cfg.windowCombining) {
+            for (pm::PmoId pmo : rt.circularBuffer().residentPmos())
+                for (const PlannedSweep &a : plan)
+                    if (a.pmo == pmo)
+                        ordered.push_back(a);
+            if (ordered.size() != plan.size()) {
+                std::ostringstream os;
+                os << "sweep@" << now << ": oracle plans "
+                   << plan.size() << " actions but only "
+                   << ordered.size() << " PMOs are CB-resident";
+                complain(os.str());
+                return;
+            }
+        } else {
+            ordered = plan;
+        }
+
+        // Simulate the charges: a forced detach syncs the
+        // earliest-running live thread to the boundary and bills it
+        // the detach syscall; a forced randomization suspends every
+        // live thread for the remap + shootdown.
+        unsigned n = mach.threadCount();
+        std::vector<Cycles> clk(n);
+        std::vector<bool> live(n);
+        for (unsigned i = 0; i < n; ++i) {
+            clk[i] = mach.thread(i).now();
+            live[i] = !mach.thread(i).done;
+        }
+        for (const PlannedSweep &a : ordered) {
+            if (a.detach) {
+                int best = -1;
+                for (unsigned i = 0; i < n; ++i)
+                    if (live[i] && (best < 0 || clk[i] < clk[best]))
+                        best = static_cast<int>(i);
+                Cycles closeAt = now;
+                if (best >= 0) {
+                    clk[best] = std::max(clk[best], now) +
+                                latency::detachSyscall +
+                                latency::tlbInvalidate;
+                    closeAt = clk[best];
+                }
+                oracle.applySweepDetach(a.pmo, closeAt);
+            } else {
+                for (unsigned i = 0; i < n; ++i)
+                    if (live[i])
+                        clk[i] += latency::randomize +
+                                  latency::tlbInvalidate;
+                oracle.applySweepRandomize(a.pmo, now);
+            }
+        }
+
+        rt.onSweep(now);
+
+        for (unsigned i = 0; i < n; ++i) {
+            if (mach.thread(i).now() != clk[i]) {
+                std::ostringstream os;
+                os << "sweep@" << now << ": thread " << i
+                   << " clock expected " << clk[i] << ", got "
+                   << mach.thread(i).now();
+                complain(os.str());
+            }
+        }
+        for (pm::PmoId p = 1; p <= s.pmos; ++p) {
+            if (rt.mapped(p) != oracle.mappedView(p)) {
+                std::ostringstream os;
+                os << "sweep@" << now << ": PMO " << p
+                   << " mapped=" << rt.mapped(p) << ", oracle says "
+                   << oracle.mappedView(p);
+                complain(os.str());
+            }
+        }
+        oracle.checkSweepInvariant(now, tmp);
+        flush(tmp);
+    }
+
+    void
+    execute(const Op &op, sim::ThreadContext &tc)
+    {
+        std::vector<std::string> tmp;
+        switch (op.kind) {
+          case OpKind::Work:
+            tc.work(op.work);
+            break;
+
+          case OpKind::Begin: {
+            if (cfg.insertion != core::Insertion::Auto)
+                break;
+            if (cfg.basicBlocking && oracle.ownsBasic(op.tid, op.pmo))
+                break; // nested basic attach is invalid: skip
+            Probe pr = preOp(tc);
+            bool expectBlock =
+                cfg.basicBlocking && oracle.willBlock(op.tid, op.pmo);
+            core::GuardResult g = rt.regionBegin(tc, op.pmo, op.mode);
+            if (expectBlock) {
+                if (g != core::GuardResult::Blocked)
+                    complain("begin should have blocked");
+                Observed o = postOp(tc, pr);
+                if (o.tPost != o.tPre || o.attaches || o.detaches)
+                    complain("blocked begin had side effects");
+                oracle.noteBlocked(op.tid, op.pmo, tmp);
+            } else {
+                if (g != core::GuardResult::Ok)
+                    complain("begin blocked unexpectedly");
+                else
+                    oracle.checkBegin(op.tid, op.pmo, op.mode,
+                                      postOp(tc, pr), tmp);
+            }
+            break;
+          }
+
+          case OpKind::End: {
+            if (cfg.insertion != core::Insertion::Auto)
+                break;
+            if (!oracle.canEnd(op.tid, op.pmo))
+                break; // unmatched end: skip
+            if (!oracle.endSafeAt(op.tid, op.pmo, tc.now()))
+                break; // would rewind the exposure tracker
+            Probe pr = preOp(tc);
+            rt.regionEnd(tc, op.pmo);
+            oracle.checkEnd(op.tid, op.pmo, postOp(tc, pr), tmp);
+            break;
+          }
+
+          case OpKind::ManualBegin: {
+            if (cfg.insertion != core::Insertion::Manual)
+                break;
+            if (!oracle.canManualBegin(op.pmo))
+                break;
+            Probe pr = preOp(tc);
+            rt.manualBegin(tc, op.pmo, op.mode);
+            oracle.checkManualBegin(op.tid, op.pmo, op.mode,
+                                    postOp(tc, pr), tmp);
+            break;
+          }
+
+          case OpKind::ManualEnd: {
+            if (cfg.insertion != core::Insertion::Manual)
+                break;
+            if (!oracle.canManualEnd(op.pmo))
+                break;
+            if (!oracle.endSafeAt(op.tid, op.pmo, tc.now()))
+                break; // would rewind the exposure tracker
+            Probe pr = preOp(tc);
+            rt.manualEnd(tc, op.pmo);
+            oracle.checkManualEnd(op.tid, op.pmo, postOp(tc, pr),
+                                  tmp);
+            break;
+          }
+
+          case OpKind::Access:
+            access(op.tid, tc, op.pmo, op.offset, op.write, tmp);
+            break;
+
+          case OpKind::Range: {
+            if (op.bytes == 0)
+                break;
+            // accessRange panics on faults, so only replay it when
+            // the oracle predicts a clean run.
+            if (oracle.expectedAccess(op.tid, op.pmo, op.write) !=
+                core::AccessOutcome::Ok) {
+                break;
+            }
+            std::uint64_t first = op.offset / lineSize;
+            std::uint64_t last =
+                (op.offset + op.bytes - 1) / lineSize;
+            std::uint64_t lines = last - first + 1;
+            Cycles other0 = tc.charged(sim::Charge::Other);
+            rt.accessRange(tc, pm::Oid(op.pmo, op.offset), op.bytes,
+                           op.write);
+            // The only Other charge inside an op is the 1-cycle
+            // permission-matrix check, one per touched line.
+            Cycles other = tc.charged(sim::Charge::Other) - other0;
+            if (other != lines) {
+                std::ostringstream os;
+                os << "range touched " << other
+                   << " lines, expected " << lines;
+                complain(os.str());
+            }
+            break;
+          }
+
+          case OpKind::Guarded: {
+            if (cfg.insertion != core::Insertion::Auto)
+                break;
+            if (cfg.basicBlocking && oracle.ownsBasic(op.tid, op.pmo))
+                break;
+            bool expectBlock =
+                cfg.basicBlocking && oracle.willBlock(op.tid, op.pmo);
+            Probe pr = preOp(tc);
+            Probe endPr{};
+            // On the heap so a guard that wrongly claims to have
+            // entered a blocked region can be leaked instead of
+            // destroyed: its (noexcept) destructor would lower a
+            // non-owner regionEnd, and the resulting panic would
+            // terminate the fuzzer instead of being reported.
+            auto guard = std::make_unique<core::RegionGuard>(
+                rt, tc, op.pmo, op.mode);
+            bool entered = guard->entered();
+            if (entered == expectBlock)
+                complain(expectBlock ? "guard should have blocked"
+                                     : "guard blocked unexpectedly");
+            if (entered && expectBlock) {
+                (void)guard.release();
+                break;
+            }
+            if (entered) {
+                oracle.checkBegin(op.tid, op.pmo, op.mode,
+                                  postOp(tc, pr), tmp);
+                flush(tmp);
+                for (unsigned j = 0; j < op.accesses; ++j) {
+                    access(op.tid, tc, op.pmo,
+                           op.offset + j * lineSize, op.write, tmp);
+                    flush(tmp);
+                }
+                endPr = preOp(tc);
+            } else {
+                Observed o = postOp(tc, pr);
+                if (o.tPost != o.tPre)
+                    complain("blocked guard charged cycles");
+                oracle.noteBlocked(op.tid, op.pmo, tmp);
+            }
+            guard.reset(); // destructor skips regionEnd iff blocked
+            if (entered)
+                oracle.checkEnd(op.tid, op.pmo, postOp(tc, endPr),
+                                tmp);
+            break;
+          }
+
+          case OpKind::Sweep:
+            break; // handled in run()
+        }
+        flush(tmp);
+    }
+
+    void
+    access(unsigned tid, sim::ThreadContext &tc, pm::PmoId pmo,
+           std::uint64_t offset, bool write,
+           std::vector<std::string> &tmp)
+    {
+        core::AccessOutcome want =
+            oracle.expectedAccess(tid, pmo, write);
+        Cycles at = tc.now();
+        core::AccessOutcome got =
+            rt.tryAccess(tc, pm::Oid(pmo, offset), write);
+        if (got != want) {
+            std::ostringstream os;
+            os << "access outcome " << core::accessOutcomeName(got)
+               << ", oracle expects "
+               << core::accessOutcomeName(want);
+            complain(os.str());
+        }
+        oracle.checkAccessVerdict(tid, pmo, write, at, got, tmp);
+    }
+
+    /** Cross-check runtime-visible state against the mirror. */
+    void
+    probe(const Op &op)
+    {
+        if (op.kind == OpKind::Work || op.kind == OpKind::Sweep)
+            return;
+        if (rt.mapped(op.pmo) != oracle.mappedView(op.pmo)) {
+            std::ostringstream os;
+            os << "mapped=" << rt.mapped(op.pmo) << ", oracle says "
+               << oracle.mappedView(op.pmo);
+            complain(os.str());
+        }
+        if (cfg.threadPerms &&
+            rt.threadHolds(op.tid, op.pmo) !=
+                oracle.holdsView(op.tid, op.pmo)) {
+            std::ostringstream os;
+            os << "threadHolds=" << rt.threadHolds(op.tid, op.pmo)
+               << ", oracle says "
+               << oracle.holdsView(op.tid, op.pmo);
+            complain(os.str());
+        }
+        if (cfg.windowCombining &&
+            rt.circularBuffer().counter(op.pmo) !=
+                oracle.holderCountView(op.pmo)) {
+            std::ostringstream os;
+            os << "CB counter=" << rt.circularBuffer().counter(op.pmo)
+               << ", oracle holder count="
+               << oracle.holderCountView(op.pmo);
+            complain(os.str());
+        }
+    }
+
+    void
+    checkBlockedMirror()
+    {
+        for (unsigned i = 0; i < mach.threadCount(); ++i) {
+            if (mach.thread(i).blocked() != oracle.isBlocked(i)) {
+                std::ostringstream os;
+                os << "thread " << i << " blocked="
+                   << mach.thread(i).blocked() << ", oracle says "
+                   << oracle.isBlocked(i);
+                complain(os.str());
+            }
+        }
+    }
+
+    /**
+     * End of run: mark every thread done, let the sweeper drain
+     * delayed detaches up to the final clock (nobody may be charged
+     * any more), then close the books and compare them.
+     */
+    void
+    drain()
+    {
+        draining = true;
+        unsigned n = mach.threadCount();
+        std::vector<Cycles> clk(n);
+        for (unsigned i = 0; i < n; ++i) {
+            clk[i] = mach.thread(i).now();
+            mach.thread(i).done = true;
+        }
+        Cycles tEnd = mach.maxClock();
+        while (nextHook <= tEnd) {
+            fireSweep(nextHook);
+            nextHook += hookPeriod;
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            if (mach.thread(i).now() != clk[i]) {
+                std::ostringstream os;
+                os << "drain sweep charged finished thread " << i
+                   << " (" << clk[i] << " -> "
+                   << mach.thread(i).now() << ")";
+                complain(os.str());
+            }
+        }
+
+        rt.finalize();
+        oracle.finalize(tEnd);
+
+        for (pm::PmoId p = 1; p <= s.pmos; ++p) {
+            compareSummary("EW", p, rt.exposure().ewSummaryFor(p),
+                           oracle.ewSummary(p));
+            compareSummary("TEW", p, rt.exposure().tewSummaryFor(p),
+                           oracle.tewSummary(p));
+        }
+
+        double got = rt.report().silentFraction;
+        double want = oracle.expectedSilentFraction();
+        if (std::fabs(got - want) > 1e-9) {
+            std::ostringstream os;
+            os << "silent fraction " << got << ", oracle expects "
+               << want;
+            complain(os.str());
+        }
+
+        if (auto sink = rt.traceSink()) {
+            trace::AuditReport rep =
+                trace::auditTimeline(*sink, tEnd, rt.exposure());
+            for (const std::string &m : rep.mismatches)
+                complain("trace audit: " + m);
+            if (!rep.ok && rep.mismatches.empty())
+                complain("trace audit failed without detail");
+        }
+    }
+
+    void
+    compareSummary(const char *what, pm::PmoId pmo,
+                   const Summary *got, const Summary *want)
+    {
+        Summary empty;
+        const Summary &g = got ? *got : empty;
+        const Summary &w = want ? *want : empty;
+        if (g.count() == w.count() && g.sum() == w.sum() &&
+            g.min() == w.min() && g.max() == w.max()) {
+            return;
+        }
+        std::ostringstream os;
+        os << what << " summary for PMO " << pmo << ": runtime {n="
+           << g.count() << ", sum=" << g.sum() << ", min=" << g.min()
+           << ", max=" << g.max() << "}, oracle {n=" << w.count()
+           << ", sum=" << w.sum() << ", min=" << w.min()
+           << ", max=" << w.max() << "}";
+        complain(os.str());
+    }
+};
+
+} // namespace
+
+DiffResult
+runSchedule(const Schedule &s, const core::RuntimeConfig &cfgIn)
+{
+    DiffResult res;
+    core::RuntimeConfig cfg = cfgIn;
+    cfg.ewTarget = s.ewTarget;
+    std::unique_ptr<Replay> replay;
+    try {
+        replay = std::make_unique<Replay>(s, cfg, res.complaints);
+        replay->run();
+    } catch (const std::exception &e) {
+        std::ostringstream os;
+        os << "crash";
+        if (replay && replay->currentOp() < s.ops.size())
+            os << " [op " << replay->currentOp() << ": "
+               << describeOp(s.ops[replay->currentOp()]) << "]";
+        os << ": " << e.what();
+        res.complaints.push_back(os.str());
+    }
+    res.ok = res.complaints.empty();
+    return res;
+}
+
+} // namespace check
+} // namespace terp

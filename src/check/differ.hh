@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The differential replayer: executes one fuzz schedule against a
+ * real core::Runtime and the SpecOracle in lockstep, cross-checking
+ * after every event.
+ *
+ * Checked per op: real-vs-silent decision (spec verdict vs observed
+ * syscall-counter deltas), the exact cycle charge on the acting
+ * thread, access outcomes against the mirrored permission state,
+ * mapped/holder/blocked state probes, and the accessRange line count
+ * (via the Other charge bucket, whose only per-op source is the
+ * 1-cycle permission-matrix check). Sweeper boundaries are fired
+ * explicitly between ops and their thread-clock effects simulated
+ * independently. After the run: EW/TEW window summaries, the
+ * reported silent fraction, and the PR-1 trace audit as a third
+ * opinion.
+ *
+ * A runtime assertion (TERP_ASSERT throws) is caught and reported as
+ * a "crash" divergence, so the shrinker can minimize those too.
+ */
+
+#ifndef TERP_CHECK_DIFFER_HH
+#define TERP_CHECK_DIFFER_HH
+
+#include <string>
+#include <vector>
+
+#include "check/schedule.hh"
+#include "core/config.hh"
+
+namespace terp {
+namespace check {
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    bool ok = false;
+    std::vector<std::string> complaints;
+};
+
+/** Replay @p s against a runtime with @p cfg and the spec oracle. */
+DiffResult runSchedule(const Schedule &s,
+                       const core::RuntimeConfig &cfg);
+
+} // namespace check
+} // namespace terp
+
+#endif // TERP_CHECK_DIFFER_HH

@@ -1,0 +1,70 @@
+#include "check/fuzzer.hh"
+
+#include <stdexcept>
+
+#include "check/shrink.hh"
+
+namespace terp {
+namespace check {
+
+std::vector<std::string>
+allSchemes()
+{
+    return {"mm", "tm", "tt", "ttnc", "basic"};
+}
+
+core::RuntimeConfig
+schemeConfig(const std::string &name, Cycles ew)
+{
+    if (name == "mm")
+        return core::RuntimeConfig::mm(ew);
+    if (name == "tm")
+        return core::RuntimeConfig::tm(ew);
+    if (name == "tt")
+        return core::RuntimeConfig::tt(ew);
+    if (name == "ttnc")
+        return core::RuntimeConfig::ttNoCombining(ew);
+    if (name == "basic")
+        return core::RuntimeConfig::basicSemantics(ew);
+    throw std::invalid_argument("unknown scheme: " + name);
+}
+
+FuzzResult
+fuzz(const FuzzOptions &opt)
+{
+    FuzzResult res;
+    std::vector<std::string> schemes =
+        opt.schemes.empty() ? allSchemes() : opt.schemes;
+
+    for (const std::string &scheme : schemes) {
+        core::RuntimeConfig cfg =
+            schemeConfig(scheme, opt.gen.ewTarget);
+        for (unsigned i = 0; i < opt.seeds; ++i) {
+            std::uint64_t seed = opt.firstSeed + i;
+            Schedule s = generate(seed, cfg, opt.gen);
+            DiffResult d = runSchedule(s, cfg);
+            ++res.executed;
+            if (d.ok)
+                continue;
+
+            Divergence div;
+            div.scheme = scheme;
+            div.seed = seed;
+            if (opt.shrink) {
+                div.shrunk = shrink(s, cfg);
+                div.complaints =
+                    runSchedule(div.shrunk, cfg).complaints;
+            } else {
+                div.shrunk = s;
+                div.complaints = d.complaints;
+            }
+            div.reproducer =
+                reproducerSnippet(div.shrunk, scheme, seed);
+            res.divergences.push_back(std::move(div));
+        }
+    }
+    return res;
+}
+
+} // namespace check
+} // namespace terp

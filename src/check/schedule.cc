@@ -1,0 +1,361 @@
+#include "check/schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hh"
+
+namespace terp {
+namespace check {
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Work: return "work";
+      case OpKind::Begin: return "begin";
+      case OpKind::End: return "end";
+      case OpKind::ManualBegin: return "manual-begin";
+      case OpKind::ManualEnd: return "manual-end";
+      case OpKind::Access: return "access";
+      case OpKind::Range: return "range";
+      case OpKind::Guarded: return "guarded";
+      case OpKind::Sweep: return "sweep";
+      default: return "?";
+    }
+}
+
+namespace {
+
+/**
+ * The generator's lightweight model of the run: enough state to emit
+ * mostly well-formed schedules. It mirrors the replayer's skip rules
+ * (a blocked Begin consumes the pair) so the bookkeeping stays exact
+ * even across the blocking ablation.
+ */
+struct GenState
+{
+    std::map<std::pair<unsigned, pm::PmoId>, unsigned> depth;
+    std::map<pm::PmoId, bool> manualMapped;
+    std::map<pm::PmoId, int> basicOwner; //!< -1 = unowned
+    std::vector<int> blockedOn;          //!< per tid; -1 = runnable
+
+    explicit GenState(unsigned threads) : blockedOn(threads, -1) {}
+};
+
+pm::Mode
+pickMode(Rng &rng)
+{
+    switch (rng.nextBelow(4)) {
+      case 0: return pm::Mode::Read;
+      default: return pm::Mode::ReadWrite;
+    }
+}
+
+} // namespace
+
+Schedule
+generate(std::uint64_t seed, const core::RuntimeConfig &cfg,
+         const GenParams &p)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    Schedule s;
+    s.threads = std::max(1u, p.threads);
+    s.pmos = std::max(1u, p.pmos);
+    s.pmoSize = p.pmoSize;
+    s.ewTarget = std::max<Cycles>(p.ewTarget, 5 * cyclesPerUs);
+    // Every sweeper randomize bills all live threads for the move
+    // plus the TLB shootdown.  If that bill per EW period exceeds
+    // the period itself (possible when many PMOs stay held), thread
+    // clocks outrun the sweeper geometrically and the replay never
+    // terminates; keep the window comfortably above that cost.
+    s.ewTarget = std::max<Cycles>(
+        s.ewTarget,
+        2 * s.pmos * (latency::randomize + latency::tlbInvalidate));
+
+    const bool manual = cfg.insertion == core::Insertion::Manual;
+    const bool basic = cfg.basicBlocking;
+    GenState st(s.threads);
+
+    auto emitWork = [&](unsigned tid) {
+        Op op;
+        op.kind = OpKind::Work;
+        op.tid = tid;
+        // Mostly short slices; occasionally a long one that pushes
+        // the thread past several sweep boundaries and the EW target.
+        op.work = rng.nextBool(0.25)
+                      ? rng.nextRange(s.ewTarget, 3 * s.ewTarget)
+                      : rng.nextRange(200, 4000);
+        s.ops.push_back(op);
+    };
+
+    for (unsigned i = 0; i < p.events; ++i) {
+        unsigned tid = static_cast<unsigned>(rng.nextBelow(s.threads));
+        if (basic && st.blockedOn[tid] != -1) {
+            // Every op of a blocked thread would be skipped by the
+            // replayer; spend the slot on a sweeper tick instead.
+            Op op;
+            op.kind = OpKind::Sweep;
+            s.ops.push_back(op);
+            continue;
+        }
+        // PmoManager ids start at 1 (0 is the reserved null id).
+        pm::PmoId pmo =
+            static_cast<pm::PmoId>(1 + rng.nextBelow(s.pmos));
+        unsigned roll = static_cast<unsigned>(rng.nextBelow(100));
+
+        if (roll < 20) {
+            emitWork(tid);
+            continue;
+        }
+        if (roll < 27) {
+            Op op;
+            op.kind = OpKind::Sweep;
+            s.ops.push_back(op);
+            continue;
+        }
+        if (roll < 45) {
+            Op op;
+            op.kind = OpKind::Access;
+            op.tid = tid;
+            op.pmo = pmo;
+            op.write = rng.nextBool(0.5);
+            op.offset = rng.nextBelow(s.pmoSize);
+            s.ops.push_back(op);
+            continue;
+        }
+        if (roll < 52 && !manual && !basic) {
+            Op op;
+            op.kind = OpKind::Range;
+            op.tid = tid;
+            op.pmo = pmo;
+            op.write = rng.nextBool(0.5);
+            op.offset = rng.nextBelow(s.pmoSize - 1024);
+            op.bytes = 1 + rng.nextBelow(700);
+            s.ops.push_back(op);
+            continue;
+        }
+
+        if (manual) {
+            Op op;
+            op.tid = tid;
+            op.pmo = pmo;
+            if (!st.manualMapped[pmo]) {
+                op.kind = OpKind::ManualBegin;
+                op.mode = pickMode(rng);
+                st.manualMapped[pmo] = true;
+            } else {
+                // Any thread may issue the manual end; MERR does not
+                // tie the detach to the attaching thread.
+                op.kind = OpKind::ManualEnd;
+                st.manualMapped[pmo] = false;
+            }
+            s.ops.push_back(op);
+            continue;
+        }
+
+        if (roll < 70) {
+            // Guarded region (all auto schemes; under basic this is
+            // the op that may block inside the RAII constructor).
+            Op op;
+            op.kind = OpKind::Guarded;
+            op.tid = tid;
+            op.pmo = pmo;
+            op.mode = pickMode(rng);
+            op.accesses = static_cast<unsigned>(rng.nextBelow(4));
+            op.offset = rng.nextBelow(s.pmoSize - 1024);
+            op.write = rng.nextBool(0.5);
+            s.ops.push_back(op);
+            continue;
+        }
+
+        unsigned &d = st.depth[{tid, pmo}];
+        if (basic && st.basicOwner.count(pmo) == 0)
+            st.basicOwner[pmo] = -1;
+        bool mayBegin = basic
+                            ? st.basicOwner[pmo] != static_cast<int>(tid)
+                            : d < 3;
+        bool mayEnd = basic ? st.basicOwner[pmo] == static_cast<int>(tid)
+                            : d > 0;
+        Op op;
+        op.tid = tid;
+        op.pmo = pmo;
+        if (mayEnd && (rng.nextBool(0.5) || !mayBegin)) {
+            op.kind = OpKind::End;
+            if (basic) {
+                st.basicOwner[pmo] = -1;
+                for (auto &b : st.blockedOn)
+                    if (b == static_cast<int>(pmo))
+                        b = -1;
+            } else {
+                --d;
+            }
+        } else if (mayBegin) {
+            op.kind = OpKind::Begin;
+            op.mode = pickMode(rng);
+            if (basic) {
+                if (st.basicOwner[pmo] == -1)
+                    st.basicOwner[pmo] = static_cast<int>(tid);
+                else
+                    st.blockedOn[tid] = static_cast<int>(pmo);
+            } else {
+                ++d;
+            }
+        } else {
+            emitWork(tid);
+            continue;
+        }
+        s.ops.push_back(op);
+    }
+
+    // Epilogue: close what is still open so most runs end balanced
+    // (the replayer tolerates unbalanced tails; finalize() closes
+    // the remaining windows).
+    if (manual) {
+        for (auto &[pmo, mapped] : st.manualMapped) {
+            if (!mapped)
+                continue;
+            Op op;
+            op.kind = OpKind::ManualEnd;
+            op.pmo = pmo;
+            s.ops.push_back(op);
+        }
+    } else if (basic) {
+        for (auto &[pmo, owner] : st.basicOwner) {
+            if (owner < 0)
+                continue;
+            Op op;
+            op.kind = OpKind::End;
+            op.tid = static_cast<unsigned>(owner);
+            op.pmo = pmo;
+            s.ops.push_back(op);
+        }
+    } else {
+        for (auto &[key, d] : st.depth) {
+            for (unsigned k = 0; k < d; ++k) {
+                Op op;
+                op.kind = OpKind::End;
+                op.tid = key.first;
+                op.pmo = key.second;
+                s.ops.push_back(op);
+            }
+        }
+    }
+    return s;
+}
+
+std::string
+describeOp(const Op &op)
+{
+    std::ostringstream os;
+    os << "t" << op.tid << " " << opKindName(op.kind);
+    switch (op.kind) {
+      case OpKind::Work:
+        os << "(" << op.work << "cyc)";
+        break;
+      case OpKind::Begin:
+      case OpKind::ManualBegin:
+        os << "(p" << op.pmo << ", "
+           << (op.mode == pm::Mode::Read ? "R" : "RW") << ")";
+        break;
+      case OpKind::End:
+      case OpKind::ManualEnd:
+        os << "(p" << op.pmo << ")";
+        break;
+      case OpKind::Access:
+        os << "(p" << op.pmo << "+" << op.offset << ", "
+           << (op.write ? "st" : "ld") << ")";
+        break;
+      case OpKind::Range:
+        os << "(p" << op.pmo << "+" << op.offset << ", " << op.bytes
+           << "B, " << (op.write ? "st" : "ld") << ")";
+        break;
+      case OpKind::Guarded:
+        os << "(p" << op.pmo << ", "
+           << (op.mode == pm::Mode::Read ? "R" : "RW") << ", "
+           << op.accesses << " acc)";
+        break;
+      case OpKind::Sweep:
+        os << "()";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+reproducerSnippet(const Schedule &s, const std::string &scheme,
+                  std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << "// terp-fuzz reproducer: scheme=" << scheme << " seed="
+       << seed << " (replay: terp-fuzz --scheme " << scheme
+       << " --first-seed " << seed << " --seeds 1)\n";
+    std::string factory = scheme;
+    if (scheme == "ttnc")
+        factory = "ttNoCombining";
+    else if (scheme == "basic")
+        factory = "basicSemantics";
+    os << "sim::Machine mach;\n";
+    os << "pm::PmoManager pmos;\n";
+    for (unsigned p = 0; p < s.pmos; ++p)
+        os << "pmos.create(\"p" << p + 1 << "\", " << s.pmoSize
+           << ");\n"; // create() hands out ids 1..N in order
+    os << "core::Runtime rt(mach, pmos, core::RuntimeConfig::"
+       << factory << "(" << s.ewTarget << "));\n";
+    for (unsigned t = 0; t < s.threads; ++t)
+        os << "auto &t" << t << " = mach.spawnThread();\n";
+    os << "// fire rt.onSweep at every " << "hookPeriod"
+       << " boundary of the acting thread's clock between ops\n";
+    for (const Op &op : s.ops) {
+        switch (op.kind) {
+          case OpKind::Work:
+            os << "t" << op.tid << ".work(" << op.work << ");\n";
+            break;
+          case OpKind::Begin:
+            os << "rt.regionBegin(t" << op.tid << ", " << op.pmo
+               << ", pm::Mode::"
+               << (op.mode == pm::Mode::Read ? "Read" : "ReadWrite")
+               << ");\n";
+            break;
+          case OpKind::End:
+            os << "rt.regionEnd(t" << op.tid << ", " << op.pmo
+               << ");\n";
+            break;
+          case OpKind::ManualBegin:
+            os << "rt.manualBegin(t" << op.tid << ", " << op.pmo
+               << ", pm::Mode::"
+               << (op.mode == pm::Mode::Read ? "Read" : "ReadWrite")
+               << ");\n";
+            break;
+          case OpKind::ManualEnd:
+            os << "rt.manualEnd(t" << op.tid << ", " << op.pmo
+               << ");\n";
+            break;
+          case OpKind::Access:
+            os << "rt.tryAccess(t" << op.tid << ", pm::Oid(" << op.pmo
+               << ", " << op.offset << "), "
+               << (op.write ? "true" : "false") << ");\n";
+            break;
+          case OpKind::Range:
+            os << "rt.accessRange(t" << op.tid << ", pm::Oid("
+               << op.pmo << ", " << op.offset << "), " << op.bytes
+               << ", " << (op.write ? "true" : "false") << ");\n";
+            break;
+          case OpKind::Guarded:
+            os << "{ core::RegionGuard g(rt, t" << op.tid << ", "
+               << op.pmo << ", pm::Mode::"
+               << (op.mode == pm::Mode::Read ? "Read" : "ReadWrite")
+               << "); /* " << op.accesses << " accesses */ }\n";
+            break;
+          case OpKind::Sweep:
+            os << "rt.onSweep(/* next boundary */);\n";
+            break;
+        }
+    }
+    os << "rt.finalize();\n";
+    return os.str();
+}
+
+} // namespace check
+} // namespace terp

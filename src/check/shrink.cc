@@ -1,0 +1,61 @@
+#include "check/shrink.hh"
+
+namespace terp {
+namespace check {
+
+namespace {
+
+/**
+ * Try deleting every window of @p chunk consecutive ops from
+ * @p best, keeping any deletion that preserves the divergence.
+ * Returns true when at least one window was removed.
+ */
+bool
+deletionPass(Schedule &best, const core::RuntimeConfig &cfg,
+             std::size_t chunk)
+{
+    bool progress = false;
+    std::size_t i = 0;
+    while (i + chunk <= best.ops.size()) {
+        Schedule trial = best;
+        trial.ops.erase(
+            trial.ops.begin() + static_cast<std::ptrdiff_t>(i),
+            trial.ops.begin() + static_cast<std::ptrdiff_t>(i + chunk));
+        if (!runSchedule(trial, cfg).ok) {
+            // Deletion kept the divergence; the next window slid
+            // into slot i, so retry the same index.
+            best = std::move(trial);
+            progress = true;
+        } else {
+            ++i;
+        }
+    }
+    return progress;
+}
+
+} // namespace
+
+Schedule
+shrink(const Schedule &s, const core::RuntimeConfig &cfg)
+{
+    if (runSchedule(s, cfg).ok)
+        return s;
+
+    // ddmin-style: single-op deletion alone gets stuck when the
+    // divergence depends on correlated ops (a begin whose matching
+    // end only fails when both go), so sweep chunk sizes from half
+    // the schedule down to 1 and repeat until a full round makes no
+    // progress.
+    Schedule best = s;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t chunk = best.ops.size() / 2; chunk >= 1;
+             chunk /= 2)
+            progress |= deletionPass(best, cfg, chunk);
+    }
+    return best;
+}
+
+} // namespace check
+} // namespace terp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Divergence minimization: greedy event deletion to a fixpoint.
+ *
+ * Because the replayer skips ops that are ill-formed in the state a
+ * run actually reaches, every subsequence of a schedule is itself a
+ * valid schedule — so shrinking needs no repair pass: delete one
+ * event, rerun, keep the deletion if the divergence survives.
+ */
+
+#ifndef TERP_CHECK_SHRINK_HH
+#define TERP_CHECK_SHRINK_HH
+
+#include "check/differ.hh"
+#include "check/schedule.hh"
+#include "core/config.hh"
+
+namespace terp {
+namespace check {
+
+/**
+ * Minimize @p s while runSchedule(s, cfg) stays divergent. Returns
+ * the shrunken schedule (== @p s when the run is clean or nothing
+ * can be deleted).
+ */
+Schedule shrink(const Schedule &s, const core::RuntimeConfig &cfg);
+
+} // namespace check
+} // namespace terp
+
+#endif // TERP_CHECK_SHRINK_HH

@@ -51,7 +51,9 @@ Runtime::minClockThread()
         if (!best || t.now() < best->now())
             best = &t;
     }
-    return best ? best : &mach.thread(0);
+    // No live thread (post-run drain): nobody to charge; callers use
+    // the chargeless paths instead of billing a finished thread.
+    return best;
 }
 
 // ------------------------------------------------------------- helpers
@@ -83,16 +85,29 @@ Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
 void
 Runtime::doRealDetach(sim::ThreadContext &tc, pm::PmoId pmo)
 {
-    tc.charge(sim::Charge::Detach,
-              latency::detachSyscall + latency::tlbInvalidate);
+    doRealDetachAt(&tc, pmo, tc.now());
+}
+
+void
+Runtime::doRealDetachAt(sim::ThreadContext *tc, pm::PmoId pmo,
+                        Cycles at)
+{
+    if (tc) {
+        tc->charge(sim::Charge::Detach,
+                   latency::detachSyscall + latency::tlbInvalidate);
+        at = tc->now();
+    }
     counts.inc("detach_syscalls");
 
     pm::Pmo &p = pm_.pmo(pmo);
     pm::MapChange ch = pm_.unmap(p);
     mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
     matrix.remove(pmo);
-    ew.processClose(pmo, tc.now());
-    emit(tc, trace::EventKind::RealDetach, pmo, ch.oldBase);
+    ew.processClose(pmo, at);
+    if (tc)
+        emit(*tc, trace::EventKind::RealDetach, pmo, ch.oldBase);
+    else
+        emitSweeper(trace::EventKind::RealDetach, at, pmo, ch.oldBase);
     maps[pmo].mapped = false;
 }
 
@@ -121,6 +136,11 @@ void
 Runtime::grantThread(sim::ThreadContext &tc, pm::PmoId pmo,
                      pm::Mode mode)
 {
+    // A lowered attach may request broader rights than the mode the
+    // PMO was originally mapped with; the process-level mapping must
+    // cover the union of granted modes (Fig 4: T2's attach(RW) after
+    // T1's attach(R) must make T2's stores legal). Found by terp-fuzz.
+    matrix.widen(pmo, mode);
     domains.grant(tc.tid(), pmo, mode);
     ew.threadOpen(tc.tid(), pmo, tc.now());
     emit(tc, trace::EventKind::ThreadGrant, pmo,
@@ -305,6 +325,7 @@ Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     if (++depth > 1) {
         // Nested pair: the kernel still gets the (cheap) call.
         tc.charge(sim::Charge::Attach, latency::permSyscall);
+        counts.inc("perm_syscalls");
         counts.inc("nested_regions");
         emit(tc, trace::EventKind::SilentAttach, pmo,
              trace::silent::nested);
@@ -332,6 +353,7 @@ Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
                 " pmo ", pmo);
     if (--depth > 0) {
         tc.charge(sim::Charge::Detach, latency::permSyscall);
+        counts.inc("perm_syscalls");
         emit(tc, trace::EventKind::SilentDetach, pmo,
              trace::silent::nested);
         emit(tc, trace::EventKind::RegionEnd, pmo);
@@ -489,9 +511,18 @@ void
 Runtime::accessRange(sim::ThreadContext &tc, const pm::Oid &oid,
                      std::uint64_t bytes, bool write)
 {
-    std::uint64_t lines = (bytes + lineSize - 1) / lineSize;
-    for (std::uint64_t i = 0; i < lines; ++i)
-        access(tc, oid.plus(i * lineSize), write);
+    if (bytes == 0)
+        return;
+    // One access per cache line the range overlaps. The start may sit
+    // mid-line, so count lines from floor(start/line) to
+    // ceil(end/line) rather than ceil(bytes/line): an unaligned range
+    // crossing a line boundary touches one more line than its byte
+    // count alone suggests.
+    std::uint64_t start = oid.offset();
+    std::uint64_t first = start / lineSize;
+    std::uint64_t last = (start + bytes - 1) / lineSize;
+    for (std::uint64_t l = first; l <= last; ++l)
+        access(tc, pm::Oid(oid.pool(), l * lineSize), write);
 }
 
 // -------------------------------------------------------------- sweep
@@ -510,8 +541,14 @@ Runtime::onSweep(Cycles now)
                 emitSweeper(trace::EventKind::DelayedDetach, now,
                             a.pmo);
                 sim::ThreadContext *tc = minClockThread();
-                tc->syncTo(now, sim::Charge::Other);
-                doRealDetach(*tc, a.pmo);
+                if (tc) {
+                    tc->syncTo(now, sim::Charge::Other);
+                    doRealDetach(*tc, a.pmo);
+                } else {
+                    // Post-run drain: every thread already finished,
+                    // so the kernel work is nobody's overhead.
+                    doRealDetachAt(nullptr, a.pmo, now);
+                }
             } else {
                 // Threads still hold the PMO: randomize in place so
                 // the location never outlives the max EW (partial
@@ -535,8 +572,12 @@ Runtime::onSweep(Cycles now)
         if (m.holders == 0 && cfg.insertion == Insertion::Auto) {
             emitSweeper(trace::EventKind::DelayedDetach, now, pmo);
             sim::ThreadContext *tc = minClockThread();
-            tc->syncTo(now, sim::Charge::Other);
-            doRealDetach(*tc, pmo);
+            if (tc) {
+                tc->syncTo(now, sim::Charge::Other);
+                doRealDetach(*tc, pmo);
+            } else {
+                doRealDetachAt(nullptr, pmo, now);
+            }
         } else {
             doRandomize(pmo, now);
             ew.processClose(pmo, now);
@@ -582,6 +623,18 @@ Runtime::report() const
         // mapping-changing system call.
         std::uint64_t silent = counts.get("cond_silent_nocb");
         std::uint64_t full = counts.get("cond_full_nocb");
+        if (silent + full > 0) {
+            r.silentFraction = static_cast<double>(silent) /
+                               static_cast<double>(silent + full);
+        }
+    } else if (cfg.scheme == Scheme::TM &&
+               cfg.insertion == Insertion::Auto) {
+        // TM elides mapping syscalls too (the EW-conscious rule in
+        // software): a lowered op that only touched the thread
+        // permission is a silent call for Table 3's purposes.
+        std::uint64_t silent = counts.get("perm_syscalls");
+        std::uint64_t full = counts.get("attach_syscalls") +
+                             counts.get("detach_syscalls");
         if (silent + full > 0) {
             r.silentFraction = static_cast<double>(silent) /
                                static_cast<double>(silent + full);

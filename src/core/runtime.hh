@@ -203,10 +203,18 @@ class Runtime
     void doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
                       pm::Mode mode);
     void doRealDetach(sim::ThreadContext &tc, pm::PmoId pmo);
+    /**
+     * Real detach with optional cycle attribution: with @p tc null
+     * (post-run drain, no live thread) the mapping/tracker work is
+     * done at time @p at and nobody is charged.
+     */
+    void doRealDetachAt(sim::ThreadContext *tc, pm::PmoId pmo,
+                        Cycles at);
     void doRandomize(pm::PmoId pmo, Cycles at);
     void grantThread(sim::ThreadContext &tc, pm::PmoId pmo,
                      pm::Mode mode);
     void revokeThread(sim::ThreadContext &tc, pm::PmoId pmo);
+    /** Earliest-clock live thread, or null when every thread done. */
     sim::ThreadContext *minClockThread();
 
     void ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
@@ -238,19 +246,32 @@ class Runtime
     }
 };
 
-/** RAII helper for a compiler-inserted region (never blocks). */
+/**
+ * RAII helper for a compiler-inserted region. Under the
+ * basic-blocking ablation the entry may return Blocked; the
+ * cooperative simulator cannot yield inside a constructor, so the
+ * guard records that the region was never entered, skips the end in
+ * its destructor, and exposes entered() so the caller can bail out
+ * (and retry after the scheduler wakes the thread).
+ */
 class RegionGuard
 {
   public:
     RegionGuard(Runtime &rt, sim::ThreadContext &tc, pm::PmoId pmo,
                 pm::Mode mode)
-        : runtime(rt), thread(tc), id(pmo)
+        : runtime(rt), thread(tc), id(pmo),
+          didEnter(rt.regionBegin(tc, pmo, mode) != GuardResult::Blocked)
     {
-        GuardResult r = runtime.regionBegin(thread, id, mode);
-        (void)r;
     }
 
-    ~RegionGuard() { runtime.regionEnd(thread, id); }
+    ~RegionGuard()
+    {
+        if (didEnter)
+            runtime.regionEnd(thread, id);
+    }
+
+    /** False when the begin blocked and the region was not entered. */
+    bool entered() const { return didEnter; }
 
     RegionGuard(const RegionGuard &) = delete;
     RegionGuard &operator=(const RegionGuard &) = delete;
@@ -259,6 +280,7 @@ class RegionGuard
     Runtime &runtime;
     sim::ThreadContext &thread;
     pm::PmoId id;
+    bool didEnter;
 };
 
 } // namespace core

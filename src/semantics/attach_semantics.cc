@@ -212,10 +212,11 @@ EwConsciousSemantics::onDetach(unsigned tid, pm::PmoId pmo, Cycles t)
     if (it == s.holders.end())
         return Verdict::Invalid; // detach without matching attach
     s.holders.erase(it);
-    // Guard the subtraction: with per-thread clocks a detach may be
-    // issued by a thread whose local time is behind the attacher's.
-    bool span_exceeded =
-        t > s.lastRealAttach && (t - s.lastRealAttach) > limit;
+    // Real detach once the window target is met or exceeded (Fig 7c's
+    // CurTime - TS >= maxEW); written addition-side so a detach by a
+    // thread whose local clock is behind the attacher's cannot
+    // underflow.
+    bool span_exceeded = t >= s.lastRealAttach + limit;
     if (span_exceeded && s.holders.empty()) {
         s.attached = false;
         return Verdict::Performed;
@@ -253,6 +254,26 @@ EwConsciousSemantics::permHolders(pm::PmoId pmo) const
 {
     auto it = st.find(pmo);
     return it == st.end() ? 0 : it->second.holders.size();
+}
+
+std::vector<SweepOutcome>
+EwConsciousSemantics::onSweep(Cycles t)
+{
+    std::vector<SweepOutcome> out;
+    for (auto &[pmo, s] : st) {
+        if (!s.attached || t < s.lastRealAttach + limit)
+            continue;
+        if (s.holders.empty()) {
+            s.attached = false;
+            out.push_back({pmo, true});
+        } else {
+            // Forced re-randomization: the location dies, the
+            // mapping survives, and a fresh window opens.
+            s.lastRealAttach = t;
+            out.push_back({pmo, false});
+        }
+    }
+    return out;
 }
 
 } // namespace semantics

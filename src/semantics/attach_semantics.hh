@@ -19,6 +19,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/units.hh"
 #include "pm/oid.hh"
@@ -46,6 +47,13 @@ enum class Verdict
 
 const char *verdictName(Verdict v);
 
+/** What a sweeper tick decided for one PMO (EW-Conscious only). */
+struct SweepOutcome
+{
+    pm::PmoId pmo;
+    bool detached; //!< true: fully detached; false: window restarted
+};
+
 /**
  * Abstract attach/detach semantics over one process. Thread ids
  * identify the calling thread; all models answer three questions:
@@ -66,6 +74,13 @@ class AttachSemantics
 
     /** Is the PMO currently mapped process-wide? */
     virtual bool mapped(pm::PmoId pmo) const = 0;
+
+    /**
+     * Periodic sweeper tick at time @p t (Fig 7a). Only the
+     * EW-Conscious model has time-bounded windows to enforce; the
+     * other semantics have no sweeper and return nothing.
+     */
+    virtual std::vector<SweepOutcome> onSweep(Cycles t) { return {}; }
 
     /** Factory. @p ew_limit only matters for EW-Conscious. */
     static std::unique_ptr<AttachSemantics>
@@ -168,6 +183,13 @@ class EwConsciousSemantics : public AttachSemantics
 
     /** Threads currently holding permission on @p pmo. */
     std::size_t permHolders(pm::PmoId pmo) const;
+
+    /**
+     * Sweeper: a PMO whose window reached the limit is fully
+     * detached when idle, or has its window restarted (modelling the
+     * forced re-randomization) when threads still hold permission.
+     */
+    std::vector<SweepOutcome> onSweep(Cycles t) override;
 
   private:
     struct St
