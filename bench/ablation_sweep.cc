@@ -11,35 +11,85 @@
  *  3. TEW-insertion-granularity ablation: the compiler's TEW
  *     threshold vs the measured thread exposure and cond overhead.
  *
- * Usage: ablation_sweep [sections]
+ * Usage: ablation_sweep [sections] [--jobs=N]
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
+#include "harness.hh"
 #include "security/attack_model.hh"
 #include "workloads/whisper.hh"
 
 using namespace terp;
 using namespace terp::workloads;
+using namespace terp::bench;
 
 int
-main(int argc, char **argv)
+terp::bench::run_ablation(int argc, char **argv)
 {
+    unsigned jobs = bench::jobsArg(argc, argv);
     WhisperParams p;
     p.sections = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 250));
+
+    const double ewTargets[] = {10.0, 20.0, 40.0, 80.0, 160.0, 320.0};
+    const double sweepPeriods[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+    const double tewTargets[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+
+    // Compute phase: three bases and every sweep point.
+    RunResult base, hbase, tbase;
+    std::vector<RunResult> ewRuns(std::size(ewTargets));
+    std::vector<RunResult> perRuns(std::size(sweepPeriods));
+    std::vector<RunResult> tewRuns(std::size(tewTargets));
+    ParallelRunner pool(jobs);
+    pool.add([&] {
+        base = runWhisperCounted(
+            "ycsb", core::RuntimeConfig::unprotected(), p);
+    });
+    for (std::size_t i = 0; i < std::size(ewTargets); ++i) {
+        pool.add([&, i] {
+            ewRuns[i] = runWhisperCounted(
+                "ycsb",
+                core::RuntimeConfig::tt(usToCycles(ewTargets[i])), p);
+        });
+    }
+    pool.add([&] {
+        hbase = runWhisperCounted(
+            "hashmap", core::RuntimeConfig::unprotected(), p);
+    });
+    for (std::size_t i = 0; i < std::size(sweepPeriods); ++i) {
+        pool.add([&, i] {
+            WhisperParams sp = p;
+            sp.sweepPeriod = usToCycles(sweepPeriods[i]);
+            perRuns[i] = runWhisperCounted(
+                "hashmap", core::RuntimeConfig::tt(), sp);
+        });
+    }
+    pool.add([&] {
+        tbase = runWhisperCounted(
+            "tpcc", core::RuntimeConfig::unprotected(), p);
+    });
+    for (std::size_t i = 0; i < std::size(tewTargets); ++i) {
+        pool.add([&, i] {
+            tewRuns[i] = runWhisperCounted(
+                "tpcc",
+                core::RuntimeConfig::tt(usToCycles(40),
+                                        usToCycles(tewTargets[i])),
+                p);
+        });
+    }
+    pool.run();
 
     // ---- 1. EW target sweep ----------------------------------------
     std::printf("=== Ablation 1: EW target sweep (ycsb) — security "
                 "vs overhead ===\n");
     std::printf("%-8s %10s %10s %12s %16s\n", "EW(us)", "overhead",
                 "EWavg(us)", "ER%", "P(success)/win");
-    RunResult base =
-        runWhisper("ycsb", core::RuntimeConfig::unprotected(), p);
-    for (double ew : {10.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
-        RunResult r = runWhisper(
-            "ycsb", core::RuntimeConfig::tt(usToCycles(ew)), p);
+    for (std::size_t i = 0; i < std::size(ewTargets); ++i) {
+        const double ew = ewTargets[i];
+        const RunResult &r = ewRuns[i];
         security::AttackScenario s;
         s.ewUs = ew;
         s.accessibleFraction = r.exposure.ter;
@@ -56,15 +106,11 @@ main(int argc, char **argv)
                 "overshoot (hashmap, 40us EW) ===\n");
     std::printf("%-12s %12s %12s %10s\n", "period(us)", "EWavg(us)",
                 "EWmax(us)", "overhead");
-    RunResult hbase =
-        runWhisper("hashmap", core::RuntimeConfig::unprotected(), p);
-    for (double period : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-        WhisperParams sp = p;
-        sp.sweepPeriod = usToCycles(period);
-        RunResult r =
-            runWhisper("hashmap", core::RuntimeConfig::tt(), sp);
-        std::printf("%-12.1f %12.1f %12.1f %9.1f%%\n", period,
-                    r.exposure.ewAvgUs, r.exposure.ewMaxUs,
+    for (std::size_t i = 0; i < std::size(sweepPeriods); ++i) {
+        const RunResult &r = perRuns[i];
+        std::printf("%-12.1f %12.1f %12.1f %9.1f%%\n",
+                    sweepPeriods[i], r.exposure.ewAvgUs,
+                    r.exposure.ewMaxUs,
                     100 * overheadVsBase(r, hbase));
     }
     std::printf("=> windows close at most ~1 sweep period + one "
@@ -76,15 +122,9 @@ main(int argc, char **argv)
                 "(tpcc, 40us EW) ===\n");
     std::printf("%-10s %10s %10s %10s\n", "TEW(us)", "TEWavg",
                 "TER%", "overhead");
-    RunResult tbase =
-        runWhisper("tpcc", core::RuntimeConfig::unprotected(), p);
-    for (double tew : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-        RunResult r = runWhisper(
-            "tpcc",
-            core::RuntimeConfig::tt(usToCycles(40),
-                                    usToCycles(tew)),
-            p);
-        std::printf("%-10.1f %10.2f %9.1f%% %9.1f%%\n", tew,
+    for (std::size_t i = 0; i < std::size(tewTargets); ++i) {
+        const RunResult &r = tewRuns[i];
+        std::printf("%-10.1f %10.2f %9.1f%% %9.1f%%\n", tewTargets[i],
                     r.exposure.tewAvgUs, 100 * r.exposure.ter,
                     100 * overheadVsBase(r, tbase));
     }
@@ -94,3 +134,11 @@ main(int argc, char **argv)
                 "compromised thread can act, cf. Fig 8's 2us pick.\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_ablation(argc, argv);
+}
+#endif

@@ -8,21 +8,26 @@
  * 95% of cases the dead time is 2 us or larger, so a 2 us TEW
  * removes ~95% of the data-only attack surface.
  *
- * Usage: fig08_dead_time [objects_per_profile]
+ * Usage: fig08_dead_time [objects_per_profile] [--jobs=N]
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "harness.hh"
 #include "security/dead_time.hh"
 #include "workloads/alloc.hh"
 
 using namespace terp;
 
 int
-main(int argc, char **argv)
+terp::bench::run_fig08(int argc, char **argv)
 {
+    // The dead-time figure is a single pooled computation; --jobs is
+    // accepted for interface uniformity but there is nothing to fan
+    // out.
+    (void)bench::jobsArg(argc, argv);
     auto objects = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 400));
 
@@ -69,3 +74,11 @@ main(int argc, char **argv)
                 analysis.recommendTew(0.95));
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_fig08(argc, argv);
+}
+#endif

@@ -4,7 +4,7 @@
  * MM(40us), TM(40us) and TT at 40/80/160us EW targets (TEW 2us),
  * broken into Attach / Detach / Rand / Cond / Other components.
  *
- * Usage: fig09_whisper_overhead [sections] [--trace=DIR]
+ * Usage: fig09_whisper_overhead [sections] [--trace=DIR] [--jobs=N]
  *
  * With --trace=DIR, every protected run also records an event trace
  * and drops DIR/<prog>-<scheme>.json for Perfetto. Tracing charges
@@ -12,8 +12,10 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
+#include "harness.hh"
 #include "workloads/whisper.hh"
 
 using namespace terp;
@@ -21,9 +23,10 @@ using namespace terp::workloads;
 using namespace terp::bench;
 
 int
-main(int argc, char **argv)
+terp::bench::run_fig09(int argc, char **argv)
 {
     std::string traceDir = bench::traceDirArg(argc, argv);
+    unsigned jobs = bench::jobsArg(argc, argv);
     WhisperParams p;
     p.sections = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 400));
@@ -46,31 +49,57 @@ main(int argc, char **argv)
         {"TT(160us)", "tt160",
          core::RuntimeConfig::tt(usToCycles(160))},
     };
+    const std::size_t ns = std::size(schemes);
+    const std::vector<std::string> &names = whisperNames();
 
-    double avg_total[5] = {};
-    for (const std::string &name : whisperNames()) {
-        RunResult base =
-            runWhisper(name, core::RuntimeConfig::unprotected(), p);
-        int si = 0;
-        for (const SchemeDef &s : schemes) {
-            core::RuntimeConfig cfg =
-                traceDir.empty() ? s.cfg : s.cfg.withTrace();
-            RunResult r = runWhisper(name, cfg, p);
-            dumpTrace(r, traceDir, name + "-" + s.slug);
-            Breakdown d = breakdown(r, base);
-            printBreakdownRow(name, s.name, d);
-            avg_total[si++] += d.total;
+    std::vector<RunResult> base(names.size());
+    std::vector<RunResult> cells(names.size() * ns);
+    ParallelRunner pool(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        pool.add([&, i] {
+            base[i] = runWhisperCounted(
+                names[i], core::RuntimeConfig::unprotected(), p);
+        });
+        for (std::size_t j = 0; j < ns; ++j) {
+            pool.add([&, i, j] {
+                core::RuntimeConfig cfg = traceDir.empty()
+                                              ? schemes[j].cfg
+                                              : schemes[j].cfg.withTrace();
+                cells[i * ns + j] = runWhisperCounted(names[i], cfg, p);
+            });
+        }
+    }
+    pool.run();
+
+    std::vector<double> avg_total(ns, 0.0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = 0; j < ns; ++j) {
+            const RunResult &r = cells[i * ns + j];
+            dumpTrace(r, traceDir,
+                      names[i] + "-" + schemes[j].slug);
+            Breakdown d = breakdown(r, base[i]);
+            printBreakdownRow(names[i], schemes[j].name, d);
+            avg_total[j] += d.total;
         }
         std::printf("\n");
     }
 
     std::printf("--- averages over the six workloads ---\n");
-    int si = 0;
-    for (const SchemeDef &s : schemes) {
-        std::printf("%-10s avg total overhead: %5.1f%%\n", s.name,
-                    100.0 * avg_total[si++] / 6.0);
+    for (std::size_t j = 0; j < ns; ++j) {
+        std::printf("%-10s avg total overhead: %5.1f%%\n",
+                    schemes[j].name,
+                    100.0 * avg_total[j] /
+                        static_cast<double>(names.size()));
     }
     std::printf("\npaper: MM(40us) ~20%%, TM(40us) ~30%% (1.5x MM), "
                 "TT(40us) ~6%%, decreasing with larger EW targets.\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_fig09(argc, argv);
+}
+#endif

@@ -4,12 +4,14 @@
  * MM(40us), TM(2us TEW, all system calls) and TT at 40/80/160us EW
  * targets, with the Attach/Detach/Rand/Cond/Other breakdown.
  *
- * Usage: fig10_spec_overhead [scale]
+ * Usage: fig10_spec_overhead [scale] [--jobs=N]
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hh"
+#include "harness.hh"
 #include "workloads/spec.hh"
 
 using namespace terp;
@@ -17,8 +19,9 @@ using namespace terp::workloads;
 using namespace terp::bench;
 
 int
-main(int argc, char **argv)
+terp::bench::run_fig10(int argc, char **argv)
 {
+    unsigned jobs = bench::jobsArg(argc, argv);
     SpecParams p;
     p.scale = bench::argOr(argc, argv, 1, 1.0);
 
@@ -38,29 +41,53 @@ main(int argc, char **argv)
         {"TT(80us)", core::RuntimeConfig::tt(usToCycles(80))},
         {"TT(160us)", core::RuntimeConfig::tt(usToCycles(160))},
     };
+    const std::size_t ns = std::size(schemes);
+    const std::vector<std::string> &names = specNames();
 
-    double avg_total[5] = {};
-    for (const std::string &name : specNames()) {
-        RunResult base =
-            runSpec(name, core::RuntimeConfig::unprotected(), p);
-        int si = 0;
-        for (const SchemeDef &s : schemes) {
-            RunResult r = runSpec(name, s.cfg, p);
-            Breakdown d = breakdown(r, base);
-            printBreakdownRow(name, s.name, d);
-            avg_total[si++] += d.total;
+    std::vector<RunResult> base(names.size());
+    std::vector<RunResult> cells(names.size() * ns);
+    ParallelRunner pool(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        pool.add([&, i] {
+            base[i] = runSpecCounted(
+                names[i], core::RuntimeConfig::unprotected(), p);
+        });
+        for (std::size_t j = 0; j < ns; ++j) {
+            pool.add([&, i, j] {
+                cells[i * ns + j] =
+                    runSpecCounted(names[i], schemes[j].cfg, p);
+            });
+        }
+    }
+    pool.run();
+
+    std::vector<double> avg_total(ns, 0.0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = 0; j < ns; ++j) {
+            Breakdown d = breakdown(cells[i * ns + j], base[i]);
+            printBreakdownRow(names[i], schemes[j].name, d);
+            avg_total[j] += d.total;
         }
         std::printf("\n");
     }
 
     std::printf("--- averages over the five kernels ---\n");
-    int si = 0;
-    for (const SchemeDef &s : schemes) {
-        std::printf("%-10s avg total overhead: %6.1f%%\n", s.name,
-                    100.0 * avg_total[si++] / 5.0);
+    for (std::size_t j = 0; j < ns; ++j) {
+        std::printf("%-10s avg total overhead: %6.1f%%\n",
+                    schemes[j].name,
+                    100.0 * avg_total[j] /
+                        static_cast<double>(names.size()));
     }
     std::printf("\npaper: MM ~156%%, TM >300%%, TT 14.8%% at 40us "
                 "falling to 7.6%% at 160us; lbm highest among TT "
                 "(two PMOs active throughout).\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_fig10(argc, argv);
+}
+#endif

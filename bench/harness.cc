@@ -1,0 +1,130 @@
+#include "harness.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace terp {
+namespace bench {
+
+unsigned
+jobsArg(int &argc, char **argv)
+{
+    unsigned jobs = 1;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--jobs=", 0) == 0) {
+            long v = std::atol(a.c_str() + 7);
+            jobs = v > 1 ? static_cast<unsigned>(v) : 1;
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return jobs;
+}
+
+namespace {
+std::atomic<std::uint64_t> tallySims{0};
+std::atomic<std::uint64_t> tallyCycles{0};
+} // namespace
+
+SimTally
+tallySnapshot()
+{
+    SimTally t;
+    t.sims = tallySims.load(std::memory_order_relaxed);
+    t.simCycles = tallyCycles.load(std::memory_order_relaxed);
+    return t;
+}
+
+void
+noteSim(std::uint64_t cycles)
+{
+    tallySims.fetch_add(1, std::memory_order_relaxed);
+    tallyCycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+workloads::RunResult
+runWhisperCounted(const std::string &name,
+                  const core::RuntimeConfig &cfg,
+                  const workloads::WhisperParams &params)
+{
+    workloads::RunResult r = workloads::runWhisper(name, cfg, params);
+    noteSim(r.totalCycles);
+    return r;
+}
+
+workloads::RunResult
+runSpecCounted(const std::string &name,
+               const core::RuntimeConfig &cfg,
+               const workloads::SpecParams &params)
+{
+    workloads::RunResult r = workloads::runSpec(name, cfg, params);
+    noteSim(r.totalCycles);
+    return r;
+}
+
+void
+ParallelRunner::add(std::function<void()> fn)
+{
+    tasks.push_back(std::move(fn));
+}
+
+void
+ParallelRunner::run()
+{
+    if (nJobs <= 1 || tasks.size() <= 1) {
+        for (auto &t : tasks)
+            t();
+        tasks.clear();
+        return;
+    }
+
+    // Work queue: each worker claims the next unclaimed index. Task
+    // results land in pre-indexed slots owned by the caller, so the
+    // claim order cannot influence what gets printed later.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errLock;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size() ||
+                failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                tasks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(nJobs, tasks.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    tasks.clear();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace bench
+} // namespace terp

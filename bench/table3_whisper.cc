@@ -5,24 +5,43 @@
  * (TT) silent fraction, exposure window, exposure rate, thread
  * exposure window and thread exposure rate.
  *
- * Usage: table3_whisper [sections]
+ * Usage: table3_whisper [sections] [--jobs=N]
  */
 
 #include <cstdio>
 
 #include "arch/circular_buffer.hh"
 #include "bench_util.hh"
+#include "harness.hh"
 #include "workloads/whisper.hh"
 
 using namespace terp;
 using namespace terp::workloads;
+using namespace terp::bench;
 
 int
-main(int argc, char **argv)
+terp::bench::run_table3(int argc, char **argv)
 {
+    unsigned jobs = bench::jobsArg(argc, argv);
     WhisperParams p;
     p.sections = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 400));
+
+    const std::vector<std::string> &names = whisperNames();
+    std::vector<RunResult> mmRuns(names.size());
+    std::vector<RunResult> ttRuns(names.size());
+    ParallelRunner pool(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        pool.add([&, i] {
+            mmRuns[i] = runWhisperCounted(
+                names[i], core::RuntimeConfig::mm(), p);
+        });
+        pool.add([&, i] {
+            ttRuns[i] = runWhisperCounted(
+                names[i], core::RuntimeConfig::tt(), p);
+        });
+    }
+    pool.run();
 
     std::printf("=== Table III: WHISPER results, target EW 40us, "
                 "TEW 2us ===\n");
@@ -40,9 +59,10 @@ main(int argc, char **argv)
     double sum_tew = 0, sum_ter = 0, max_tt_ew = 0;
     unsigned n = 0;
 
-    for (const std::string &name : whisperNames()) {
-        RunResult mm = runWhisper(name, core::RuntimeConfig::mm(), p);
-        RunResult tt = runWhisper(name, core::RuntimeConfig::tt(), p);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const RunResult &mm = mmRuns[i];
+        const RunResult &tt = ttRuns[i];
         char mmew[32], ttew[32];
         std::snprintf(mmew, sizeof(mmew), "%.1f/%.1f",
                       mm.exposure.ewAvgUs, mm.exposure.ewMaxUs);
@@ -84,3 +104,11 @@ main(int argc, char **argv)
                 "EW varies; TEW < 2us; TER << ER.\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_table3(argc, argv);
+}
+#endif

@@ -5,22 +5,41 @@
  * windows and rate, TERP (TT) silent fraction, exposure window,
  * exposure rate, TEW and TER.
  *
- * Usage: table4_spec [scale]
+ * Usage: table4_spec [scale] [--jobs=N]
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "harness.hh"
 #include "workloads/spec.hh"
 
 using namespace terp;
 using namespace terp::workloads;
+using namespace terp::bench;
 
 int
-main(int argc, char **argv)
+terp::bench::run_table4(int argc, char **argv)
 {
+    unsigned jobs = bench::jobsArg(argc, argv);
     SpecParams p;
     p.scale = bench::argOr(argc, argv, 1, 1.0);
+
+    const std::vector<std::string> &names = specNames();
+    std::vector<RunResult> mmRuns(names.size());
+    std::vector<RunResult> ttRuns(names.size());
+    ParallelRunner pool(jobs);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        pool.add([&, i] {
+            mmRuns[i] =
+                runSpecCounted(names[i], core::RuntimeConfig::mm(), p);
+        });
+        pool.add([&, i] {
+            ttRuns[i] =
+                runSpecCounted(names[i], core::RuntimeConfig::tt(), p);
+        });
+    }
+    pool.run();
 
     std::printf("=== Table IV: SPEC results on 40us EW "
                 "(avg over all PMOs) ===\n\n");
@@ -33,9 +52,10 @@ main(int argc, char **argv)
     double s_tt_ew = 0, s_tt_er = 0, s_tew = 0, s_ter = 0;
     unsigned n = 0;
 
-    for (const std::string &name : specNames()) {
-        RunResult mm = runSpec(name, core::RuntimeConfig::mm(), p);
-        RunResult tt = runSpec(name, core::RuntimeConfig::tt(), p);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const RunResult &mm = mmRuns[i];
+        const RunResult &tt = ttRuns[i];
         char mmew[32];
         std::snprintf(mmew, sizeof(mmew), "%.1f/%.1f",
                       mm.exposure.ewAvgUs, mm.exposure.ewMaxUs);
@@ -71,3 +91,11 @@ main(int argc, char **argv)
                 "lowest).\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_table4(argc, argv);
+}
+#endif

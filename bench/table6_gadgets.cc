@@ -7,12 +7,13 @@
  * 1-TER of gadget time; MERR leaves ER exposed), plus the Fig 12
  * data-only attack outcome per scheme.
  *
- * Usage: table6_gadgets [sections] [scale]
+ * Usage: table6_gadgets [sections] [scale] [--jobs=N]
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "harness.hh"
 #include "security/dop.hh"
 #include "security/gadget.hh"
 #include "workloads/spec.hh"
@@ -22,13 +23,61 @@ using namespace terp;
 using namespace terp::security;
 
 int
-main(int argc, char **argv)
+terp::bench::run_table6(int argc, char **argv)
 {
+    unsigned jobs = bench::jobsArg(argc, argv);
     workloads::WhisperParams wp;
     wp.sections = static_cast<std::uint64_t>(
         bench::argOr(argc, argv, 1, 200));
     workloads::SpecParams sp;
     sp.scale = bench::argOr(argc, argv, 2, 0.5);
+
+    const std::vector<std::string> &wNames =
+        workloads::whisperNames();
+    const std::vector<std::string> &sNames = workloads::specNames();
+
+    // Compute phase: the static census, the 2x11 measured runs and
+    // the three DOP attack runs are all independent.
+    std::vector<GadgetCensus> census(sNames.size());
+    std::vector<workloads::RunResult> wTt(wNames.size());
+    std::vector<workloads::RunResult> wMm(wNames.size());
+    std::vector<workloads::RunResult> sTt(sNames.size());
+    std::vector<workloads::RunResult> sMm(sNames.size());
+    const core::RuntimeConfig dopCfgs[] = {
+        core::RuntimeConfig::unprotected(), core::RuntimeConfig::mm(),
+        core::RuntimeConfig::tt()};
+    DopResult dop[3];
+
+    bench::ParallelRunner pool(jobs);
+    for (std::size_t i = 0; i < sNames.size(); ++i) {
+        pool.add([&, i] {
+            pm::PmoManager pmos(7);
+            auto prog = workloads::buildSpec(
+                sNames[i], pmos, compiler::PassConfig{}, sp);
+            census[i] = analyzeGadgets(prog.module);
+        });
+        pool.add([&, i] {
+            sTt[i] = bench::runSpecCounted(
+                sNames[i], core::RuntimeConfig::tt(), sp);
+        });
+        pool.add([&, i] {
+            sMm[i] = bench::runSpecCounted(
+                sNames[i], core::RuntimeConfig::mm(), sp);
+        });
+    }
+    for (std::size_t i = 0; i < wNames.size(); ++i) {
+        pool.add([&, i] {
+            wTt[i] = bench::runWhisperCounted(
+                wNames[i], core::RuntimeConfig::tt(), wp);
+        });
+        pool.add([&, i] {
+            wMm[i] = bench::runWhisperCounted(
+                wNames[i], core::RuntimeConfig::mm(), wp);
+        });
+    }
+    for (std::size_t k = 0; k < 3; ++k)
+        pool.add([&, k] { dop[k] = runFtpAttack(dopCfgs[k]); });
+    pool.run();
 
     std::printf("=== Table VI: gadget disarm analysis ===\n\n");
 
@@ -40,12 +89,10 @@ main(int argc, char **argv)
     std::printf("--- static census (instrumented SPEC kernels) ---\n");
     std::printf("%-8s %8s %12s %12s\n", "prog", "gadgets",
                 "TERP-disarm%", "MERR-disarm%");
-    for (const std::string &name : workloads::specNames()) {
-        pm::PmoManager pmos(7);
-        auto prog = workloads::buildSpec(
-            name, pmos, compiler::PassConfig{}, sp);
-        GadgetCensus c = analyzeGadgets(prog.module);
-        std::printf("%-8s %8llu %11.1f%% %11.1f%%\n", name.c_str(),
+    for (std::size_t i = 0; i < sNames.size(); ++i) {
+        const GadgetCensus &c = census[i];
+        std::printf("%-8s %8llu %11.1f%% %11.1f%%\n",
+                    sNames[i].c_str(),
                     (unsigned long long)c.totalGadgets,
                     100 * c.terpDisarmRate(),
                     100 * c.merrDisarmRate());
@@ -54,16 +101,12 @@ main(int argc, char **argv)
     // ---- time-weighted rates from measured exposure ---------------
     std::printf("\n--- time-weighted disarm rates (measured) ---\n");
     double w_ter = 0, w_er = 0;
-    for (const std::string &name : workloads::whisperNames()) {
-        auto tt = workloads::runWhisper(
-            name, core::RuntimeConfig::tt(), wp);
-        auto mm = workloads::runWhisper(
-            name, core::RuntimeConfig::mm(), wp);
-        w_ter += tt.exposure.ter;
-        w_er += mm.exposure.er;
+    for (std::size_t i = 0; i < wNames.size(); ++i) {
+        w_ter += wTt[i].exposure.ter;
+        w_er += wMm[i].exposure.er;
     }
-    w_ter /= 6.0;
-    w_er /= 6.0;
+    w_ter /= static_cast<double>(wNames.size());
+    w_er /= static_cast<double>(wNames.size());
     std::printf("WHISPER: TERP disarms %.1f%% of gadget time "
                 "(paper 96.6%%); MERR keeps %.1f%% exposed "
                 "(paper 24.5%%)\n",
@@ -71,16 +114,12 @@ main(int argc, char **argv)
                 100 * merrTimeWeightedKeptRate(w_er));
 
     double s_ter = 0, s_er = 0;
-    for (const std::string &name : workloads::specNames()) {
-        auto tt = workloads::runSpec(name,
-                                     core::RuntimeConfig::tt(), sp);
-        auto mm = workloads::runSpec(name,
-                                     core::RuntimeConfig::mm(), sp);
-        s_ter += tt.exposure.ter;
-        s_er += mm.exposure.er;
+    for (std::size_t i = 0; i < sNames.size(); ++i) {
+        s_ter += sTt[i].exposure.ter;
+        s_er += sMm[i].exposure.er;
     }
-    s_ter /= 5.0;
-    s_er /= 5.0;
+    s_ter /= static_cast<double>(sNames.size());
+    s_er /= static_cast<double>(sNames.size());
     std::printf("SPEC   : TERP disarms %.1f%% of gadget time "
                 "(paper 89.98%%); MERR keeps %.1f%% exposed "
                 "(paper 27.2%%)\n",
@@ -91,12 +130,10 @@ main(int argc, char **argv)
     std::printf("\n--- Fig 12 data-only attack outcome ---\n");
     std::printf("%-14s %12s %10s %8s\n", "scheme", "corrupted",
                 "faults", "rand");
-    for (const auto &cfg :
-         {core::RuntimeConfig::unprotected(),
-          core::RuntimeConfig::mm(), core::RuntimeConfig::tt()}) {
-        DopResult r = runFtpAttack(cfg);
+    for (std::size_t k = 0; k < 3; ++k) {
+        const DopResult &r = dop[k];
         std::printf("%-14s %6llu/%-5llu %10llu %8llu\n",
-                    core::schemeName(cfg.scheme),
+                    core::schemeName(dopCfgs[k].scheme),
                     (unsigned long long)r.nodesCorrupted,
                     (unsigned long long)r.listLength,
                     (unsigned long long)r.accessFaults,
@@ -108,3 +145,11 @@ main(int argc, char **argv)
                 "window.\n");
     return 0;
 }
+
+#ifndef TERP_BENCH_NO_MAIN
+int
+main(int argc, char **argv)
+{
+    return terp::bench::run_table6(argc, argv);
+}
+#endif

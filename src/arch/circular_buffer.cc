@@ -1,5 +1,7 @@
 #include "arch/circular_buffer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace terp {
@@ -42,6 +44,8 @@ CircularBuffer::allocate(pm::PmoId pmo, Cycles now)
     for (auto &e : entries) {
         if (!e.valid) {
             e = Entry{true, pmo, now, 1, false};
+            minTs = nLive == 0 ? now : std::min(minTs, now);
+            ++nLive;
             return e;
         }
     }
@@ -93,6 +97,7 @@ CircularBuffer::condDetach(pm::PmoId pmo, Cycles now, Cycles max_ew)
         // Case 5: last thread and the exposure window target has
         // been met or exceeded; caller performs the detach syscall.
         e->valid = false;
+        --nLive;
         ++st.case5;
         return CondDetachCase::FullDetach;
     }
@@ -107,25 +112,36 @@ std::vector<SweepAction>
 CircularBuffer::sweep(Cycles now, Cycles max_ew)
 {
     std::vector<SweepAction> actions;
+    // Quiescent fast path: nothing resident, or even the oldest
+    // window is younger than the target. Either way a full scan
+    // would decide no action, so skip it.
+    if (nLive == 0 || now < minTs + max_ew)
+        return actions;
+    Cycles newMin = ~Cycles(0);
     for (auto &e : entries) {
         if (!e.valid)
             continue;
-        if (now < e.ts + max_ew)
+        if (now < e.ts + max_ew) {
+            newMin = std::min(newMin, e.ts);
             continue; // max EW not reached yet; leave alone
+        }
         if (e.ctr == 0) {
             TERP_ASSERT(e.dd, "Ctr==0 entry must be delayed-detach");
             // No thread works on the PMO: fully detach it.
             e.valid = false;
+            --nLive;
             actions.push_back({e.pmo, true});
             ++st.sweepDetach;
         } else {
             // Threads still hold it: re-randomize in place and
             // restart the window.
             e.ts = now;
+            newMin = std::min(newMin, e.ts);
             actions.push_back({e.pmo, false});
             ++st.sweepRandomize;
         }
     }
+    minTs = nLive ? newMin : 0;
     return actions;
 }
 
@@ -180,8 +196,10 @@ CircularBuffer::liveEntries() const
 void
 CircularBuffer::evict(pm::PmoId pmo)
 {
-    if (Entry *e = find(pmo))
+    if (Entry *e = find(pmo)) {
         e->valid = false;
+        --nLive;
+    }
 }
 
 } // namespace arch

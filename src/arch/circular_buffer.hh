@@ -145,6 +145,18 @@ class CircularBuffer
     std::array<Entry, capacity> entries{};
     Stats st;
 
+    /**
+     * Sweep fast path: the periodic tick fires orders of magnitude
+     * more often than a window actually expires, so sweep() bails
+     * without scanning when no live entry can have reached the EW
+     * target yet. nLive counts valid entries; minTs is a conservative
+     * lower bound on their timestamps (exact after every real scan,
+     * only ever too low in between, so a stale bound costs at most a
+     * scan that finds nothing — never a missed expiry).
+     */
+    unsigned nLive = 0;
+    Cycles minTs = 0;
+
     Entry *find(pm::PmoId pmo);
     const Entry *find(pm::PmoId pmo) const;
     Entry &allocate(pm::PmoId pmo, Cycles now);

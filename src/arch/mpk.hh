@@ -7,13 +7,18 @@
  * rights in each domain. Toggling a thread's permission costs the
  * measured 27 cycles (Table II, "silent conditional attach/detach")
  * which the caller charges.
+ *
+ * Rights live in a dense per-thread table indexed by PmoId (tids and
+ * PmoIds are both small sequential integers), so the allows() check
+ * on the ld/st path is two array indexes instead of a red-black tree
+ * walk.
  */
 
 #ifndef TERP_ARCH_MPK_HH
 #define TERP_ARCH_MPK_HH
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "pm/oid.hh"
 #include "pm/pmo.hh"
@@ -26,25 +31,76 @@ class ThreadDomains
 {
   public:
     /** Grant @p mode rights on @p pmo to thread @p tid. */
-    void grant(unsigned tid, pm::PmoId pmo, pm::Mode mode);
+    void
+    grant(unsigned tid, pm::PmoId pmo, pm::Mode mode)
+    {
+        slot(tid, pmo) = mode;
+    }
 
     /** Revoke thread @p tid's rights on @p pmo. */
-    void revoke(unsigned tid, pm::PmoId pmo);
+    void
+    revoke(unsigned tid, pm::PmoId pmo)
+    {
+        if (tid < perms.size() && pmo < perms[tid].size())
+            perms[tid][pmo] = pm::Mode::None;
+    }
 
     /** Does the thread currently allow this kind of access? */
-    bool allows(unsigned tid, pm::PmoId pmo, bool write) const;
+    bool
+    allows(unsigned tid, pm::PmoId pmo, bool write) const
+    {
+        pm::Mode m = modeOf(tid, pmo);
+        return m != pm::Mode::None && pm::modeAllows(m, write);
+    }
 
     /** Does the thread hold any permission on the PMO? */
-    bool holds(unsigned tid, pm::PmoId pmo) const;
+    bool
+    holds(unsigned tid, pm::PmoId pmo) const
+    {
+        return modeOf(tid, pmo) != pm::Mode::None;
+    }
 
     /** Number of threads holding any permission on the PMO. */
-    unsigned holderCount(pm::PmoId pmo) const;
+    unsigned
+    holderCount(pm::PmoId pmo) const
+    {
+        unsigned n = 0;
+        for (const auto &row : perms)
+            if (pmo < row.size() && row[pmo] != pm::Mode::None)
+                ++n;
+        return n;
+    }
 
     /** Drop all rights on a PMO for every thread (full detach). */
-    void revokeAll(pm::PmoId pmo);
+    void
+    revokeAll(pm::PmoId pmo)
+    {
+        for (auto &row : perms)
+            if (pmo < row.size())
+                row[pmo] = pm::Mode::None;
+    }
 
   private:
-    std::map<std::pair<unsigned, pm::PmoId>, pm::Mode> perms;
+    pm::Mode
+    modeOf(unsigned tid, pm::PmoId pmo) const
+    {
+        if (tid >= perms.size() || pmo >= perms[tid].size())
+            return pm::Mode::None;
+        return perms[tid][pmo];
+    }
+
+    pm::Mode &
+    slot(unsigned tid, pm::PmoId pmo)
+    {
+        if (tid >= perms.size())
+            perms.resize(tid + 1);
+        auto &row = perms[tid];
+        if (pmo >= row.size())
+            row.resize(pmo + 1, pm::Mode::None);
+        return row[pmo];
+    }
+
+    std::vector<std::vector<pm::Mode>> perms; //!< [tid][pmo]
 };
 
 } // namespace arch

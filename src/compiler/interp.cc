@@ -12,14 +12,127 @@ Interpreter::Interpreter(const Module &m, core::Runtime &rt_,
                          std::uint64_t quantum_)
     : mod(&m), rt(&rt_), mach(&mach_), mem(&mem_), quantum(quantum_)
 {
+    dfuncs.resize(m.functions.size());
+    for (std::uint32_t i = 0; i < m.functions.size(); ++i)
+        decodeFunction(i);
+
     const Function &f = m.function(entry);
     TERP_ASSERT(args.size() <= f.nParams, "too many arguments");
     Frame fr;
     fr.fn = entry;
-    fr.regs.assign(f.nRegs, 0);
+    fr.regs.assign(f.nRegs + 1, 0); // +1: phantom zero register
     for (std::size_t i = 0; i < args.size(); ++i)
         fr.regs[i] = args[i];
+    bindBlock(fr);
     stack.push_back(std::move(fr));
+}
+
+void
+Interpreter::decodeFunction(std::uint32_t i)
+{
+    const Function &f = mod->function(i);
+    DFunc &df = dfuncs[i];
+    df.nRegs = f.nRegs;
+    // Phantom always-zero register (see DFunc doc): rewriting noReg
+    // operands to it lets the dispatch loop index regs[] without a
+    // sentinel branch.
+    const Reg zr = f.nRegs;
+    auto z = [zr](Reg r) { return r == noReg ? zr : r; };
+    df.blocks.reserve(f.blocks.size());
+    for (const BasicBlock &bb : f.blocks) {
+        // Proven here so the dispatch loop needs no per-instruction
+        // bounds check: execution can only leave a block through its
+        // terminator (a Call resumes at idx+1, which stays inside
+        // the block because Call is not a terminator).
+        TERP_ASSERT(!bb.instrs.empty() &&
+                        isTerminator(bb.instrs.back().op),
+                    "unterminated basic block reached the ",
+                    "interpreter in function ", f.name);
+        df.blocks.emplace_back(
+            static_cast<std::uint32_t>(df.code.size()),
+            static_cast<std::uint32_t>(bb.instrs.size()));
+        for (const Instr &in : bb.instrs) {
+            DInstr d;
+            d.op = in.op;
+            d.dst = in.dst;
+            d.ra = in.ra;
+            d.rb = in.rb;
+            d.mode = in.mode;
+            d.aux = in.imm;
+            switch (in.op) {
+              case Op::PmoBase:
+              case Op::CondAttach:
+              case Op::CondDetach:
+              case Op::ManualAttach:
+              case Op::ManualDetach:
+                d.ra = in.pmo;
+                break;
+              case Op::Jump:
+                d.aux = in.target[0];
+                break;
+              case Op::Call: {
+                const Function &callee = mod->function(in.callee);
+                TERP_ASSERT(in.args.size() <= callee.nParams,
+                            "call argument count mismatch");
+                d.ra = in.callee;
+                d.rb = static_cast<Reg>(df.callArgs.size());
+                d.nArgs = static_cast<std::uint16_t>(in.args.size());
+                for (Reg a : in.args)
+                    df.callArgs.push_back(z(a));
+                break;
+              }
+              case Op::Mov:
+              case Op::Load:
+              case Op::Ret:
+                d.ra = z(d.ra);
+                break;
+              case Op::Branch:
+                d.ra = z(d.ra);
+                d.aux = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(in.target[0]) |
+                    (static_cast<std::uint64_t>(in.target[1]) << 32));
+                break;
+              default:
+                d.ra = z(d.ra);
+                d.rb = z(d.rb);
+                break;
+            }
+            df.code.push_back(d);
+        }
+
+        // Run-length-fuse self-add busy work (see opAddRun): mark
+        // the head of each run of identical `add d, d, d` with the
+        // pseudo-op and the run length. Runs never cross a block
+        // boundary (blocks end in a terminator, which is not an Add).
+        const std::size_t start = df.blocks.back().first;
+        const std::size_t end = df.code.size();
+        for (std::size_t a = start; a < end;) {
+            const DInstr &h = df.code[a];
+            if (h.op != Op::Add || h.ra != h.dst || h.rb != h.dst) {
+                ++a;
+                continue;
+            }
+            std::size_t b = a + 1;
+            while (b < end && df.code[b].op == Op::Add &&
+                   df.code[b].dst == h.dst &&
+                   df.code[b].ra == h.dst && df.code[b].rb == h.dst)
+                ++b;
+            if (b - a > 1) {
+                df.code[a].op = opAddRun;
+                df.code[a].aux = static_cast<std::int64_t>(b - a);
+            }
+            a = b;
+        }
+    }
+}
+
+void
+Interpreter::bindBlock(Frame &fr)
+{
+    const DFunc &df = dfuncs[fr.fn];
+    const auto &span = df.blocks.at(fr.block);
+    fr.code = df.code.data() + span.first;
+    fr.codeLen = span.second;
 }
 
 std::uint64_t
@@ -70,184 +183,377 @@ Interpreter::step(sim::ThreadContext &tc)
 {
     if (doneFlag)
         return false;
+    if (stack.empty()) {
+        doneFlag = true;
+        return false;
+    }
 
-    for (std::uint64_t budget = 0; budget < quantum; ++budget) {
+    // Deferred instruction-time accounting. Pure ALU / control-flow
+    // instructions only ever add n*cpi cycles of Work to the thread;
+    // nothing observes the clock between two of them, so their
+    // charges accumulate here and flush in one Machine::execute call
+    // at the next observation point (memory access, region op, or
+    // quantum end). With a dyadic cpi (the 0.5 of the 4-wide model)
+    // every intermediate value is exactly representable, so
+    // execute(a); execute(b) and execute(a+b) produce bit-identical
+    // clocks and carries — verified against the per-instruction
+    // charging by the bench oracles and the differential fuzzer.
+    std::uint64_t pending = 0;
+#define TERP_FLUSH()                                                   \
+    do {                                                               \
+        if (pending) {                                                 \
+            mach->execute(tc, pending);                                \
+            pending = 0;                                               \
+        }                                                              \
+    } while (0)
+
+    // Hot interpreter state lives in locals: the top frame, program
+    // counter, and the current block's code / register file pointers.
+    // The executed-instruction count is derived from `budget` at the
+    // exits (each dispatch runs one instruction to completion, bar a
+    // blocked region entry). Locals are committed back to (or
+    // reloaded from) the frame only when something could observe or
+    // change them —
+    // control transfers, blocking, quantum end. Register buffers
+    // never move while their frame is live (Frame moves transfer the
+    // heap allocation), so the cached pointers stay valid until
+    // TERP_RELOAD() refreshes them after a frame or block switch.
+    Frame *frp = &stack.back();
+    std::size_t idx = frp->idx;
+    std::uint64_t budget = 0;
+    const DInstr *code = frp->code;
+    std::uint64_t *regs = frp->regs.data();
+    const DInstr *inp = nullptr;
+
+#define TERP_RELOAD()                                                  \
+    do {                                                               \
+        code = frp->code;                                              \
+        regs = frp->regs.data();                                       \
+    } while (0)
+
+#if defined(__GNUC__)
+    // Threaded dispatch (GNU labels-as-values): each handler jumps
+    // straight to the next handler through a per-site indirect
+    // branch, which predicts far better on the long ALU runs of the
+    // synthetic kernels than one shared switch branch. The #else
+    // branch keeps a portable switch with the exact same handler
+    // bodies (shared via the TERP_CASE / TERP_NEXT / TERP_DISPATCH
+    // macros).
+    static const void *const jt[] = {
+        &&op_Const, &&op_Mov, &&op_Add, &&op_Sub, &&op_Mul,
+        &&op_Div, &&op_Rem, &&op_And, &&op_Or, &&op_Xor,
+        &&op_Shl, &&op_Shr, &&op_CmpEq, &&op_CmpNe, &&op_CmpLt,
+        &&op_CmpLe, &&op_Load, &&op_Store, &&op_PmoBase,
+        &&op_DramBase, &&op_Jump, &&op_Branch, &&op_Ret, &&op_Call,
+        &&op_CondAttach, &&op_CondDetach, &&op_ManualAttach,
+        &&op_ManualDetach, &&op_Nop, &&op_AddRun,
+    };
+    static_assert(sizeof(jt) / sizeof(jt[0]) ==
+                      static_cast<unsigned>(opAddRun) + 1,
+                  "jump table must cover every opcode");
+
+#define TERP_CASE(name) op_##name:
+#define TERP_DISPATCH()                                                \
+    do {                                                               \
+        if (budget == quantum)                                         \
+            goto quantum_end;                                          \
+        ++budget;                                                      \
+        inp = &code[idx];                                              \
+        goto *jt[static_cast<unsigned>(inp->op)];                      \
+    } while (0)
+#define TERP_NEXT()                                                    \
+    do {                                                               \
+        ++idx;                                                         \
+        TERP_DISPATCH();                                               \
+    } while (0)
+
+    TERP_DISPATCH();
+#else
+#define TERP_CASE(name) case Op::name:
+#define TERP_DISPATCH() continue
+#define TERP_NEXT()                                                    \
+    do {                                                               \
+        ++idx;                                                         \
+        continue;                                                      \
+    } while (0)
+
+    for (;;) {
+        if (budget == quantum)
+            goto quantum_end;
+        ++budget;
+        inp = &code[idx];
+        switch (inp->op) {
+#endif
+
+    // Decode rewrote noReg operands to the phantom zero register, so
+    // operand reads index regs[] unconditionally.
+    TERP_CASE(Const)
+    {
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Mov)
+    {
+        regs[inp->dst] = regs[inp->ra];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Add)
+    {
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Sub)
+    {
+        regs[inp->dst] = regs[inp->ra] - regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Mul)
+    {
+        regs[inp->dst] = regs[inp->ra] * regs[inp->rb];
+        pending += 3;
+        TERP_NEXT();
+    }
+    TERP_CASE(Div)
+    {
+        regs[inp->dst] =
+            regs[inp->rb] ? regs[inp->ra] / regs[inp->rb] : 0;
+        pending += 10;
+        TERP_NEXT();
+    }
+    TERP_CASE(Rem)
+    {
+        regs[inp->dst] =
+            regs[inp->rb] ? regs[inp->ra] % regs[inp->rb] : 0;
+        pending += 10;
+        TERP_NEXT();
+    }
+    TERP_CASE(And)
+    {
+        regs[inp->dst] = regs[inp->ra] & regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Or)
+    {
+        regs[inp->dst] = regs[inp->ra] | regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Xor)
+    {
+        regs[inp->dst] = regs[inp->ra] ^ regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Shl)
+    {
+        regs[inp->dst] = regs[inp->ra] << (regs[inp->rb] & 63);
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Shr)
+    {
+        regs[inp->dst] = regs[inp->ra] >> (regs[inp->rb] & 63);
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(CmpEq)
+    {
+        regs[inp->dst] = regs[inp->ra] == regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(CmpNe)
+    {
+        regs[inp->dst] = regs[inp->ra] != regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(CmpLt)
+    {
+        regs[inp->dst] = regs[inp->ra] < regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(CmpLe)
+    {
+        regs[inp->dst] = regs[inp->ra] <= regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Load)
+    {
+        std::uint64_t addr = regs[inp->ra];
+        TERP_FLUSH(); // fault emits carry tc.now() timestamps
+        bool ok = memAccess(tc, addr, false);
+        regs[inp->dst] = ok ? mem->peek(storageKey(addr)) : 0;
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Store)
+    {
+        std::uint64_t addr = regs[inp->ra];
+        TERP_FLUSH();
+        bool ok = memAccess(tc, addr, true);
+        if (ok)
+            mem->poke(storageKey(addr), regs[inp->rb]);
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(PmoBase)
+    {
+        regs[inp->dst] =
+            pm::Oid(inp->ra,
+                    static_cast<std::uint64_t>(inp->aux)).raw;
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(DramBase)
+    {
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_NEXT();
+    }
+    TERP_CASE(Jump)
+    {
+        frp->block = static_cast<BlockId>(inp->aux);
+        idx = 0;
+        bindBlock(*frp);
+        TERP_RELOAD();
+        pending += 1;
+        TERP_DISPATCH();
+    }
+    TERP_CASE(Branch)
+    {
+        const auto packed = static_cast<std::uint64_t>(inp->aux);
+        frp->block = regs[inp->ra]
+                         ? static_cast<BlockId>(packed)
+                         : static_cast<BlockId>(packed >> 32);
+        idx = 0;
+        bindBlock(*frp);
+        TERP_RELOAD();
+        pending += 1;
+        TERP_DISPATCH();
+    }
+    TERP_CASE(Ret)
+    {
+        std::uint64_t rv = regs[inp->ra];
+        Reg dst = frp->retDst;
+        stack.pop_back();
+        pending += 1;
         if (stack.empty()) {
+            retValue = rv;
             doneFlag = true;
+            nExec += budget; // every dispatched instr completed
+            TERP_FLUSH();
             return false;
         }
+        frp = &stack.back();
+        idx = frp->idx; // resume after the Call
+        TERP_RELOAD();
+        if (dst != noReg)
+            regs[dst] = rv;
+        TERP_DISPATCH();
+    }
+    TERP_CASE(Call)
+    {
+        Frame nf;
+        nf.fn = inp->ra;
+        nf.regs.assign(dfuncs[inp->ra].nRegs + 1, 0);
+        const Reg *cargs =
+            dfuncs[frp->fn].callArgs.data() + inp->rb;
+        for (std::uint16_t a = 0; a < inp->nArgs; ++a)
+            nf.regs[a] = regs[cargs[a]];
+        nf.retDst = inp->dst;
+        frp->idx = idx + 1; // return to the next instruction
+        bindBlock(nf);
+        pending += 2;
+        stack.push_back(std::move(nf));
+        frp = &stack.back();
+        idx = 0;
+        TERP_RELOAD();
+        TERP_DISPATCH();
+    }
+    TERP_CASE(CondAttach)
+    {
+        TERP_FLUSH(); // region ops read and stamp tc.now()
+        core::GuardResult r =
+            rt->regionBegin(tc, inp->ra, inp->mode);
+        if (r == core::GuardResult::Blocked) {
+            // Retry this instruction when the thread is woken.
+            frp->idx = idx;
+            nExec += budget - 1; // this instruction did not execute
+            return true;
+        }
+        TERP_NEXT();
+    }
+    TERP_CASE(CondDetach)
+    {
+        TERP_FLUSH();
+        rt->regionEnd(tc, inp->ra);
+        TERP_NEXT();
+    }
+    TERP_CASE(ManualAttach)
+    {
+        TERP_FLUSH();
+        rt->manualBegin(tc, inp->ra, inp->mode);
+        TERP_NEXT();
+    }
+    TERP_CASE(ManualDetach)
+    {
+        TERP_FLUSH();
+        rt->manualEnd(tc, inp->ra);
+        TERP_NEXT();
+    }
+    TERP_CASE(Nop)
+    {
+        pending += 1;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_AddRun:
+#else
+          case opAddRun:
+#endif
+    {
+        // Head of a fused self-add run (see opAddRun): k doublings of
+        // regs[dst] are one shift. The dispatch already counted one
+        // instruction toward the quantum; extend by the rest of the
+        // run or the remaining quantum, whichever is smaller, so the
+        // step still executes exactly `quantum` instructions.
+        std::uint64_t t = static_cast<std::uint64_t>(inp->aux);
+        const std::uint64_t room = quantum - budget;
+        if (t - 1 > room)
+            t = room + 1;
+        regs[inp->dst] = t < 64 ? regs[inp->dst] << t : 0;
+        pending += t;
+        budget += t - 1;
+        idx += t;
+        TERP_DISPATCH();
+    }
 
-        Frame &fr = stack.back();
-        const Function &f = mod->function(fr.fn);
-        const Instr &in = f.block(fr.block).instrs.at(fr.idx);
-        auto val = [&](Reg r) -> std::uint64_t {
-            return r == noReg ? 0 : fr.regs.at(r);
-        };
-
-        switch (in.op) {
-          case Op::Const:
-            fr.regs[in.dst] = static_cast<std::uint64_t>(in.imm);
-            mach->execute(tc, 1);
-            break;
-          case Op::Mov:
-            fr.regs[in.dst] = val(in.ra);
-            mach->execute(tc, 1);
-            break;
-          case Op::Add:
-            fr.regs[in.dst] = val(in.ra) + val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::Sub:
-            fr.regs[in.dst] = val(in.ra) - val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::Mul:
-            fr.regs[in.dst] = val(in.ra) * val(in.rb);
-            mach->execute(tc, 3);
-            break;
-          case Op::Div:
-            fr.regs[in.dst] =
-                val(in.rb) ? val(in.ra) / val(in.rb) : 0;
-            mach->execute(tc, 10);
-            break;
-          case Op::Rem:
-            fr.regs[in.dst] =
-                val(in.rb) ? val(in.ra) % val(in.rb) : 0;
-            mach->execute(tc, 10);
-            break;
-          case Op::And:
-            fr.regs[in.dst] = val(in.ra) & val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::Or:
-            fr.regs[in.dst] = val(in.ra) | val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::Xor:
-            fr.regs[in.dst] = val(in.ra) ^ val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::Shl:
-            fr.regs[in.dst] = val(in.ra) << (val(in.rb) & 63);
-            mach->execute(tc, 1);
-            break;
-          case Op::Shr:
-            fr.regs[in.dst] = val(in.ra) >> (val(in.rb) & 63);
-            mach->execute(tc, 1);
-            break;
-          case Op::CmpEq:
-            fr.regs[in.dst] = val(in.ra) == val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::CmpNe:
-            fr.regs[in.dst] = val(in.ra) != val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::CmpLt:
-            fr.regs[in.dst] = val(in.ra) < val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::CmpLe:
-            fr.regs[in.dst] = val(in.ra) <= val(in.rb);
-            mach->execute(tc, 1);
-            break;
-          case Op::PmoBase:
-            fr.regs[in.dst] =
-                pm::Oid(in.pmo,
-                        static_cast<std::uint64_t>(in.imm)).raw;
-            mach->execute(tc, 1);
-            break;
-          case Op::DramBase:
-            fr.regs[in.dst] = static_cast<std::uint64_t>(in.imm);
-            mach->execute(tc, 1);
-            break;
-          case Op::Load: {
-            std::uint64_t addr = val(in.ra);
-            bool ok = memAccess(tc, addr, false);
-            fr.regs[in.dst] = ok ? mem->peek(storageKey(addr)) : 0;
-            mach->execute(tc, 1);
-            break;
-          }
-          case Op::Store: {
-            std::uint64_t addr = val(in.ra);
-            bool ok = memAccess(tc, addr, true);
-            if (ok)
-                mem->poke(storageKey(addr), val(in.rb));
-            mach->execute(tc, 1);
-            break;
-          }
-          case Op::CondAttach: {
-            core::GuardResult r =
-                rt->regionBegin(tc, in.pmo, in.mode);
-            if (r == core::GuardResult::Blocked) {
-                // Retry this instruction when the thread is woken.
-                return true;
-            }
-            break;
-          }
-          case Op::CondDetach:
-            rt->regionEnd(tc, in.pmo);
-            break;
-          case Op::ManualAttach:
-            rt->manualBegin(tc, in.pmo, in.mode);
-            break;
-          case Op::ManualDetach:
-            rt->manualEnd(tc, in.pmo);
-            break;
-          case Op::Jump:
-            fr.block = in.target[0];
-            fr.idx = 0;
-            mach->execute(tc, 1);
-            ++nExec;
-            continue;
-          case Op::Branch:
-            fr.block = val(in.ra) ? in.target[0] : in.target[1];
-            fr.idx = 0;
-            mach->execute(tc, 1);
-            ++nExec;
-            continue;
-          case Op::Ret: {
-            std::uint64_t rv = val(in.ra);
-            Reg dst = fr.retDst;
-            stack.pop_back();
-            mach->execute(tc, 1);
-            ++nExec;
-            if (stack.empty()) {
-                retValue = rv;
-                doneFlag = true;
-                return false;
-            }
-            if (dst != noReg)
-                stack.back().regs[dst] = rv;
-            continue;
-          }
-          case Op::Call: {
-            const Function &callee = mod->function(in.callee);
-            Frame nf;
-            nf.fn = in.callee;
-            nf.regs.assign(callee.nRegs, 0);
-            TERP_ASSERT(in.args.size() <= callee.nParams,
-                        "call argument count mismatch");
-            for (std::size_t a = 0; a < in.args.size(); ++a)
-                nf.regs[a] = val(in.args[a]);
-            nf.retDst = in.dst;
-            ++fr.idx; // return to the next instruction
-            mach->execute(tc, 2);
-            ++nExec;
-            stack.push_back(std::move(nf));
-            continue;
-          }
-          case Op::Nop:
-            mach->execute(tc, 1);
-            break;
+#if !defined(__GNUC__)
           default:
             TERP_PANIC("unhandled opcode in interpreter");
         }
-
-        ++fr.idx;
-        ++nExec;
     }
+#endif
+
+quantum_end:
+    frp->idx = idx;
+    nExec += budget;
+    TERP_FLUSH();
     return true;
+
+#undef TERP_FLUSH
+#undef TERP_RELOAD
+#undef TERP_CASE
+#undef TERP_DISPATCH
+#undef TERP_NEXT
 }
 
 } // namespace compiler

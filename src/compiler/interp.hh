@@ -69,6 +69,57 @@ class Interpreter : public sim::Job
     std::uint64_t faultCount() const { return nFaults; }
 
   private:
+    /**
+     * A decoded instruction: the hot subset of Instr packed into 32
+     * bytes so the dispatch loop streams through cache lines instead
+     * of hopping across 88-byte Instr records (whose std::vector
+     * member also ruins locality). Field reuse: `ra` holds the PmoId
+     * for PmoBase and the conditional/manual attach-detach ops, and
+     * the callee index for Call; `rb` holds a Call's offset into
+     * DFunc::callArgs; `aux` holds the immediate or the packed
+     * branch targets (lo = taken / jump target, hi = fall-through).
+     */
+    struct DInstr
+    {
+        Op op = Op::Nop;
+        std::uint16_t nArgs = 0; //!< Call argument count
+        Reg dst = noReg;
+        Reg ra = noReg;
+        Reg rb = noReg;
+        pm::Mode mode = pm::Mode::ReadWrite;
+        std::int64_t aux = 0;
+    };
+
+    /**
+     * Interpreter-private pseudo-op marking the head of a run of k
+     * identical self-adds (add d, d, d — the shape
+     * FunctionBuilder::compute emits for busy work). k self-adds
+     * double d k times, i.e. d <<= k (0 once k reaches 64), with the
+     * same per-instruction charge sum, so the run executes in O(1)
+     * instead of k dispatches. The k-1 trailing adds stay in the
+     * decoded stream unchanged, keeping every mid-run resume point
+     * (quantum boundary) addressable; `aux` holds k.
+     */
+    static constexpr Op opAddRun =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 1);
+
+    /**
+     * One function, decoded: all blocks concatenated. Frames carry
+     * one extra "phantom zero" register at index nRegs; the decoder
+     * rewrites every noReg *operand* to it, so the hot loop reads
+     * regs[r] unconditionally instead of branching on the sentinel.
+     * (noReg *destinations* — a Call whose result is dropped — keep
+     * the sentinel and the explicit check on the Ret path.)
+     */
+    struct DFunc
+    {
+        std::vector<DInstr> code;
+        /** (offset, length) into code, per block id. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> blocks;
+        std::vector<Reg> callArgs; //!< flattened Call argument lists
+        std::uint32_t nRegs = 0;   //!< real registers (phantom extra)
+    };
+
     struct Frame
     {
         std::uint32_t fn;
@@ -76,9 +127,23 @@ class Interpreter : public sim::Job
         std::size_t idx = 0;
         std::vector<std::uint64_t> regs;
         Reg retDst = noReg;
+        /**
+         * Cached pointer to the current block's decoded instructions
+         * (into dfuncs, which never changes during a run). Refreshed
+         * by bindBlock() on every control transfer.
+         */
+        const DInstr *code = nullptr;
+        std::size_t codeLen = 0;
     };
 
+    /** Decode one module function into dfuncs[i]. */
+    void decodeFunction(std::uint32_t i);
+
+    /** Refresh fr.code/codeLen after fn/block changed. */
+    void bindBlock(Frame &fr);
+
     const Module *mod;
+    std::vector<DFunc> dfuncs; //!< decoded image of *mod
     core::Runtime *rt;
     sim::Machine *mach;
     MemoryImage *mem;

@@ -40,6 +40,25 @@ Runtime::~Runtime()
     }
 }
 
+Runtime::MapState &
+Runtime::mapState(pm::PmoId pmo)
+{
+    if (pmo >= maps.size())
+        maps.resize(pmo + 1);
+    return maps[pmo];
+}
+
+unsigned &
+Runtime::depthSlot(unsigned tid, pm::PmoId pmo)
+{
+    if (tid >= regionDepth.size())
+        regionDepth.resize(tid + 1);
+    auto &row = regionDepth[tid];
+    if (pmo >= row.size())
+        row.resize(pmo + 1, 0);
+    return row[pmo];
+}
+
 sim::ThreadContext *
 Runtime::minClockThread()
 {
@@ -63,11 +82,11 @@ Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
                       pm::Mode mode)
 {
     tc.charge(sim::Charge::Attach, latency::attachSyscall);
-    counts.inc("attach_syscalls");
+    ++ctr[ctrAttachSyscalls];
     if (cfg.randomizeOnAttach) {
         // MERR-style randomized placement at every real attach.
         tc.charge(sim::Charge::Rand, latency::randomize);
-        counts.inc("randomizations");
+        ++ctr[ctrRandomizations];
     }
 
     pm::Pmo &p = pm_.pmo(pmo);
@@ -76,7 +95,7 @@ Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
     ew.processOpen(pmo, tc.now());
     emit(tc, trace::EventKind::RealAttach, pmo, p.vaddrBase());
 
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     m.mapped = true;
     m.lastRealAttach = tc.now();
     m.grantedMode = mode;
@@ -97,7 +116,7 @@ Runtime::doRealDetachAt(sim::ThreadContext *tc, pm::PmoId pmo,
                    latency::detachSyscall + latency::tlbInvalidate);
         at = tc->now();
     }
-    counts.inc("detach_syscalls");
+    ++ctr[ctrDetachSyscalls];
 
     pm::Pmo &p = pm_.pmo(pmo);
     pm::MapChange ch = pm_.unmap(p);
@@ -108,7 +127,7 @@ Runtime::doRealDetachAt(sim::ThreadContext *tc, pm::PmoId pmo,
         emit(*tc, trace::EventKind::RealDetach, pmo, ch.oldBase);
     else
         emitSweeper(trace::EventKind::RealDetach, at, pmo, ch.oldBase);
-    maps[pmo].mapped = false;
+    mapState(pmo).mapped = false;
 }
 
 void
@@ -118,7 +137,7 @@ Runtime::doRandomize(pm::PmoId pmo, Cycles at)
     pm::MapChange ch = pm_.rerandomize(p);
     mach.shootdownRange(ch.oldBase, ch.oldBase + ch.size);
     matrix.rebase(pmo, ch.newBase);
-    counts.inc("randomizations");
+    ++ctr[ctrRandomizations];
     emitSweeper(trace::EventKind::Randomize, at, pmo, ch.newBase);
 
     // Randomization suspends every thread for the remap plus the TLB
@@ -163,12 +182,12 @@ Runtime::manualBegin(sim::ThreadContext &tc, pm::PmoId pmo,
 {
     if (cfg.insertion != Insertion::Manual)
         return;
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     TERP_ASSERT(!m.mapped, "MM: nested manual attach on PMO ", pmo);
     emit(tc, trace::EventKind::RegionBegin, pmo,
          static_cast<std::uint64_t>(mode));
     doRealAttach(tc, pmo, mode);
-    maps[pmo].holders = 1;
+    mapState(pmo).holders = 1;
 }
 
 void
@@ -176,7 +195,7 @@ Runtime::manualEnd(sim::ThreadContext &tc, pm::PmoId pmo)
 {
     if (cfg.insertion != Insertion::Manual)
         return;
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     TERP_ASSERT(m.mapped, "MM: manual detach of unattached PMO ", pmo);
     m.holders = 0;
     doRealDetach(tc, pmo);
@@ -226,14 +245,14 @@ Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     emit(tc, trace::EventKind::RegionBegin, pmo,
          static_cast<std::uint64_t>(mode));
     tc.charge(sim::Charge::Cond, latency::silentCond);
-    counts.inc("cond_ops");
+    ++ctr[ctrCondOps];
 
     // Function composability: a dynamically nested pair (callee
     // inside the caller's open pair) lowers to a no-op beyond the
     // conditional instruction itself.
-    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    unsigned &depth = depthSlot(tc.tid(), pmo);
     if (++depth > 1) {
-        counts.inc("nested_regions");
+        ++ctr[ctrNestedRegions];
         emit(tc, trace::EventKind::SilentAttach, pmo,
              trace::silent::nested);
         return;
@@ -252,8 +271,8 @@ Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     }
 
     // "+Cond" ablation: conditional instructions without the buffer.
-    auto &m = maps[pmo];
-    counts.inc(m.mapped ? "cond_silent_nocb" : "cond_full_nocb");
+    auto &m = mapState(pmo);
+    ++ctr[m.mapped ? ctrCondSilentNocb : ctrCondFullNocb];
     if (!m.mapped) {
         doRealAttach(tc, pmo, mode);
     } else {
@@ -268,9 +287,9 @@ void
 Runtime::ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
 {
     tc.charge(sim::Charge::Cond, latency::silentCond);
-    counts.inc("cond_ops");
+    ++ctr[ctrCondOps];
 
-    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    unsigned &depth = depthSlot(tc.tid(), pmo);
     TERP_ASSERT(depth > 0, "regionEnd without begin, tid ", tc.tid(),
                 " pmo ", pmo);
     if (--depth > 0) {
@@ -297,7 +316,7 @@ Runtime::ttRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
         return;
     }
 
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     TERP_ASSERT(m.holders > 0, "regionEnd without begin, PMO ", pmo);
     revokeThread(tc, pmo);
     --m.holders;
@@ -321,23 +340,23 @@ Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
 {
     emit(tc, trace::EventKind::RegionBegin, pmo,
          static_cast<std::uint64_t>(mode));
-    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    unsigned &depth = depthSlot(tc.tid(), pmo);
     if (++depth > 1) {
         // Nested pair: the kernel still gets the (cheap) call.
         tc.charge(sim::Charge::Attach, latency::permSyscall);
-        counts.inc("perm_syscalls");
-        counts.inc("nested_regions");
+        ++ctr[ctrPermSyscalls];
+        ++ctr[ctrNestedRegions];
         emit(tc, trace::EventKind::SilentAttach, pmo,
              trace::silent::nested);
         return;
     }
 
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     if (!m.mapped) {
         doRealAttach(tc, pmo, mode);
     } else {
         tc.charge(sim::Charge::Attach, latency::permSyscall);
-        counts.inc("perm_syscalls");
+        ++ctr[ctrPermSyscalls];
         emit(tc, trace::EventKind::SilentAttach, pmo,
              trace::silent::mapped);
     }
@@ -348,19 +367,19 @@ Runtime::tmRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
 void
 Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
 {
-    unsigned &depth = regionDepth[{tc.tid(), pmo}];
+    unsigned &depth = depthSlot(tc.tid(), pmo);
     TERP_ASSERT(depth > 0, "regionEnd without begin, tid ", tc.tid(),
                 " pmo ", pmo);
     if (--depth > 0) {
         tc.charge(sim::Charge::Detach, latency::permSyscall);
-        counts.inc("perm_syscalls");
+        ++ctr[ctrPermSyscalls];
         emit(tc, trace::EventKind::SilentDetach, pmo,
              trace::silent::nested);
         emit(tc, trace::EventKind::RegionEnd, pmo);
         return;
     }
 
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     TERP_ASSERT(m.holders > 0, "regionEnd without begin, PMO ", pmo);
     revokeThread(tc, pmo);
     --m.holders;
@@ -371,7 +390,7 @@ Runtime::tmRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
         doRealDetach(tc, pmo);
     } else {
         tc.charge(sim::Charge::Detach, latency::permSyscall);
-        counts.inc("perm_syscalls");
+        ++ctr[ctrPermSyscalls];
         emit(tc, trace::EventKind::SilentDetach, pmo,
              m.holders > 0 ? trace::silent::partial
                            : trace::silent::delayed);
@@ -385,12 +404,12 @@ GuardResult
 Runtime::basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
                           pm::Mode mode)
 {
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     if (m.mapped && m.ownerTid != tc.tid()) {
         // Under the basic semantics a second attach is invalid, so a
         // well-formed thread must wait for the holder's detach.
         tc.blockOn(pmo);
-        counts.inc("basic_blocks");
+        ++ctr[ctrBasicBlocks];
         return GuardResult::Blocked;
     }
     TERP_ASSERT(!m.mapped, "basic semantics: nested attach");
@@ -407,7 +426,7 @@ Runtime::basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
 void
 Runtime::basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
 {
-    auto &m = maps[pmo];
+    auto &m = mapState(pmo);
     TERP_ASSERT(m.mapped && m.ownerTid == tc.tid(),
                 "basic semantics: detach by non-owner");
     m.holders = 0;
@@ -521,8 +540,27 @@ Runtime::accessRange(sim::ThreadContext &tc, const pm::Oid &oid,
     std::uint64_t start = oid.offset();
     std::uint64_t first = start / lineSize;
     std::uint64_t last = (start + bytes - 1) / lineSize;
-    for (std::uint64_t l = first; l <= last; ++l)
-        access(tc, pm::Oid(oid.pool(), l * lineSize), write);
+
+    // The first line takes the fully-checked path (and panics on a
+    // fault, as every line did before). The permission verdict cannot
+    // change between lines of one call — all lines live in the same
+    // PMO, so they share one matrix entry and one thread-domain slot,
+    // and no sweep or region op can interleave inside a single
+    // runtime call — so the remaining lines keep only the per-line
+    // charges (matrix probe + timed memory access) and skip the
+    // re-validation.
+    access(tc, pm::Oid(oid.pool(), first * lineSize), write);
+    if (first == last)
+        return;
+
+    const bool checked = cfg.scheme != Scheme::Unprotected;
+    for (std::uint64_t l = first + 1; l <= last; ++l) {
+        if (checked)
+            tc.charge(sim::Charge::Other, latency::permMatrix);
+        mach.access(tc,
+                    pm_.accessFor(pm::Oid(oid.pool(), l * lineSize),
+                                  write));
+    }
 }
 
 // -------------------------------------------------------------- sweep
@@ -556,7 +594,7 @@ Runtime::onSweep(Cycles now)
                 doRandomize(a.pmo, now);
                 ew.processClose(a.pmo, now);
                 ew.processOpen(a.pmo, now);
-                maps[a.pmo].lastRealAttach = now;
+                mapState(a.pmo).lastRealAttach = now;
             }
         }
         return;
@@ -566,7 +604,8 @@ Runtime::onSweep(Cycles now)
     // EW-conscious closing rule — when the window target elapsed,
     // fully detach an idle PMO, or re-randomize one still in use so
     // a location never outlives the window.
-    for (auto &[pmo, m] : maps) {
+    for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
+        MapState &m = maps[pmo];
         if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
             continue;
         if (m.holders == 0 && cfg.insertion == Insertion::Auto) {
@@ -598,6 +637,21 @@ Runtime::finalize()
 
 // ------------------------------------------------------------ reports
 
+const CounterSet &
+Runtime::counters() const
+{
+    static const char *const names[numCounters] = {
+        "attach_syscalls", "detach_syscalls", "randomizations",
+        "cond_ops",        "nested_regions",  "cond_silent_nocb",
+        "cond_full_nocb",  "perm_syscalls",   "basic_blocks",
+    };
+    counts.reset();
+    for (unsigned i = 0; i < numCounters; ++i)
+        if (ctr[i])
+            counts.inc(names[i], ctr[i]);
+    return counts;
+}
+
 OverheadReport
 Runtime::report() const
 {
@@ -612,17 +666,17 @@ Runtime::report() const
         r.other += t.charged(sim::Charge::Other);
     }
     r.total = r.work + r.attach + r.detach + r.rand + r.cond + r.other;
-    r.attachSyscalls = counts.get("attach_syscalls");
-    r.detachSyscalls = counts.get("detach_syscalls");
-    r.randomizations = counts.get("randomizations");
-    r.condOps = counts.get("cond_ops");
+    r.attachSyscalls = ctr[ctrAttachSyscalls];
+    r.detachSyscalls = ctr[ctrDetachSyscalls];
+    r.randomizations = ctr[ctrRandomizations];
+    r.condOps = ctr[ctrCondOps];
     if (cfg.windowCombining) {
         r.silentFraction = cb.stats().silentFraction();
     } else if (cfg.condInstructions) {
         // Without the CB, "silent" = conditional ops that avoided a
         // mapping-changing system call.
-        std::uint64_t silent = counts.get("cond_silent_nocb");
-        std::uint64_t full = counts.get("cond_full_nocb");
+        std::uint64_t silent = ctr[ctrCondSilentNocb];
+        std::uint64_t full = ctr[ctrCondFullNocb];
         if (silent + full > 0) {
             r.silentFraction = static_cast<double>(silent) /
                                static_cast<double>(silent + full);
@@ -632,9 +686,9 @@ Runtime::report() const
         // TM elides mapping syscalls too (the EW-conscious rule in
         // software): a lowered op that only touched the thread
         // permission is a silent call for Table 3's purposes.
-        std::uint64_t silent = counts.get("perm_syscalls");
-        std::uint64_t full = counts.get("attach_syscalls") +
-                             counts.get("detach_syscalls");
+        std::uint64_t silent = ctr[ctrPermSyscalls];
+        std::uint64_t full = ctr[ctrAttachSyscalls] +
+                             ctr[ctrDetachSyscalls];
         if (silent + full > 0) {
             r.silentFraction = static_cast<double>(silent) /
                                static_cast<double>(silent + full);

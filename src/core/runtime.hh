@@ -19,7 +19,6 @@
 #define TERP_CORE_RUNTIME_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -146,7 +145,15 @@ class Runtime
     OverheadReport report() const;
     const semantics::EwTracker &exposure() const { return ew; }
     const arch::CircularBuffer &circularBuffer() const { return cb; }
-    const CounterSet &counters() const { return counts; }
+
+    /**
+     * Named counter view. Internally the hot paths bump an
+     * enum-indexed array (a string-keyed map lookup per region op
+     * showed up in profiles); this materializes the familiar
+     * CounterSet on demand, with the same keys and the same
+     * only-touched-counters-present contents as before.
+     */
+    const CounterSet &counters() const;
 
     /**
      * The event sink, shared so it can outlive the runtime (run
@@ -174,8 +181,28 @@ class Runtime
     arch::ThreadDomains domains;
     arch::PermissionMatrix matrix;
     semantics::EwTracker ew;
-    CounterSet counts;
     std::shared_ptr<trace::TraceSink> sink; //!< null = tracing off
+
+    /**
+     * Counters bumped on the region-entry/exit and syscall paths.
+     * These fire millions of times per run, so they are a dense
+     * enum-indexed array; counters() translates to named keys.
+     */
+    enum Counter : unsigned
+    {
+        ctrAttachSyscalls,
+        ctrDetachSyscalls,
+        ctrRandomizations,
+        ctrCondOps,
+        ctrNestedRegions,
+        ctrCondSilentNocb,
+        ctrCondFullNocb,
+        ctrPermSyscalls,
+        ctrBasicBlocks,
+        numCounters,
+    };
+    std::uint64_t ctr[numCounters] = {};
+    mutable CounterSet counts; //!< materialized on demand
 
     /** Software view of mapped PMOs (for schemes without the CB). */
     struct MapState
@@ -186,16 +213,24 @@ class Runtime
         unsigned ownerTid = 0; //!< basic-semantics exclusive owner
         pm::Mode grantedMode = pm::Mode::None;
     };
-    std::map<pm::PmoId, MapState> maps;
+    /**
+     * Indexed by PmoId (small sequential ints); a default-initialized
+     * entry (mapped=false, holders=0) is indistinguishable from a PMO
+     * the old std::map had never seen, and iterating the vector
+     * visits PMOs in the same ascending-id order the map did.
+     */
+    std::vector<MapState> maps;
+    MapState &mapState(pm::PmoId pmo);
 
     /**
-     * Per-thread region nesting depth. Dynamic nesting arises from
-     * function composition (a callee with its own pairs invoked
-     * inside a caller's pair); the EW-conscious lowering makes inner
-     * pairs silent, so only the 0->1 / 1->0 transitions touch the
-     * permission hardware.
+     * Per-thread region nesting depth, dense [tid][pmo]. Dynamic
+     * nesting arises from function composition (a callee with its
+     * own pairs invoked inside a caller's pair); the EW-conscious
+     * lowering makes inner pairs silent, so only the 0->1 / 1->0
+     * transitions touch the permission hardware.
      */
-    std::map<std::pair<unsigned, pm::PmoId>, unsigned> regionDepth;
+    std::vector<std::vector<unsigned>> regionDepth;
+    unsigned &depthSlot(unsigned tid, pm::PmoId pmo);
 
     bool finalized = false;
 

@@ -7,10 +7,28 @@
 namespace terp {
 namespace semantics {
 
+EwTracker::PerPmo &
+EwTracker::state(pm::PmoId pmo)
+{
+    if (pmo >= perPmo.size())
+        perPmo.resize(pmo + 1);
+    PerPmo &s = perPmo[pmo];
+    s.seen = true;
+    return s;
+}
+
+const EwTracker::PerPmo *
+EwTracker::stateIfSeen(pm::PmoId pmo) const
+{
+    if (pmo >= perPmo.size() || !perPmo[pmo].seen)
+        return nullptr;
+    return &perPmo[pmo];
+}
+
 void
 EwTracker::processOpen(pm::PmoId pmo, Cycles t)
 {
-    auto &s = perPmo[pmo];
+    auto &s = state(pmo);
     TERP_ASSERT(!s.open, "double process-open of PMO ", pmo);
     s.open = true;
     s.openSince = t;
@@ -19,7 +37,7 @@ EwTracker::processOpen(pm::PmoId pmo, Cycles t)
 void
 EwTracker::processClose(pm::PmoId pmo, Cycles t)
 {
-    auto &s = perPmo[pmo];
+    auto &s = state(pmo);
     TERP_ASSERT(s.open, "process-close of unopened PMO ", pmo);
     TERP_ASSERT(t >= s.openSince, "time went backwards");
     s.ew.add(t - s.openSince);
@@ -29,8 +47,10 @@ EwTracker::processClose(pm::PmoId pmo, Cycles t)
 void
 EwTracker::threadOpen(unsigned tid, pm::PmoId pmo, Cycles t)
 {
-    auto &s = perPmo[pmo];
-    TERP_ASSERT(!s.threadOpenSince.count(tid),
+    auto &s = state(pmo);
+    if (tid >= s.threadOpenSince.size())
+        s.threadOpenSince.resize(tid + 1, notOpen);
+    TERP_ASSERT(s.threadOpenSince[tid] == notOpen,
                 "double thread-open, tid ", tid, " pmo ", pmo);
     s.threadOpenSince[tid] = t;
 }
@@ -38,37 +58,39 @@ EwTracker::threadOpen(unsigned tid, pm::PmoId pmo, Cycles t)
 void
 EwTracker::threadClose(unsigned tid, pm::PmoId pmo, Cycles t)
 {
-    auto &s = perPmo[pmo];
-    auto it = s.threadOpenSince.find(tid);
-    TERP_ASSERT(it != s.threadOpenSince.end(),
+    auto &s = state(pmo);
+    TERP_ASSERT(tid < s.threadOpenSince.size() &&
+                    s.threadOpenSince[tid] != notOpen,
                 "thread-close without open, tid ", tid);
-    TERP_ASSERT(t >= it->second, "time went backwards");
-    s.tew.add(t - it->second);
-    s.threadOpenSince.erase(it);
+    TERP_ASSERT(t >= s.threadOpenSince[tid], "time went backwards");
+    s.tew.add(t - s.threadOpenSince[tid]);
+    s.threadOpenSince[tid] = notOpen;
 }
 
 void
 EwTracker::finalize(Cycles t_end)
 {
-    for (auto &[pmo, s] : perPmo) {
-        (void)pmo;
+    for (auto &s : perPmo) {
+        if (!s.seen)
+            continue;
         if (s.open) {
             s.ew.add(t_end >= s.openSince ? t_end - s.openSince : 0);
             s.open = false;
         }
-        for (auto &[tid, since] : s.threadOpenSince) {
-            (void)tid;
+        for (Cycles &since : s.threadOpenSince) {
+            if (since == notOpen)
+                continue;
             s.tew.add(t_end >= since ? t_end - since : 0);
+            since = notOpen;
         }
-        s.threadOpenSince.clear();
     }
 }
 
 bool
 EwTracker::processWindowOpen(pm::PmoId pmo) const
 {
-    auto it = perPmo.find(pmo);
-    return it != perPmo.end() && it->second.open;
+    const PerPmo *s = stateIfSeen(pmo);
+    return s && s->open;
 }
 
 namespace {
@@ -100,10 +122,10 @@ ExposureMetrics
 EwTracker::metricsFor(pm::PmoId pmo, Cycles total,
                       unsigned threads) const
 {
-    auto it = perPmo.find(pmo);
-    if (it == perPmo.end())
+    const PerPmo *s = stateIfSeen(pmo);
+    if (!s)
         return {};
-    return fromSummaries(it->second.ew, it->second.tew, total, threads);
+    return fromSummaries(s->ew, s->tew, total, threads);
 }
 
 ExposureMetrics
@@ -113,8 +135,9 @@ EwTracker::metricsAll(Cycles total, unsigned threads) const
     // PMOs").
     ExposureMetrics acc;
     unsigned n = 0;
-    for (const auto &[pmo, s] : perPmo) {
-        (void)s;
+    for (pm::PmoId pmo = 0; pmo < perPmo.size(); ++pmo) {
+        if (!perPmo[pmo].seen)
+            continue;
         ExposureMetrics m = metricsFor(pmo, total, threads);
         if (m.ewCount == 0 && m.tewCount == 0)
             continue;
@@ -140,26 +163,24 @@ EwTracker::metricsAll(Cycles total, unsigned threads) const
 const Summary *
 EwTracker::ewSummaryFor(pm::PmoId pmo) const
 {
-    auto it = perPmo.find(pmo);
-    return it == perPmo.end() ? nullptr : &it->second.ew;
+    const PerPmo *s = stateIfSeen(pmo);
+    return s ? &s->ew : nullptr;
 }
 
 const Summary *
 EwTracker::tewSummaryFor(pm::PmoId pmo) const
 {
-    auto it = perPmo.find(pmo);
-    return it == perPmo.end() ? nullptr : &it->second.tew;
+    const PerPmo *s = stateIfSeen(pmo);
+    return s ? &s->tew : nullptr;
 }
 
 std::vector<pm::PmoId>
 EwTracker::pmosSeen() const
 {
     std::vector<pm::PmoId> out;
-    out.reserve(perPmo.size());
-    for (const auto &[pmo, s] : perPmo) {
-        (void)s;
-        out.push_back(pmo);
-    }
+    for (pm::PmoId pmo = 0; pmo < perPmo.size(); ++pmo)
+        if (perPmo[pmo].seen)
+            out.push_back(pmo);
     return out;
 }
 

@@ -78,16 +78,25 @@ class EwTracker
     const Summary *tewSummaryFor(pm::PmoId pmo) const;
 
   private:
+    /** Sentinel for "thread window not open". */
+    static constexpr Cycles notOpen = ~Cycles(0);
+
     struct PerPmo
     {
         Summary ew;                        //!< closed process windows
         Summary tew;                       //!< closed thread windows
         Cycles openSince = 0;
         bool open = false;
-        std::map<unsigned, Cycles> threadOpenSince;
+        bool seen = false; //!< any event ever recorded for this PMO
+        /** Open-since time per tid; notOpen when closed. */
+        std::vector<Cycles> threadOpenSince;
     };
 
-    std::map<pm::PmoId, PerPmo> perPmo;
+    /** Dense per-PMO state (PmoIds are small sequential ints). */
+    PerPmo &state(pm::PmoId pmo);
+    const PerPmo *stateIfSeen(pm::PmoId pmo) const;
+
+    std::vector<PerPmo> perPmo; //!< indexed by PmoId; .seen gates use
 };
 
 } // namespace semantics

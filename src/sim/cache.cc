@@ -18,59 +18,113 @@ Cache::Cache(std::uint64_t size_bytes, unsigned ways,
     nSets = size_bytes / (line_bytes * ways);
     TERP_ASSERT(nSets > 0 && std::has_single_bit(nSets),
                 "cache geometry must give a power-of-two set count");
-    lines.assign(nSets * ways, Line{});
+    setShiftBits = static_cast<unsigned>(std::countr_zero(nSets));
+    const std::size_t n = nSets * ways;
+    tags.assign(n, 0);
+    lru.assign(n, 0);
+    validBits.assign((n + 63) / 64, 0);
 }
 
 bool
-Cache::access(std::uint64_t paddr)
+Cache::accessSlow(std::uint64_t line_addr)
 {
-    const std::uint64_t line_addr = paddr >> lineShiftBits;
     const std::uint64_t set_idx = line_addr & (nSets - 1);
-    const std::uint64_t tag = line_addr >> std::countr_zero(nSets);
-    Line *s = set(set_idx);
+    const std::uint64_t tag = line_addr >> setShiftBits;
+    const std::size_t base = set_idx * nWays;
     ++useClock;
 
-    Line *victim = &s[0];
+    std::size_t victim = base;
+    bool victimValid = isValid(base);
     for (unsigned w = 0; w < nWays; ++w) {
-        if (s[w].valid && s[w].tag == tag) {
-            s[w].lru = useClock;
+        const std::size_t i = base + w;
+        const bool v = isValid(i);
+        if (v && tags[i] == tag) {
+            lru[i] = useClock;
             ++nHits;
+            mruIdx = i;
+            mruLineAddr = line_addr;
+            mruTag = tag;
             return true;
         }
-        if (!s[w].valid) {
-            victim = &s[w];
-        } else if (victim->valid && s[w].lru < victim->lru) {
-            victim = &s[w];
+        if (!v) {
+            victim = i;
+            victimValid = false;
+        } else if (victimValid && lru[i] < lru[victim]) {
+            victim = i;
         }
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = useClock;
+    if (!victimValid) {
+        ++nValid;
+        setValid(victim);
+    }
+    tags[victim] = tag;
+    lru[victim] = useClock;
     ++nMisses;
+    mruIdx = victim;
+    mruLineAddr = line_addr;
+    mruTag = tag;
     return false;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &l : lines)
-        l.valid = false;
+    if (nValid > 0)
+        for (auto &w : validBits)
+            w = 0;
+    nValid = 0;
+    mruLineAddr = ~0ULL;
 }
 
 void
 Cache::invalidateRange(std::uint64_t lo, std::uint64_t hi)
 {
+    const std::uint64_t line_bytes = 1ULL << lineShiftBits;
+    TERP_ASSERT((lo & (line_bytes - 1)) == 0 &&
+                    (hi & (line_bytes - 1)) == 0,
+                "invalidateRange bounds must be line-aligned");
+    if (hi <= lo || nValid == 0)
+        return;
+    mruLineAddr = ~0ULL;
+
     const std::uint64_t first_line = lo >> lineShiftBits;
     const std::uint64_t last_line = (hi - 1) >> lineShiftBits;
-    for (std::uint64_t set_idx = 0; set_idx < nSets; ++set_idx) {
-        Line *s = set(set_idx);
-        for (unsigned w = 0; w < nWays; ++w) {
-            if (!s[w].valid)
-                continue;
-            std::uint64_t line_addr =
-                (s[w].tag << std::countr_zero(nSets)) | set_idx;
-            if (line_addr >= first_line && line_addr <= last_line)
-                s[w].valid = false;
+    const std::uint64_t span = last_line - first_line + 1;
+
+    if (span < nSets) {
+        // Narrow range: only the sets the range maps to can hold a
+        // matching line, so probe those directly by set index.
+        for (std::uint64_t la = first_line; la <= last_line; ++la) {
+            const std::size_t base = (la & (nSets - 1)) * nWays;
+            const std::uint64_t tag = la >> setShiftBits;
+            for (unsigned w = 0; w < nWays; ++w) {
+                const std::size_t i = base + w;
+                if (isValid(i) && tags[i] == tag) {
+                    clearValid(i);
+                    --nValid;
+                }
+            }
+        }
+        return;
+    }
+
+    // Wide range: every set is in play. Walk the validity bitmap so
+    // only live lines are visited — 64 empty lines cost one word
+    // test.
+    for (std::size_t wi = 0; wi < validBits.size(); ++wi) {
+        std::uint64_t word = validBits[wi];
+        while (word) {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            const std::size_t i = (wi << 6) | b;
+            const std::uint64_t set_idx = i / nWays;
+            const std::uint64_t line_addr =
+                (tags[i] << setShiftBits) | set_idx;
+            if (line_addr >= first_line && line_addr <= last_line) {
+                clearValid(i);
+                --nValid;
+            }
         }
     }
 }

@@ -5,6 +5,17 @@
  * The model tracks tags only (no data) and answers hit/miss queries;
  * the Machine composes an L1D per core with a shared L2 and charges
  * the Table II latencies.
+ *
+ * Host-side fast paths keep the model cycle-exact while cutting the
+ * work per simulated access (see DESIGN.md §9):
+ *  - a one-entry MRU hint in front of the set scan: a repeat access
+ *    to the most recently hit line performs exactly the same state
+ *    transition (LRU stamp, hit count) without walking the ways;
+ *  - structure-of-arrays storage with a packed validity bitmap, so
+ *    wide invalidations scan 1 bit per line (skipping 64 empty lines
+ *    per word) instead of a 24-byte record per line;
+ *  - invalidateRange only probes the sets a narrow range can map to,
+ *    and skips entirely when no lines are valid.
  */
 
 #ifndef TERP_SIM_CACHE_HH
@@ -34,12 +45,27 @@ class Cache
      * Access one line by physical address.
      * @return true on hit; on miss the line is filled.
      */
-    bool access(std::uint64_t paddr);
+    bool
+    access(std::uint64_t paddr)
+    {
+        const std::uint64_t line_addr = paddr >> lineShiftBits;
+        // MRU fast path: same line as the last hit, still resident.
+        if (line_addr == mruLineAddr && isValid(mruIdx) &&
+            tags[mruIdx] == mruTag) {
+            lru[mruIdx] = ++useClock;
+            ++nHits;
+            return true;
+        }
+        return accessSlow(line_addr);
+    }
 
     /** Drop every line. */
     void invalidateAll();
 
-    /** Drop lines whose physical address falls in [lo, hi). */
+    /**
+     * Drop lines whose physical address falls in [lo, hi). Both
+     * bounds must be line-aligned.
+     */
     void invalidateRange(std::uint64_t lo, std::uint64_t hi);
 
     std::uint64_t hits() const { return nHits; }
@@ -47,22 +73,42 @@ class Cache
     std::uint64_t sets() const { return nSets; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lru = 0; //!< larger = more recently used
-    };
-
     std::uint64_t lineShiftBits;
     std::uint64_t nSets;
+    unsigned setShiftBits; //!< log2(nSets)
     unsigned nWays;
-    std::vector<Line> lines; //!< nSets * nWays, row-major by set
+
+    // Structure-of-arrays line storage, row-major by set: line i is
+    // way (i % nWays) of set (i / nWays). Validity is one bit per
+    // line so range invalidations can skip 64 lines per word.
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> lru; //!< larger = more recently used
+    std::vector<std::uint64_t> validBits;
+
+    std::uint64_t nValid = 0; //!< currently valid lines
     std::uint64_t useClock = 0;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;
 
-    Line *set(std::uint64_t idx) { return &lines[idx * nWays]; }
+    // One-entry MRU hint (host-side shortcut only; no model state).
+    std::size_t mruIdx = 0;
+    std::uint64_t mruLineAddr = ~0ULL;
+    std::uint64_t mruTag = 0;
+
+    bool isValid(std::size_t i) const
+    {
+        return (validBits[i >> 6] >> (i & 63)) & 1;
+    }
+    void setValid(std::size_t i)
+    {
+        validBits[i >> 6] |= 1ULL << (i & 63);
+    }
+    void clearValid(std::size_t i)
+    {
+        validBits[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    bool accessSlow(std::uint64_t line_addr);
 };
 
 } // namespace sim

@@ -27,38 +27,6 @@ Machine::spawnThread()
     return *threads.back();
 }
 
-Cycles
-Machine::access(ThreadContext &tc, const MemAccess &a)
-{
-    Cycles cycles = 0;
-
-    TlbResult tr = tlbs[tc.coreId()].lookup(a.vaddr);
-    cycles += tr.cycles;
-
-    if (l1d[tc.coreId()].access(a.paddr)) {
-        cycles += latency::l1Hit;
-    } else if (l2.access(a.paddr)) {
-        cycles += latency::l1Hit + latency::l2Hit;
-    } else {
-        cycles += latency::l1Hit + latency::l2Hit +
-                  (a.kind == MemKind::Nvm ? latency::nvm
-                                          : latency::dram);
-    }
-
-    tc.work(cycles);
-    return cycles;
-}
-
-void
-Machine::execute(ThreadContext &tc, std::uint64_t n_instr)
-{
-    double cycles = static_cast<double>(n_instr) * cfg.cpi +
-                    tc.cpiCarry;
-    auto whole = static_cast<Cycles>(cycles);
-    tc.cpiCarry = cycles - static_cast<double>(whole);
-    tc.work(whole);
-}
-
 void
 Machine::run(const std::vector<Job *> &jobs,
              const std::function<void(Cycles)> &hook)

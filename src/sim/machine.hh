@@ -86,10 +86,35 @@ class Machine
      * Charge one memory access on the thread: TLB, then L1/L2/memory
      * latency. Returns the cycles charged (attributed as Work).
      */
-    Cycles access(ThreadContext &tc, const MemAccess &a);
+    Cycles
+    access(ThreadContext &tc, const MemAccess &a)
+    {
+        Cycles cycles = tlbs[tc.coreId()].lookup(a.vaddr).cycles;
+
+        if (l1d[tc.coreId()].access(a.paddr)) {
+            cycles += latency::l1Hit;
+        } else if (l2.access(a.paddr)) {
+            cycles += latency::l1Hit + latency::l2Hit;
+        } else {
+            cycles += latency::l1Hit + latency::l2Hit +
+                      (a.kind == MemKind::Nvm ? latency::nvm
+                                              : latency::dram);
+        }
+
+        tc.work(cycles);
+        return cycles;
+    }
 
     /** Charge n instructions of pure compute at the base CPI. */
-    void execute(ThreadContext &tc, std::uint64_t n_instr);
+    void
+    execute(ThreadContext &tc, std::uint64_t n_instr)
+    {
+        double cycles = static_cast<double>(n_instr) * cfg.cpi +
+                        tc.cpiCarry;
+        auto whole = static_cast<Cycles>(cycles);
+        tc.cpiCarry = cycles - static_cast<double>(whole);
+        tc.work(whole);
+    }
 
     /**
      * Run jobs[i] on thread i until all are done. @p hook (if set) is

@@ -3,19 +3,6 @@
 namespace terp {
 namespace sim {
 
-namespace {
-
-// Map a virtual address to a pseudo-address whose cache line is the
-// page number, so a Cache of N entries with line size 1<<lineShift
-// behaves as an N-entry TLB.
-std::uint64_t
-pageKey(std::uint64_t vaddr)
-{
-    return (vaddr >> pageShift) << lineShift;
-}
-
-} // namespace
-
 TlbHierarchy::TlbHierarchy()
     // 64 entries, 4-way; 1536 entries, 6-way. Capacity in "bytes" is
     // entries * lineSize for the tag-only Cache model. The L2 TLB is
@@ -23,19 +10,6 @@ TlbHierarchy::TlbHierarchy()
     // valid.
     : l1(64 * lineSize, 4), l2(1536 * lineSize, 6)
 {
-}
-
-TlbResult
-TlbHierarchy::lookup(std::uint64_t vaddr)
-{
-    const std::uint64_t key = pageKey(vaddr);
-    if (l1.access(key))
-        return {TlbResult::Where::L1, latency::tlbL1};
-    if (l2.access(key))
-        return {TlbResult::Where::L2, latency::tlbL2};
-    ++nWalks;
-    return {TlbResult::Where::Walk,
-            latency::tlbL2 + latency::tlbMiss};
 }
 
 void

@@ -33,7 +33,18 @@ class TlbHierarchy
     TlbHierarchy();
 
     /** Translate the page containing vaddr, filling on misses. */
-    TlbResult lookup(std::uint64_t vaddr);
+    TlbResult
+    lookup(std::uint64_t vaddr)
+    {
+        const std::uint64_t key = pageKey(vaddr);
+        if (l1.access(key))
+            return {TlbResult::Where::L1, latency::tlbL1};
+        if (l2.access(key))
+            return {TlbResult::Where::L2, latency::tlbL2};
+        ++nWalks;
+        return {TlbResult::Where::Walk,
+                latency::tlbL2 + latency::tlbMiss};
+    }
 
     /** Invalidate every entry (full shootdown). */
     void shootdownAll();
@@ -44,6 +55,15 @@ class TlbHierarchy
     std::uint64_t walkCount() const { return nWalks; }
 
   private:
+    // Map a virtual address to a pseudo-address whose cache line is
+    // the page number, so a Cache of N entries with line size
+    // 1<<lineShift behaves as an N-entry TLB.
+    static std::uint64_t
+    pageKey(std::uint64_t vaddr)
+    {
+        return (vaddr >> pageShift) << lineShift;
+    }
+
     // Reuse the tag-only cache as a TLB structure: "addresses" are
     // virtual page numbers shifted so that the line index equals the
     // page number.

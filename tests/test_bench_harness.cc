@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the parallel benchmark harness (bench/harness.*):
+ *
+ *  - the golden invariant behind every figure harness: running the
+ *    reduced Fig 11 matrix at --jobs=8 produces byte-identical
+ *    stdout (and therefore identical simulated-cycle results) to
+ *    --jobs=1, where --jobs=1 is the original serial code path;
+ *  - --jobs flag extraction and the simulation tally;
+ *  - ParallelRunner ordering, exception propagation, and a seeded
+ *    differential-fuzz pass so the runtime structures the optimized
+ *    benches exercise stay pinned to the Section-IV oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "check/fuzzer.hh"
+#include "harness.hh"
+
+using namespace terp;
+
+namespace {
+
+/** Run @p fn with stdout captured to a string (fd-level, so C stdio
+ *  from the figure harnesses is included). */
+template <typename Fn>
+std::string
+captureStdout(Fn &&fn)
+{
+    std::fflush(stdout);
+    char path[] = "/tmp/terp_bench_capture_XXXXXX";
+    int tmp = mkstemp(path);
+    EXPECT_GE(tmp, 0);
+    int saved = dup(STDOUT_FILENO);
+    EXPECT_GE(saved, 0);
+    dup2(tmp, STDOUT_FILENO);
+    close(tmp);
+    fn();
+    std::fflush(stdout);
+    dup2(saved, STDOUT_FILENO);
+    close(saved);
+
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    std::remove(path);
+    return body.str();
+}
+
+std::string
+runFig11(const char *jobsFlag)
+{
+    return captureStdout([&] {
+        // Reduced matrix: tiny scale, 2 simulated threads.
+        std::vector<std::string> args = {"fig11", "0.05", "2",
+                                         jobsFlag};
+        std::vector<char *> argv;
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        bench::run_fig11(static_cast<int>(args.size()), argv.data());
+    });
+}
+
+TEST(BenchHarness, Fig11ParallelMatchesSerialByteForByte)
+{
+    const std::string serial = runFig11("--jobs=1");
+    const std::string parallel = runFig11("--jobs=8");
+    // Sanity: the run actually produced the figure.
+    EXPECT_NE(serial.find("=== Fig 11"), std::string::npos);
+    EXPECT_NE(serial.find("avg total overhead"), std::string::npos);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(BenchHarness, JobsArgStripsFlagAndClamps)
+{
+    std::vector<std::string> args = {"prog", "0.5", "--jobs=7", "4"};
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    int argc = static_cast<int>(argv.size());
+    EXPECT_EQ(bench::jobsArg(argc, argv.data()), 7u);
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[1], "0.5");
+    EXPECT_STREQ(argv[2], "4");
+
+    std::vector<std::string> none = {"prog", "--jobs=0"};
+    std::vector<char *> nargv;
+    for (std::string &a : none)
+        nargv.push_back(a.data());
+    int nargc = static_cast<int>(nargv.size());
+    EXPECT_EQ(bench::jobsArg(nargc, nargv.data()), 1u);
+    EXPECT_EQ(nargc, 1);
+}
+
+TEST(BenchHarness, TallyCountsSimulations)
+{
+    const bench::SimTally before = bench::tallySnapshot();
+    bench::noteSim(123);
+    bench::noteSim(77);
+    const bench::SimTally after = bench::tallySnapshot();
+    EXPECT_EQ(after.sims - before.sims, 2u);
+    EXPECT_EQ(after.simCycles - before.simCycles, 200u);
+}
+
+TEST(BenchHarness, RunnerExecutesEveryTaskIntoItsSlot)
+{
+    const std::size_t n = 100;
+    std::vector<int> out(n, 0);
+    bench::ParallelRunner pool(8);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.add([&out, i] { out[i] = static_cast<int>(i) + 1; });
+    pool.run();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+}
+
+TEST(BenchHarness, RunnerSerialRunsInOrder)
+{
+    std::vector<int> order;
+    bench::ParallelRunner pool(1);
+    for (int i = 0; i < 5; ++i)
+        pool.add([&order, i] { order.push_back(i); });
+    pool.run();
+    ASSERT_EQ(order.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(BenchHarness, RunnerRethrowsTaskException)
+{
+    bench::ParallelRunner pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.add([&ran] { ran.fetch_add(1); });
+    pool.add([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.run(), std::runtime_error);
+}
+
+// The hot-path work behind the benches (interpreter dispatch, cache
+// indexing, runtime counters) must not change protection semantics:
+// replay a seeded schedule matrix against the Section-IV oracle.
+TEST(BenchHarness, SeededFuzzAgainstOptimizedRuntime)
+{
+    check::FuzzOptions opt;
+    opt.seeds = 6;
+    opt.firstSeed = 20260805;
+    opt.gen.events = 40;
+    opt.gen.threads = 3;
+    opt.gen.pmos = 2;
+    opt.gen.ewTarget = usToCycles(5.0);
+    check::FuzzResult res = check::fuzz(opt);
+    EXPECT_GT(res.executed, 0u);
+    for (const check::Divergence &d : res.divergences)
+        ADD_FAILURE() << "divergence: scheme=" << d.scheme
+                      << " seed=" << d.seed;
+    EXPECT_TRUE(res.ok());
+}
+
+} // namespace

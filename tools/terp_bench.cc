@@ -1,0 +1,314 @@
+/**
+ * @file
+ * terp-bench — runs the whole table/figure suite in-process and
+ * emits a machine-readable performance summary (BENCH_terp.json):
+ * per-figure wall-clock, simulation counts, simulated cycles and
+ * sims/sec, plus host thread count and the git revision.
+ *
+ * The figure harnesses print their tables to stdout; terp-bench
+ * redirects stdout to /dev/null while each figure runs (progress
+ * goes to stderr, the JSON to a file), so the tool measures the
+ * simulation work, not terminal I/O.
+ *
+ * Simulated-cycle totals are deterministic per figure, so they
+ * double as a regression oracle: --golden compares them against a
+ * checked-in summary and fails on any drift, catching accidental
+ * semantic changes from performance work.
+ *
+ * Usage:
+ *   terp-bench [--quick] [--jobs=N] [--out=FILE]
+ *              [--golden=FILE] [--write-golden=FILE]
+ *
+ * Options:
+ *   --quick            reduced workload sizes (CI smoke run)
+ *   --jobs=N           worker threads per figure (default 1)
+ *   --out=FILE         JSON output path (default BENCH_terp.json)
+ *   --golden=FILE      fail (exit 1) if per-figure sims or simulated
+ *                      cycles differ from FILE
+ *   --write-golden=FILE  write the per-figure summary to FILE
+ *
+ * Exit status: 0 on success, 1 on golden drift, 2 on usage errors.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "harness.hh"
+
+using namespace terp;
+
+namespace {
+
+struct FigSpec
+{
+    const char *name;
+    int (*fn)(int, char **);
+    // Positional args for --quick; full runs use the defaults.
+    std::vector<std::string> quickArgs;
+};
+
+const FigSpec kFigures[] = {
+    {"fig08", bench::run_fig08, {"50"}},
+    {"fig09", bench::run_fig09, {"40"}},
+    {"fig10", bench::run_fig10, {"0.1"}},
+    {"fig11", bench::run_fig11, {"0.1"}},
+    {"table3", bench::run_table3, {"40"}},
+    {"table4", bench::run_table4, {"0.1"}},
+    {"table5", bench::run_table5, {"40"}},
+    {"table6", bench::run_table6, {"40", "0.1"}},
+    {"ablation", bench::run_ablation, {"40"}},
+};
+
+struct FigResult
+{
+    std::string name;
+    double wallS = 0;
+    std::uint64_t sims = 0;
+    std::uint64_t simCycles = 0;
+};
+
+std::string
+gitRev()
+{
+    std::string rev = "unknown";
+    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null",
+                        "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), p)) {
+            rev = buf;
+            while (!rev.empty() &&
+                   (rev.back() == '\n' || rev.back() == '\r'))
+                rev.pop_back();
+        }
+        pclose(p);
+        if (rev.empty())
+            rev = "unknown";
+    }
+    return rev;
+}
+
+/** Run @p fn with stdout pointed at /dev/null, restoring it after. */
+int
+runSilenced(int (*fn)(int, char **), int argc, char **argv)
+{
+    std::fflush(stdout);
+    int saved = dup(STDOUT_FILENO);
+    int devnull = open("/dev/null", O_WRONLY);
+    if (saved < 0 || devnull < 0) {
+        // Can't redirect; run loudly rather than not at all.
+        if (saved >= 0)
+            close(saved);
+        if (devnull >= 0)
+            close(devnull);
+        return fn(argc, argv);
+    }
+    dup2(devnull, STDOUT_FILENO);
+    close(devnull);
+    int rc = fn(argc, argv);
+    std::fflush(stdout);
+    dup2(saved, STDOUT_FILENO);
+    close(saved);
+    return rc;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: terp-bench [--quick] [--jobs=N] [--out=FILE]"
+                 " [--golden=FILE]\n"
+                 "                  [--write-golden=FILE]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned jobs = 1;
+    std::string outPath = "BENCH_terp.json";
+    std::string goldenPath;
+    std::string writeGoldenPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--quick") {
+            quick = true;
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            long v = std::atol(a.c_str() + 7);
+            jobs = v > 1 ? static_cast<unsigned>(v) : 1;
+        } else if (a.rfind("--out=", 0) == 0) {
+            outPath = a.substr(6);
+        } else if (a.rfind("--golden=", 0) == 0) {
+            goldenPath = a.substr(9);
+        } else if (a.rfind("--write-golden=", 0) == 0) {
+            writeGoldenPath = a.substr(15);
+        } else if (a == "--help" || a == "-h") {
+            return usage();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return usage();
+        }
+    }
+
+    const std::string jobsFlag = "--jobs=" + std::to_string(jobs);
+    std::vector<FigResult> results;
+    const auto suiteStart = std::chrono::steady_clock::now();
+
+    for (const FigSpec &fig : kFigures) {
+        // Rebuild a mutable argv per figure: name, positionals, jobs.
+        std::vector<std::string> args;
+        args.push_back(fig.name);
+        if (quick)
+            for (const std::string &a : fig.quickArgs)
+                args.push_back(a);
+        args.push_back(jobsFlag);
+        std::vector<char *> cargv;
+        for (std::string &a : args)
+            cargv.push_back(a.data());
+        cargv.push_back(nullptr);
+
+        std::fprintf(stderr, "terp-bench: %-8s ...", fig.name);
+        const bench::SimTally before = bench::tallySnapshot();
+        const auto t0 = std::chrono::steady_clock::now();
+        runSilenced(fig.fn, static_cast<int>(args.size()),
+                    cargv.data());
+        const auto t1 = std::chrono::steady_clock::now();
+        const bench::SimTally after = bench::tallySnapshot();
+
+        FigResult r;
+        r.name = fig.name;
+        r.wallS = std::chrono::duration<double>(t1 - t0).count();
+        r.sims = after.sims - before.sims;
+        r.simCycles = after.simCycles - before.simCycles;
+        results.push_back(r);
+        std::fprintf(stderr, " %6.2fs  %3llu sims  %llu cycles\n",
+                     r.wallS, (unsigned long long)r.sims,
+                     (unsigned long long)r.simCycles);
+    }
+
+    const double totalS =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - suiteStart)
+            .count();
+    const bench::SimTally total = bench::tallySnapshot();
+
+    // ---- JSON summary --------------------------------------------
+    if (FILE *f = std::fopen(outPath.c_str(), "w")) {
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"git_rev\": \"%s\",\n", gitRev().c_str());
+        std::fprintf(f, "  \"host_threads\": %u,\n",
+                     std::thread::hardware_concurrency());
+        std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+        std::fprintf(f, "  \"quick\": %s,\n",
+                     quick ? "true" : "false");
+        std::fprintf(f, "  \"total_wall_s\": %.3f,\n", totalS);
+        std::fprintf(f, "  \"total_sims\": %llu,\n",
+                     (unsigned long long)total.sims);
+        std::fprintf(f, "  \"total_sims_per_s\": %.2f,\n",
+                     totalS > 0 ? total.sims / totalS : 0.0);
+        std::fprintf(f, "  \"figures\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const FigResult &r = results[i];
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"wall_s\": %.3f, "
+                         "\"sims\": %llu, \"sim_cycles\": %llu, "
+                         "\"sims_per_s\": %.2f}%s\n",
+                         r.name.c_str(), r.wallS,
+                         (unsigned long long)r.sims,
+                         (unsigned long long)r.simCycles,
+                         r.wallS > 0 ? r.sims / r.wallS : 0.0,
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "terp-bench: wrote %s (%.2fs total)\n",
+                     outPath.c_str(), totalS);
+    } else {
+        std::fprintf(stderr, "terp-bench: cannot write %s\n",
+                     outPath.c_str());
+        return 2;
+    }
+
+    // ---- golden summary (simulated work only; no wall-clock) ------
+    if (!writeGoldenPath.empty()) {
+        FILE *f = std::fopen(writeGoldenPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "terp-bench: cannot write %s\n",
+                         writeGoldenPath.c_str());
+            return 2;
+        }
+        std::fprintf(f, "# terp-bench golden summary: "
+                        "<figure> <sims> <sim_cycles>\n");
+        for (const FigResult &r : results)
+            std::fprintf(f, "%s %llu %llu\n", r.name.c_str(),
+                         (unsigned long long)r.sims,
+                         (unsigned long long)r.simCycles);
+        std::fclose(f);
+        std::fprintf(stderr, "terp-bench: wrote golden %s\n",
+                     writeGoldenPath.c_str());
+    }
+
+    if (!goldenPath.empty()) {
+        FILE *f = std::fopen(goldenPath.c_str(), "r");
+        if (!f) {
+            std::fprintf(stderr, "terp-bench: cannot read golden %s\n",
+                         goldenPath.c_str());
+            return 2;
+        }
+        bool drift = false;
+        std::size_t seen = 0;
+        char line[256];
+        while (std::fgets(line, sizeof(line), f)) {
+            if (line[0] == '#' || line[0] == '\n')
+                continue;
+            char name[64];
+            unsigned long long sims = 0, cycles = 0;
+            if (std::sscanf(line, "%63s %llu %llu", name, &sims,
+                            &cycles) != 3)
+                continue;
+            ++seen;
+            const FigResult *match = nullptr;
+            for (const FigResult &r : results)
+                if (r.name == name)
+                    match = &r;
+            if (!match) {
+                std::fprintf(stderr,
+                             "terp-bench: golden names unknown "
+                             "figure '%s'\n",
+                             name);
+                drift = true;
+            } else if (match->sims != sims ||
+                       match->simCycles != cycles) {
+                std::fprintf(
+                    stderr,
+                    "terp-bench: DRIFT in %s: sims %llu -> %llu, "
+                    "sim_cycles %llu -> %llu\n",
+                    name, sims, (unsigned long long)match->sims,
+                    cycles, (unsigned long long)match->simCycles);
+                drift = true;
+            }
+        }
+        std::fclose(f);
+        if (seen != results.size()) {
+            std::fprintf(stderr,
+                         "terp-bench: golden covers %zu of %zu "
+                         "figures\n",
+                         seen, results.size());
+            drift = true;
+        }
+        if (drift)
+            return 1;
+        std::fprintf(stderr,
+                     "terp-bench: simulated cycles match golden\n");
+    }
+    return 0;
+}
