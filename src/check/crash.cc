@@ -1,0 +1,739 @@
+#include "check/crash.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "check/fuzzer.hh"
+#include "check/schedule.hh"
+#include "common/rng.hh"
+#include "core/runtime.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+#include "trace/audit.hh"
+
+namespace terp {
+namespace check {
+
+namespace {
+
+constexpr std::uint64_t logOff = 1ULL << 32;
+constexpr std::uint64_t pmoSize = 64 * KiB;
+
+/** One simulated process: machine, runtime, persistence domain. */
+struct World
+{
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    core::RuntimeConfig cfg;
+    pm::PersistDomain dom;
+    std::unique_ptr<core::Runtime> rt;
+    unsigned nPmos;
+    Cycles hookPeriod;
+    Cycles nextHook;
+
+    World(const CrashOptions &opt, unsigned pmoCount, unsigned threads)
+        : cfg(schemeConfig(opt.scheme, opt.ewTarget).withTrace()),
+          nPmos(pmoCount), hookPeriod(mach.config().hookPeriod),
+          nextHook(hookPeriod)
+    {
+        for (unsigned p = 0; p < nPmos; ++p) {
+            std::ostringstream name;
+            name << "crash-p" << p;
+            pmos.create(name.str(), pmoSize);
+        }
+        rt = std::make_unique<core::Runtime>(mach, pmos, cfg);
+        rt->attachPersistence(&dom);
+        for (unsigned p = 1; p <= nPmos; ++p)
+            dom.openLog(p, logOff);
+        for (unsigned t = 0; t < threads; ++t)
+            mach.spawnThread();
+    }
+
+    /** Fire the free-running sweeper up to time @p t. */
+    void
+    advanceSweeps(Cycles t)
+    {
+        while (nextHook <= t) {
+            rt->onSweep(nextHook);
+            nextHook += hookPeriod;
+        }
+    }
+};
+
+/**
+ * The recovery oracle's committed-image ledger: what the durable
+ * image must look like after the transactions whose commit returned,
+ * plus the write-set of the (at most one) in-flight transaction.
+ * Commit durability coincides with commit() returning: the last
+ * persist boundary inside commit is the fence that makes the header
+ * clear durable, so a crash can never land after the transaction is
+ * durable but before the host-side ledger update.
+ */
+struct Ledger
+{
+    std::map<std::uint64_t, std::uint64_t> image; //!< raw Oid -> val
+    std::vector<std::uint64_t> inFlight;          //!< current txn keys
+    unsigned done = 0;                            //!< commits returned
+};
+
+/**
+ * One transaction: scheme-appropriate protection bookends around
+ * begin / write* / commit. Explicit bookends only — a PowerFailure
+ * unwinding through a RegionGuard destructor would lower a region
+ * end on a dead machine.
+ */
+void
+runTxn(World &w, Ledger &led, sim::ThreadContext &tc, pm::PmoId pmo,
+       const std::vector<std::pair<pm::Oid, std::uint64_t>> &writes,
+       bool touchData = true)
+{
+    led.inFlight.clear();
+    for (const auto &[oid, v] : writes) {
+        (void)v;
+        led.inFlight.push_back(oid.raw);
+    }
+
+    bool manual = w.cfg.insertion == core::Insertion::Manual;
+    bool autoIns = w.cfg.insertion == core::Insertion::Auto;
+    if (manual)
+        w.rt->manualBegin(tc, pmo, pm::Mode::ReadWrite);
+    else if (autoIns)
+        w.rt->regionBegin(tc, pmo, pm::Mode::ReadWrite);
+
+    pm::UndoLog *log = w.dom.findLog(pmo);
+    log->begin(tc);
+    for (const auto &[oid, v] : writes) {
+        if (touchData)
+            w.rt->access(tc, oid, /*write=*/true);
+        log->write(tc, oid, v);
+    }
+    log->commit(tc);
+
+    if (manual)
+        w.rt->manualEnd(tc, pmo);
+    else if (autoIns)
+        w.rt->regionEnd(tc, pmo);
+
+    // Only reached when the commit became durable.
+    for (const auto &[oid, v] : writes)
+        led.image[oid.raw] = v;
+    led.inFlight.clear();
+    ++led.done;
+    w.advanceSweeps(tc.now());
+}
+
+/**
+ * The atomicity oracle: every committed transaction's effects are
+ * durable, and the in-flight one (if any) left no partial effects —
+ * the durable image is exactly the image after `led.done` commits.
+ */
+void
+checkDurable(World &w, const Ledger &led,
+             std::vector<std::string> &out)
+{
+    const pm::PersistController &ctl = w.dom.controller();
+    for (const auto &[raw, want] : led.image) {
+        std::uint64_t got = ctl.persistedLoad(pm::Oid::fromRaw(raw));
+        if (got != want) {
+            std::ostringstream os;
+            os << "atomicity: durable word at pmo "
+               << pm::Oid::fromRaw(raw).pool() << " offset 0x"
+               << std::hex << pm::Oid::fromRaw(raw).offset()
+               << " = 0x" << got << ", committed image says 0x"
+               << want << " (after " << std::dec << led.done
+               << " commits)";
+            out.push_back(os.str());
+        }
+    }
+    for (std::uint64_t raw : led.inFlight) {
+        if (led.image.count(raw))
+            continue; // checked against the committed value above
+        std::uint64_t got = ctl.persistedLoad(pm::Oid::fromRaw(raw));
+        if (got != 0) {
+            std::ostringstream os;
+            os << "atomicity: in-flight write at offset 0x"
+               << std::hex << pm::Oid::fromRaw(raw).offset()
+               << " leaked into the durable image (0x" << got << ")";
+            out.push_back(os.str());
+        }
+    }
+}
+
+/** Post-recovery liveness + exposure-hygiene checks. */
+void
+probeAndDrain(World &w, Ledger &led, std::vector<std::string> &out)
+{
+    for (const auto &[pmo, log] : w.dom.logs()) {
+        (void)pmo;
+        if (log->recoveryPending())
+            out.push_back("recovery left an in-flight log record");
+    }
+
+    // The recovery attach must be closed by the scheme's normal idle
+    // path: once every window is past the target, the sweeper has no
+    // excuse to leave a PMO mapped. This runs before the probe
+    // transaction — recovery's mapping is idle, not a span the
+    // application may nest inside. The drain is time-targeted, not
+    // hook-counted: a fault that fired mid-op leaves the hook grid
+    // behind the thread clocks, and every lastRealAttach is bounded
+    // by maxClock, so sweeping to maxClock + target (plus slack for
+    // the delayed-detach grace) provably covers every idle window.
+    auto drain = [&](const char *when) {
+        Cycles target = w.mach.maxClock() + w.cfg.ewTarget +
+                        16 * w.hookPeriod;
+        while (w.nextHook <= target) {
+            w.rt->onSweep(w.nextHook);
+            w.nextHook += w.hookPeriod;
+        }
+        for (unsigned p = 1; p <= w.nPmos; ++p) {
+            if (w.rt->mapped(p)) {
+                std::ostringstream os;
+                os << "exposure: PMO " << p
+                   << " still mapped after the idle sweeper drained "
+                   << "a full window target past " << when;
+                out.push_back(os.str());
+            }
+        }
+    };
+    drain("recovery");
+
+    // Liveness: the recovered image must accept a new transaction.
+    // Sync the probe thread past the fired hooks first so its window
+    // opens after any the sweeper just closed.
+    sim::ThreadContext &tc = w.mach.thread(0);
+    Cycles drained = w.nextHook - w.hookPeriod;
+    if (tc.now() < drained)
+        tc.syncTo(drained, sim::Charge::Other);
+    runTxn(w, led, tc, 1,
+           {{pm::Oid(1, pmoSize - 8), 0x900d900dULL}});
+    checkDurable(w, led, out);
+
+    // The probe's own window must drain the same way.
+    drain("the probe transaction");
+
+    Cycles tEnd = w.mach.maxClock();
+    w.rt->finalize();
+    if (auto sink = w.rt->traceSink()) {
+        trace::AuditReport rep =
+            trace::auditTimeline(*sink, tEnd, w.rt->exposure());
+        for (const std::string &m : rep.mismatches)
+            out.push_back("trace audit: " + m);
+        if (!rep.ok && rep.mismatches.empty())
+            out.push_back("trace audit failed without detail");
+    }
+}
+
+// ------------------------------------------------------- workloads
+
+/** Account i of the transfer ledger. */
+pm::Oid
+acct(unsigned i)
+{
+    return pm::Oid(1, 0x1000 + 64ULL * i);
+}
+
+/**
+ * bank: 8 accounts initialized to 1000, then `txns` random
+ * transfers. Each transaction also bumps a sequence word so no two
+ * committed images are ever equal (keeps the atomicity oracle sharp
+ * even for a transfer of an amount that round-trips).
+ */
+void
+bankWorkload(World &w, Ledger &led, const CrashOptions &opt)
+{
+    sim::ThreadContext &tc = w.mach.thread(0);
+    const pm::Oid seq(1, 0x800);
+
+    std::vector<std::pair<pm::Oid, std::uint64_t>> init;
+    for (unsigned i = 0; i < 8; ++i)
+        init.push_back({acct(i), 1000});
+    init.push_back({seq, 1});
+    runTxn(w, led, tc, 1, init);
+
+    Rng rng(99 + opt.seed);
+    const pm::PersistController &ctl = w.dom.controller();
+    for (unsigned t = 0; t < opt.txns; ++t) {
+        unsigned a = static_cast<unsigned>(rng.nextBelow(8));
+        unsigned b = static_cast<unsigned>(rng.nextBelow(7));
+        if (b >= a)
+            ++b;
+        std::uint64_t amt = 1 + rng.nextBelow(200);
+        // Two's-complement arithmetic keeps the sum invariant even
+        // through a (harmless) negative balance.
+        std::uint64_t newA = ctl.load(acct(a)) - amt;
+        std::uint64_t newB = ctl.load(acct(b)) + amt;
+        runTxn(w, led, tc, 1,
+               {{acct(a), newA}, {acct(b), newB}, {seq, t + 2}});
+    }
+}
+
+/** bank's global invariant, checked on the recovered durable image. */
+void
+checkBankInvariant(World &w, std::vector<std::string> &out)
+{
+    const pm::PersistController &ctl = w.dom.controller();
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        sum += ctl.persistedLoad(acct(i));
+    // Before the init transaction commits, every account is 0.
+    if (sum != 0 && sum != 8 * 1000) {
+        std::ostringstream os;
+        os << "bank: recovered balances sum to " << sum
+           << ", expected 8000 (or 0 pre-init)";
+        out.push_back(os.str());
+    }
+}
+
+/**
+ * hashmap: WHISPER-style chained-bucket inserts. One insert writes
+ * the record's key/value/next fields plus the bucket-head pointer in
+ * a single transaction — the classic multi-line update that is
+ * inconsistent (a half-linked record) if torn by a crash.
+ */
+void
+hashmapWorkload(World &w, Ledger &led, const CrashOptions &opt)
+{
+    sim::ThreadContext &tc = w.mach.thread(0);
+    constexpr std::uint64_t bucketsOff = 4096;
+    constexpr unsigned nBuckets = 16;
+    constexpr std::uint64_t heapOff = 8192;
+
+    const pm::PersistController &ctl = w.dom.controller();
+    Rng rng(7 + opt.seed);
+    for (unsigned t = 0; t < opt.txns; ++t) {
+        std::uint64_t key = 0x1000 + t;
+        std::uint64_t rec = heapOff + 64ULL * t;
+        pm::Oid head(1, bucketsOff +
+                            64ULL * (key % nBuckets));
+        std::uint64_t oldHead = ctl.load(head);
+        runTxn(w, led, tc, 1,
+               {{pm::Oid(1, rec), key},
+                {pm::Oid(1, rec + 8), rng.next() | 1},
+                {pm::Oid(1, rec + 16), oldHead},
+                {head, rec}});
+    }
+}
+
+/**
+ * hashmap's structural invariant on the recovered durable image:
+ * every bucket chain must be walkable, cycle-free, and end at records
+ * whose key hashes to that bucket — a torn insert breaks one of
+ * these.
+ */
+void
+checkHashmapInvariant(World &w, std::vector<std::string> &out)
+{
+    const pm::PersistController &ctl = w.dom.controller();
+    constexpr std::uint64_t bucketsOff = 4096;
+    constexpr unsigned nBuckets = 16;
+    for (unsigned b = 0; b < nBuckets; ++b) {
+        std::uint64_t rec =
+            ctl.persistedLoad(pm::Oid(1, bucketsOff + 64ULL * b));
+        unsigned steps = 0;
+        while (rec != 0) {
+            if (++steps > 4096) {
+                out.push_back("hashmap: bucket chain cycle");
+                return;
+            }
+            std::uint64_t key = ctl.persistedLoad(pm::Oid(1, rec));
+            std::uint64_t val =
+                ctl.persistedLoad(pm::Oid(1, rec + 8));
+            if (key % nBuckets != b || val == 0) {
+                std::ostringstream os;
+                os << "hashmap: torn record in bucket " << b
+                   << " (key 0x" << std::hex << key << ", val 0x"
+                   << val << ")";
+                out.push_back(os.str());
+                return;
+            }
+            rec = ctl.persistedLoad(pm::Oid(1, rec + 16));
+        }
+    }
+}
+
+/**
+ * schedule: replay a generated fuzz schedule (persistOps on) with a
+ * deliberately conservative skip policy — the goal is reaching crash
+ * points from many protection states, not differential precision
+ * (that is the differ's job). All bookends are explicit; RAII guards
+ * are banned on this path.
+ */
+struct ScheduleReplay
+{
+    World &w;
+    Ledger &led;
+    const Schedule &s;
+    //! region nesting we opened, per [tid][pmo]
+    std::vector<std::vector<unsigned>> depth;
+    std::vector<bool> manualActive; //!< per pmo (1-based)
+    /**
+     * Earliest time an End may close each PMO: a lagging thread's
+     * close below the latest window (re)open would rewind the
+     * exposure tracker. Sweeper hooks may reopen at the hook time,
+     * so every fired hook raises the floor for all PMOs.
+     */
+    std::vector<Cycles> endFloor;
+
+    ScheduleReplay(World &world, Ledger &ledger, const Schedule &sched)
+        : w(world), led(ledger), s(sched),
+          depth(sched.threads,
+                std::vector<unsigned>(sched.pmos + 1, 0)),
+          manualActive(sched.pmos + 1, false),
+          endFloor(sched.pmos + 1, 0)
+    {
+    }
+
+    void
+    raiseFloors(Cycles t)
+    {
+        for (Cycles &f : endFloor)
+            f = std::max(f, t);
+    }
+
+    void
+    sweeps(Cycles t)
+    {
+        Cycles before = w.nextHook;
+        w.advanceSweeps(t);
+        if (w.nextHook != before)
+            raiseFloors(w.nextHook - w.hookPeriod);
+    }
+
+    bool
+    tryBegin(sim::ThreadContext &tc, unsigned tid, pm::PmoId pmo,
+             pm::Mode mode)
+    {
+        if (w.cfg.basicBlocking && depth[tid][pmo] > 0)
+            return false; // nested basic attach is invalid
+        if (w.rt->regionBegin(tc, pmo, mode) ==
+            core::GuardResult::Blocked)
+            return false;
+        ++depth[tid][pmo];
+        endFloor[pmo] = std::max(endFloor[pmo], tc.now());
+        return true;
+    }
+
+    void
+    tryEnd(sim::ThreadContext &tc, unsigned tid, pm::PmoId pmo)
+    {
+        if (depth[tid][pmo] == 0 || tc.now() < endFloor[pmo])
+            return;
+        w.rt->regionEnd(tc, pmo);
+        --depth[tid][pmo];
+    }
+
+    void
+    run()
+    {
+        for (const Op &op : s.ops) {
+            if (op.kind == OpKind::Sweep) {
+                w.rt->onSweep(w.nextHook);
+                raiseFloors(w.nextHook);
+                w.nextHook += w.hookPeriod;
+                continue;
+            }
+            sim::ThreadContext &tc = w.mach.thread(op.tid);
+            sweeps(tc.now());
+            if (tc.blocked())
+                continue;
+            step(op, tc);
+        }
+    }
+
+    void
+    step(const Op &op, sim::ThreadContext &tc)
+    {
+        switch (op.kind) {
+          case OpKind::Work:
+            tc.work(op.work);
+            break;
+
+          case OpKind::Begin:
+            if (w.cfg.insertion == core::Insertion::Auto)
+                tryBegin(tc, op.tid, op.pmo, op.mode);
+            break;
+
+          case OpKind::End:
+            if (w.cfg.insertion == core::Insertion::Auto)
+                tryEnd(tc, op.tid, op.pmo);
+            break;
+
+          case OpKind::ManualBegin:
+            if (w.cfg.insertion == core::Insertion::Manual &&
+                !manualActive[op.pmo]) {
+                w.rt->manualBegin(tc, op.pmo, op.mode);
+                manualActive[op.pmo] = true;
+                endFloor[op.pmo] =
+                    std::max(endFloor[op.pmo], tc.now());
+            }
+            break;
+
+          case OpKind::ManualEnd:
+            if (w.cfg.insertion == core::Insertion::Manual &&
+                manualActive[op.pmo] &&
+                tc.now() >= endFloor[op.pmo]) {
+                w.rt->manualEnd(tc, op.pmo);
+                manualActive[op.pmo] = false;
+            }
+            break;
+
+          case OpKind::Access:
+            (void)w.rt->tryAccess(tc, pm::Oid(op.pmo, op.offset),
+                                  op.write);
+            break;
+
+          case OpKind::Range:
+            for (std::uint64_t off = op.offset;
+                 off < op.offset + op.bytes; off += lineSize) {
+                (void)w.rt->tryAccess(tc, pm::Oid(op.pmo, off),
+                                      op.write);
+            }
+            break;
+
+          case OpKind::Guarded: {
+            if (w.cfg.insertion != core::Insertion::Auto)
+                break;
+            if (!tryBegin(tc, op.tid, op.pmo, op.mode))
+                break;
+            for (unsigned j = 0; j < op.accesses; ++j)
+                (void)w.rt->tryAccess(
+                    tc, pm::Oid(op.pmo, op.offset + j * lineSize),
+                    op.write);
+            tryEnd(tc, op.tid, op.pmo);
+            break;
+          }
+
+          case OpKind::TxPut: {
+            std::vector<std::pair<pm::Oid, std::uint64_t>> writes;
+            for (unsigned j = 0; j < op.accesses; ++j)
+                writes.push_back(
+                    {pm::Oid(op.pmo, op.offset + j * op.bytes),
+                     (static_cast<std::uint64_t>(led.done) << 8) |
+                         j});
+            // Bookend with the region we can, but never touch the
+            // data through the protection path: the protection state
+            // at an arbitrary schedule point is not ours to assume.
+            bool opened =
+                w.cfg.insertion == core::Insertion::Auto
+                    ? tryBegin(tc, op.tid, op.pmo,
+                               pm::Mode::ReadWrite)
+                    : false;
+            if (w.cfg.basicBlocking &&
+                w.cfg.insertion == core::Insertion::Auto &&
+                !opened && tc.blocked())
+                break; // begin blocked: the txn never starts
+            pm::UndoLog *log = w.dom.findLog(op.pmo);
+            led.inFlight.clear();
+            for (const auto &[oid, v] : writes) {
+                (void)v;
+                led.inFlight.push_back(oid.raw);
+            }
+            log->begin(tc);
+            for (const auto &[oid, v] : writes)
+                log->write(tc, oid, v);
+            log->commit(tc);
+            for (const auto &[oid, v] : writes)
+                led.image[oid.raw] = v;
+            led.inFlight.clear();
+            ++led.done;
+            if (opened)
+                tryEnd(tc, op.tid, op.pmo);
+            break;
+          }
+
+          case OpKind::CrashRecover: {
+            sweeps(w.mach.maxClock());
+            Cycles at = w.mach.maxClock();
+            for (unsigned i = 0; i < w.mach.threadCount(); ++i) {
+                sim::ThreadContext &t = w.mach.thread(i);
+                if (!t.done && !t.blocked() && t.now() < at)
+                    t.syncTo(at, sim::Charge::Other);
+            }
+            w.rt->crash(at);
+            (void)w.rt->recover(tc);
+            for (auto &d : depth)
+                std::fill(d.begin(), d.end(), 0u);
+            std::fill(manualActive.begin(), manualActive.end(),
+                      false);
+            raiseFloors(at);
+            break;
+          }
+
+          case OpKind::Sweep:
+            break; // handled in run()
+        }
+    }
+};
+
+void
+scheduleWorkload(World &w, Ledger &led, const Schedule &s)
+{
+    ScheduleReplay r(w, led, s);
+    r.run();
+}
+
+void
+runWorkload(World &w, Ledger &led, const CrashOptions &opt,
+            const Schedule *sched)
+{
+    if (opt.workload == "bank")
+        bankWorkload(w, led, opt);
+    else if (opt.workload == "hashmap")
+        hashmapWorkload(w, led, opt);
+    else
+        scheduleWorkload(w, led, *sched);
+}
+
+void
+checkWorkloadInvariant(World &w, const CrashOptions &opt,
+                       std::vector<std::string> &out)
+{
+    if (opt.workload == "bank")
+        checkBankInvariant(w, out);
+    else if (opt.workload == "hashmap")
+        checkHashmapInvariant(w, out);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+CrashResult
+enumerateCrashPoints(const CrashOptions &opt)
+{
+    if (opt.workload != "bank" && opt.workload != "hashmap" &&
+        opt.workload != "schedule")
+        throw std::invalid_argument("unknown workload: " +
+                                    opt.workload);
+
+    CrashResult res;
+    Schedule sched;
+    unsigned pmoCount = 1, threads = 1;
+    if (opt.workload == "schedule") {
+        GenParams gp;
+        gp.persistOps = true;
+        gp.events = opt.events;
+        gp.ewTarget = opt.ewTarget;
+        gp.pmoSize = pmoSize;
+        sched =
+            generate(opt.seed, schemeConfig(opt.scheme, opt.ewTarget),
+                     gp);
+        pmoCount = sched.pmos;
+        threads = sched.threads;
+    }
+
+    // Baseline: no fault. Counts the boundaries and sanity-checks
+    // the oracle machinery against an uninterrupted run.
+    {
+        World w(opt, pmoCount, threads);
+        Ledger led;
+        std::vector<std::string> v;
+        try {
+            runWorkload(w, led, opt, &sched);
+            res.boundaries = w.dom.controller().boundaryCount();
+            checkDurable(w, led, v);
+            checkWorkloadInvariant(w, opt, v);
+        } catch (const std::exception &e) {
+            v.push_back(std::string("baseline run died: ") +
+                        e.what());
+        }
+        for (const std::string &m : v)
+            res.violations.push_back(
+                {0, pm::PersistBoundary::Store, m});
+        if (!res.violations.empty() || res.boundaries == 0)
+            return res;
+    }
+
+    for (std::uint64_t n = 1; n <= res.boundaries; ++n) {
+        World w(opt, pmoCount, threads);
+        Ledger led;
+        std::vector<std::string> v;
+        bool crashed = false;
+        pm::PersistBoundary kind = pm::PersistBoundary::Store;
+
+        w.dom.controller().armFault(n);
+        try {
+            runWorkload(w, led, opt, &sched);
+        } catch (const pm::PowerFailure &pf) {
+            crashed = true;
+            kind = pf.kind;
+        } catch (const std::exception &e) {
+            v.push_back(std::string("workload died: ") + e.what());
+        }
+        ++res.pointsRun;
+
+        if (v.empty() && !crashed) {
+            // A scheduled CrashRecover op can disarm nothing — the
+            // plan stays armed across it — so reaching the end means
+            // the boundary count regressed between runs.
+            v.push_back("armed fault never fired (non-deterministic "
+                        "boundary count?)");
+        }
+
+        if (v.empty()) {
+            try {
+                Cycles at = w.mach.maxClock();
+                w.rt->crash(at);
+                // Recovery runs after the failure instant.
+                sim::ThreadContext &rtc = w.mach.thread(0);
+                if (rtc.now() < at)
+                    rtc.syncTo(at, sim::Charge::Other);
+                (void)w.rt->recover(rtc);
+                checkDurable(w, led, v);
+                checkWorkloadInvariant(w, opt, v);
+                probeAndDrain(w, led, v);
+            } catch (const std::exception &e) {
+                v.push_back(std::string("recovery died: ") +
+                            e.what());
+            }
+        }
+        for (const std::string &m : v)
+            res.violations.push_back({n, kind, m});
+    }
+    return res;
+}
+
+std::string
+crashResultJson(const CrashOptions &opt, const CrashResult &r)
+{
+    std::ostringstream os;
+    os << "{\"scheme\":\"" << opt.scheme << "\",\"workload\":\""
+       << opt.workload << "\",\"seed\":" << opt.seed
+       << ",\"boundaries\":" << r.boundaries
+       << ",\"points_run\":" << r.pointsRun << ",\"ok\":"
+       << (r.ok() ? "true" : "false");
+    if (!r.violations.empty())
+        os << ",\"earliest_violation\":" << r.violations.front().point;
+    os << ",\"violations\":[";
+    for (std::size_t i = 0; i < r.violations.size(); ++i) {
+        const CrashViolation &cv = r.violations[i];
+        if (i)
+            os << ",";
+        os << "{\"point\":" << cv.point << ",\"kind\":\""
+           << pm::persistBoundaryName(cv.kind) << "\",\"detail\":\""
+           << jsonEscape(cv.detail) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace check
+} // namespace terp

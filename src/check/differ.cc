@@ -8,6 +8,7 @@
 #include "check/oracle.hh"
 #include "common/units.hh"
 #include "core/runtime.hh"
+#include "pm/persist.hh"
 #include "pm/pmo_manager.hh"
 #include "sim/machine.hh"
 #include "trace/audit.hh"
@@ -34,6 +35,11 @@ class Replay
         }
         for (unsigned t = 0; t < s.threads; ++t)
             mach.spawnThread();
+        rt.attachPersistence(&dom);
+        // The log region lives far above the data range the
+        // schedule's accesses can reach (offsets < pmoSize).
+        for (unsigned p = 1; p <= s.pmos; ++p)
+            dom.openLog(p, logOff);
     }
 
     void
@@ -74,6 +80,8 @@ class Replay
         std::uint64_t det0 = 0;
     };
 
+    static constexpr std::uint64_t logOff = 1ULL << 32;
+
     const Schedule &s;
     core::RuntimeConfig cfg;
     std::vector<std::string> &out;
@@ -81,6 +89,9 @@ class Replay
     pm::PmoManager pmos;
     core::Runtime rt;
     SpecOracle oracle;
+    pm::PersistDomain dom;
+    /** Expected durable image: raw Oid -> last committed value. */
+    std::map<std::uint64_t, std::uint64_t> durable;
     Cycles hookPeriod;
     Cycles nextHook;
     std::size_t opIdx = 0;
@@ -380,10 +391,161 @@ class Replay
             break;
           }
 
+          case OpKind::TxPut: {
+            txPut(op, tc);
+            break;
+          }
+
+          case OpKind::CrashRecover: {
+            crashRecover(tc);
+            break;
+          }
+
           case OpKind::Sweep:
             break; // handled in run()
         }
         flush(tmp);
+    }
+
+    /**
+     * Run one undo-log transaction and verify its exact cycle charge,
+     * CLWB/fence counts and the durable image it leaves behind
+     * against the closed-form model of the log layout.
+     */
+    void
+    txPut(const Op &op, sim::ThreadContext &tc)
+    {
+        pm::UndoLog *log = dom.findLog(op.pmo);
+        pm::PersistController &ctl = dom.controller();
+
+        // Distinct locations (the log dedupes repeats) and distinct
+        // data cache lines (commit write-backs are per line).
+        std::vector<std::uint64_t> oids, lines;
+        for (unsigned j = 0; j < op.accesses; ++j) {
+            std::uint64_t raw =
+                pm::Oid(op.pmo, op.offset + j * op.bytes).raw;
+            if (std::find(oids.begin(), oids.end(), raw) ==
+                oids.end())
+                oids.push_back(raw);
+        }
+        for (std::uint64_t raw : oids) {
+            std::uint64_t line = pm::lineKeyOf(raw);
+            if (std::find(lines.begin(), lines.end(), line) ==
+                lines.end())
+                lines.push_back(line);
+        }
+        std::uint64_t d = oids.size();
+        std::uint64_t l = lines.size();
+
+        std::uint64_t clwb0 = ctl.clwbCount();
+        std::uint64_t fence0 = ctl.fenceCount();
+        Probe pr = preOp(tc);
+
+        log->begin(tc);
+        for (unsigned j = 0; j < op.accesses; ++j) {
+            pm::Oid oid(op.pmo, op.offset + j * op.bytes);
+            std::uint64_t val =
+                (static_cast<std::uint64_t>(opIdx) << 8) | j;
+            log->write(tc, oid, val);
+            durable[oid.raw] = val; // committed below
+        }
+        log->commit(tc);
+
+        Observed o = postOp(tc, pr);
+        // begin: header persist + fence. Per distinct location: two
+        // entry-word write-backs + one fence (both words share a
+        // line), then header persist + fence; repeats are free (just
+        // a store). commit: one write-back per distinct data line +
+        // fence, then header persist + fence.
+        constexpr Cycles unit = pm::PersistController::clwbCost +
+                                pm::PersistController::drainCostPerLine;
+        Cycles want = unit +
+                      d * (2 * pm::PersistController::clwbCost +
+                           pm::PersistController::drainCostPerLine +
+                           unit) +
+                      l * unit + unit;
+        if (o.tPost - o.tPre != want) {
+            std::ostringstream os;
+            os << "txn charged " << (o.tPost - o.tPre)
+               << " cycles, expected " << want << " (" << d
+               << " locations, " << l << " lines)";
+            complain(os.str());
+        }
+        if (o.attaches || o.detaches)
+            complain("txn issued attach/detach syscalls");
+        std::uint64_t clwbs = ctl.clwbCount() - clwb0;
+        std::uint64_t fences = ctl.fenceCount() - fence0;
+        if (clwbs != 2 + 3 * d + l || fences != 3 + 2 * d) {
+            std::ostringstream os;
+            os << "txn issued " << clwbs << " clwbs / " << fences
+               << " fences, expected " << (2 + 3 * d + l) << " / "
+               << (3 + 2 * d);
+            complain(os.str());
+        }
+        if (log->inTransaction() || log->recoveryPending())
+            complain("txn left the log open");
+        for (std::uint64_t raw : oids) {
+            pm::Oid oid = pm::Oid::fromRaw(raw);
+            if (ctl.load(oid) != durable[raw] ||
+                ctl.persistedLoad(oid) != durable[raw]) {
+                std::ostringstream os;
+                os << "committed value not durable at offset 0x"
+                   << std::hex << oid.offset();
+                complain(os.str());
+            }
+        }
+    }
+
+    /**
+     * Modeled power failure + restart. In this harness transactions
+     * are atomic schedule ops, so the crash never lands inside one
+     * and recovery must be a no-op with no side effects (crash-point
+     * enumeration *inside* transactions is terp-crash's job); what
+     * the differ checks is that the crash tears down every mapping,
+     * window and blocked thread identically in runtime and oracle,
+     * and that committed data survives.
+     */
+    void
+    crashRecover(sim::ThreadContext &tc)
+    {
+        // Let the sweeper catch up first (its charges can push
+        // clocks forward), then take the crash instant: the failure
+        // hits the whole machine at once, so every live thread's
+        // clock jumps there (wall-clock, not work).
+        advanceSweeps(mach.maxClock());
+        Cycles at = mach.maxClock();
+        for (unsigned i = 0; i < mach.threadCount(); ++i) {
+            sim::ThreadContext &t = mach.thread(i);
+            if (!t.done && !t.blocked() && t.now() < at)
+                t.syncTo(at, sim::Charge::Other);
+        }
+        rt.crash(at);
+        oracle.noteCrash(at);
+
+        Probe pr = preOp(tc);
+        unsigned n = rt.recover(tc);
+        Observed o = postOp(tc, pr);
+        if (n != 0) {
+            std::ostringstream os;
+            os << "recovery rolled back " << n
+               << " PMOs, but every txn committed before the crash";
+            complain(os.str());
+        }
+        if (o.tPost != o.tPre || o.attaches || o.detaches)
+            complain("clean recovery had side effects");
+
+        for (pm::PmoId p = 1; p <= s.pmos; ++p) {
+            if (rt.mapped(p))
+                complain("PMO left mapped across a crash");
+            if (oracle.mappedView(p))
+                complain("oracle left a PMO mapped across a crash");
+        }
+        for (const auto &[raw, val] : durable) {
+            pm::Oid oid = pm::Oid::fromRaw(raw);
+            pm::PersistController &ctl = dom.controller();
+            if (ctl.persistedLoad(oid) != val || ctl.load(oid) != val)
+                complain("committed data lost across a crash");
+        }
     }
 
     void
@@ -410,8 +572,10 @@ class Replay
     void
     probe(const Op &op)
     {
-        if (op.kind == OpKind::Work || op.kind == OpKind::Sweep)
-            return;
+        if (op.kind == OpKind::Work || op.kind == OpKind::Sweep ||
+            op.kind == OpKind::CrashRecover)
+            return; // CrashRecover checks all PMOs itself
+
         if (rt.mapped(op.pmo) != oracle.mappedView(op.pmo)) {
             std::ostringstream os;
             os << "mapped=" << rt.mapped(op.pmo) << ", oracle says "

@@ -20,20 +20,24 @@ fmt(const char *what, std::uint64_t expect, std::uint64_t got)
     return os.str();
 }
 
+SemanticsKind
+specKindFor(const core::RuntimeConfig &cfg)
+{
+    if (cfg.basicBlocking || cfg.insertion == core::Insertion::Manual)
+        return SemanticsKind::Basic;
+    if (cfg.condInstructions && !cfg.windowCombining)
+        return SemanticsKind::Outermost;
+    return SemanticsKind::EwConscious;
+}
+
 } // namespace
 
 SpecOracle::SpecOracle(const core::RuntimeConfig &config,
                        unsigned threads)
     : cfg(config), blockedOn(threads, -1)
 {
-    SemanticsKind kind;
-    if (cfg.basicBlocking || cfg.insertion == core::Insertion::Manual)
-        kind = SemanticsKind::Basic;
-    else if (cfg.condInstructions && !cfg.windowCombining)
-        kind = SemanticsKind::Outermost;
-    else
-        kind = SemanticsKind::EwConscious;
-    spec = semantics::AttachSemantics::make(kind, cfg.ewTarget);
+    spec = semantics::AttachSemantics::make(specKindFor(cfg),
+                                            cfg.ewTarget);
 }
 
 Cycles
@@ -333,6 +337,7 @@ SpecOracle::checkManualBegin(unsigned tid, pm::PmoId pmo,
         out.push_back(fmt("manual begin cycle charge",
                           realAttachCost(), o.tPost - o.tPre));
     s.procMode = mode;
+    s.manualHeld = true;
     openEw(s, o.tPost, o.tPost);
     ++fullBegins;
 }
@@ -354,6 +359,7 @@ SpecOracle::checkManualEnd(unsigned tid, pm::PmoId pmo,
     if (o.tPost - o.tPre != want)
         out.push_back(fmt("manual end cycle charge", want,
                           o.tPost - o.tPre));
+    s.manualHeld = false;
     closeEw(s, o.tPost);
     ++fullEnds;
 }
@@ -431,9 +437,14 @@ SpecOracle::planSweep(Cycles now, std::vector<std::string> &out)
     for (auto &[pmo, s] : ps) {
         if (!s.mapped || now < s.swLast + cfg.ewTarget)
             continue;
-        bool idle = !cfg.basicBlocking && s.holders.empty();
-        bool detach = idle && cfg.insertion == core::Insertion::Auto;
-        plan.push_back({pmo, detach});
+        // Exact mirror of the runtime's idle test (holders == 0):
+        // basic counts its exclusive owner, MM its manual span, the
+        // lowered schemes their thread-permission holders. Idle and
+        // expired means full detach regardless of insertion mode.
+        bool held = cfg.basicBlocking
+                        ? s.basicOwner != -1
+                        : !s.holders.empty() || s.manualHeld;
+        plan.push_back({pmo, !held});
     }
 
     if (spec->kind() == SemanticsKind::EwConscious) {
@@ -483,6 +494,32 @@ SpecOracle::checkSweepInvariant(Cycles now,
             out.push_back(os.str());
         }
     }
+}
+
+// ------------------------------------------------ crash / recovery
+
+void
+SpecOracle::noteCrash(Cycles at)
+{
+    for (auto &[pmo, s] : ps) {
+        (void)pmo;
+        for (auto &[tid, since] : s.tewOpen) {
+            (void)tid;
+            s.tew.add(at >= since ? at - since : 0);
+        }
+        s.tewOpen.clear();
+        s.holders.clear();
+        if (s.mapped)
+            closeEw(s, at);
+        s.basicOwner = -1;
+        s.manualHeld = false;
+    }
+    depth.clear();
+    for (auto &b : blockedOn)
+        b = -1;
+    // The restarted process begins with a fresh semantics model.
+    spec = semantics::AttachSemantics::make(specKindFor(cfg),
+                                            cfg.ewTarget);
 }
 
 // ------------------------------------------------------- end of run

@@ -121,6 +121,17 @@ class SpecOracle
     void checkSweepInvariant(Cycles now,
                              std::vector<std::string> &out) const;
 
+    // ---- crash / recovery --------------------------------------------
+
+    /**
+     * Mirror of Runtime::crash(at): close every open EW/TEW window
+     * at @p at, drop all volatile mirror state (holders, owners,
+     * nesting, blocked threads) and restart the spec model fresh.
+     * The silent/full tallies survive — they are the experiment's
+     * measurement state, like the runtime's counters.
+     */
+    void noteCrash(Cycles at);
+
     // ---- end of run --------------------------------------------------
 
     /** Close remaining windows at @p tEnd (mirror of finalize()). */
@@ -154,6 +165,14 @@ class SpecOracle
         Cycles ewOpen = 0; //!< EwTracker open time (post-syscall)
         pm::Mode procMode = pm::Mode::None;
         int basicOwner = -1;
+        /**
+         * Inside a manualBegin/manualEnd span. The runtime tracks MM
+         * spans through the same holders counter as TM, but the
+         * oracle's holders map is only fed by grantMirror (thread
+         * permissions), which manual spans never touch — so MM needs
+         * its own held flag for the sweeper's idle test.
+         */
+        bool manualHeld = false;
         std::map<unsigned, pm::Mode> holders;
         std::map<unsigned, Cycles> tewOpen;
         Summary ew;

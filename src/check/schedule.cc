@@ -22,6 +22,8 @@ opKindName(OpKind k)
       case OpKind::Range: return "range";
       case OpKind::Guarded: return "guarded";
       case OpKind::Sweep: return "sweep";
+      case OpKind::TxPut: return "tx-put";
+      case OpKind::CrashRecover: return "crash-recover";
       default: return "?";
     }
 }
@@ -113,6 +115,35 @@ generate(std::uint64_t seed, const core::RuntimeConfig &cfg,
             Op op;
             op.kind = OpKind::Sweep;
             s.ops.push_back(op);
+            continue;
+        }
+        if (p.persistOps && roll < 37) {
+            // Undo-log transaction against the persistence substrate:
+            // a handful of word writes, sometimes all to one word
+            // (stride 0) to exercise the write-set dedupe.
+            Op op;
+            op.kind = OpKind::TxPut;
+            op.tid = tid;
+            op.pmo = pmo;
+            op.accesses = 1 + static_cast<unsigned>(rng.nextBelow(3));
+            op.offset = rng.nextBelow(s.pmoSize - 1024) & ~7ULL;
+            op.bytes = rng.nextBool(0.3) ? 0 : 8;
+            s.ops.push_back(op);
+            continue;
+        }
+        if (p.persistOps && roll < 40) {
+            // Power failure + restart + recovery. All volatile state
+            // dies with the process, so the generator's model resets
+            // with it.
+            Op op;
+            op.kind = OpKind::CrashRecover;
+            op.tid = tid;
+            s.ops.push_back(op);
+            st.depth.clear();
+            st.manualMapped.clear();
+            st.basicOwner.clear();
+            for (auto &b : st.blockedOn)
+                b = -1;
             continue;
         }
         if (roll < 45) {
@@ -276,6 +307,13 @@ describeOp(const Op &op)
            << (op.mode == pm::Mode::Read ? "R" : "RW") << ", "
            << op.accesses << " acc)";
         break;
+      case OpKind::TxPut:
+        os << "(p" << op.pmo << "+" << op.offset << ", "
+           << op.accesses << " writes, stride " << op.bytes << ")";
+        break;
+      case OpKind::CrashRecover:
+        os << "()";
+        break;
       case OpKind::Sweep:
         os << "()";
         break;
@@ -303,6 +341,15 @@ reproducerSnippet(const Schedule &s, const std::string &scheme,
            << ");\n"; // create() hands out ids 1..N in order
     os << "core::Runtime rt(mach, pmos, core::RuntimeConfig::"
        << factory << "(" << s.ewTarget << "));\n";
+    bool persist = std::any_of(
+        s.ops.begin(), s.ops.end(), [](const Op &op) {
+            return op.kind == OpKind::TxPut ||
+                   op.kind == OpKind::CrashRecover;
+        });
+    if (persist) {
+        os << "pm::PersistDomain dom;\n";
+        os << "rt.attachPersistence(&dom);\n";
+    }
     for (unsigned t = 0; t < s.threads; ++t)
         os << "auto &t" << t << " = mach.spawnThread();\n";
     os << "// fire rt.onSweep at every " << "hookPeriod"
@@ -347,6 +394,18 @@ reproducerSnippet(const Schedule &s, const std::string &scheme,
                << op.pmo << ", pm::Mode::"
                << (op.mode == pm::Mode::Read ? "Read" : "ReadWrite")
                << "); /* " << op.accesses << " accesses */ }\n";
+            break;
+          case OpKind::TxPut:
+            os << "{ auto &log = dom.openLog(" << op.pmo
+               << ", 1ULL << 32); log.begin(t" << op.tid << "); "
+               << "for (unsigned i = 0; i < " << op.accesses
+               << "; ++i) log.write(t" << op.tid << ", pm::Oid("
+               << op.pmo << ", " << op.offset << " + i * " << op.bytes
+               << "), i); log.commit(t" << op.tid << "); }\n";
+            break;
+          case OpKind::CrashRecover:
+            os << "rt.crash(mach.maxClock()); rt.recover(t" << op.tid
+               << ");\n";
             break;
           case OpKind::Sweep:
             os << "rt.onSweep(/* next boundary */);\n";

@@ -44,6 +44,8 @@ enum class OpKind
     Range,       //!< accessRange(tid, {pmo, offset}, bytes, write)
     Guarded,     //!< RAII RegionGuard + `accesses` accesses inside
     Sweep,       //!< force the next sweeper boundary to fire now
+    TxPut,       //!< undo-log txn: begin, `accesses` writes, commit
+    CrashRecover, //!< modeled power failure + restart + recovery
 };
 
 const char *opKindName(OpKind k);
@@ -55,10 +57,11 @@ struct Op
     pm::PmoId pmo = 0;
     pm::Mode mode = pm::Mode::ReadWrite;
     bool write = false;
-    std::uint64_t offset = 0; //!< Access/Range byte offset
-    std::uint64_t bytes = 0;  //!< Range length
+    std::uint64_t offset = 0; //!< Access/Range/TxPut byte offset
+    std::uint64_t bytes = 0;  //!< Range length; TxPut write stride
+                              //!< (0 = every write hits one word)
     Cycles work = 0;          //!< Work amount
-    unsigned accesses = 0;    //!< Guarded: accesses inside the region
+    unsigned accesses = 0;    //!< Guarded/TxPut: accesses / writes
 };
 
 struct Schedule
@@ -84,6 +87,12 @@ struct GenParams
      */
     Cycles ewTarget = 5 * cyclesPerUs;
     std::uint64_t pmoSize = 64 * KiB;
+    /**
+     * Mix undo-log transactions (TxPut) and crash/recover steps into
+     * the schedule. Off by default so pre-existing seeds generate
+     * byte-identical schedules.
+     */
+    bool persistOps = false;
 };
 
 /** Deterministically generate a schedule for @p cfg from @p seed. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "pm/persist.hh"
 
 namespace terp {
 namespace core {
@@ -608,7 +609,12 @@ Runtime::onSweep(Cycles now)
         MapState &m = maps[pmo];
         if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
             continue;
-        if (m.holders == 0 && cfg.insertion == Insertion::Auto) {
+        if (m.holders == 0) {
+            // Idle and expired: full detach, regardless of who
+            // inserted the protection points. The old Insertion::Auto
+            // qualifier here left a manually-bookended PMO that went
+            // idle (e.g. one re-attached by crash recovery) mapped —
+            // and re-randomized on every sweep — forever.
             emitSweeper(trace::EventKind::DelayedDetach, now, pmo);
             sim::ThreadContext *tc = minClockThread();
             if (tc) {
@@ -633,6 +639,113 @@ Runtime::finalize()
         return;
     finalized = true;
     ew.finalize(mach.maxClock());
+}
+
+// ----------------------------------------------------- crash/recovery
+
+void
+Runtime::crash(Cycles at)
+{
+    if (sink)
+        sink->emit(trace::TraceSink::kernelTid,
+                   trace::EventKind::Crash, at);
+
+    // Thread permissions (the PKRU analogue) are volatile. The
+    // free-running sweeper can have reopened a window at a wall-clock
+    // instant beyond @p at (e.g. a randomize completing right at the
+    // failure); such a window closes with zero length rather than
+    // rewinding the tracker's clock.
+    for (unsigned tid = 0; tid < mach.threadCount(); ++tid) {
+        for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
+            if (!domains.holds(tid, pmo))
+                continue;
+            domains.revoke(tid, pmo);
+            Cycles tClose =
+                std::max(at, ew.threadOpenSince(tid, pmo));
+            ew.threadClose(tid, pmo, tClose);
+            if (sink) {
+                sink->emit(tid, trace::EventKind::ThreadRevoke,
+                           tClose, pmo);
+            }
+        }
+    }
+
+    // Address-space mappings, the permission matrix, and the
+    // circular buffer are volatile too.
+    for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
+        MapState &m = maps[pmo];
+        if (m.mapped) {
+            std::uint64_t base = pm_.pmo(pmo).vaddrBase();
+            matrix.remove(pmo);
+            if (ew.processWindowOpen(pmo)) {
+                Cycles tClose =
+                    std::max(at, ew.processOpenSince(pmo));
+                ew.processClose(pmo, tClose);
+                if (sink) {
+                    sink->emit(trace::TraceSink::kernelTid,
+                               trace::EventKind::RealDetach, tClose,
+                               pmo, base);
+                }
+            } else if (sink) {
+                sink->emit(trace::TraceSink::kernelTid,
+                           trace::EventKind::RealDetach, at, pmo,
+                           base);
+            }
+        }
+        m = MapState{};
+    }
+    for (pm::PmoId pmo : cb.residentPmos())
+        cb.evict(pmo);
+    regionDepth.clear();
+    // Unmap everything, including mappings the protected paths never
+    // tracked (the Unprotected scheme's lazy map).
+    pm_.resetMappings();
+
+    // Blocked waiters: the process they were waiting in is gone.
+    for (unsigned tid = 0; tid < mach.threadCount(); ++tid) {
+        sim::ThreadContext &t = mach.thread(tid);
+        if (t.blocked())
+            mach.wake(t.blockToken(), at);
+    }
+
+    if (dom)
+        dom->crash();
+}
+
+unsigned
+Runtime::recover(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(dom,
+                "recover() without an attached persistence domain");
+    unsigned recovered = 0;
+    for (const auto &[pmo, log] : dom->logs()) {
+        if (!log->recoveryPending())
+            continue;
+        if (cfg.scheme == Scheme::Unprotected) {
+            std::uint64_t rolledBack = log->recover(tc);
+            emit(tc, trace::EventKind::Recover, pmo, rolledBack);
+            ++recovered;
+            continue;
+        }
+        if (cfg.windowCombining)
+            cb.condAttach(pmo, tc.now());
+        doRealAttach(tc, pmo, pm::Mode::ReadWrite);
+        std::uint64_t rolledBack = log->recover(tc);
+        emit(tc, trace::EventKind::Recover, pmo, rolledBack);
+        if (cfg.windowCombining) {
+            // Release through the CONDDT path: the rollback was
+            // almost certainly shorter than the window target, so
+            // this sets the delayed-detach bit and the sweeper later
+            // performs the full detach (window combining applies to
+            // the recovery process like anyone else).
+            if (cb.condDetach(pmo, tc.now(), cfg.ewTarget) ==
+                arch::CondDetachCase::FullDetach) {
+                doRealDetach(tc, pmo);
+            }
+        }
+        ++recovered;
+    }
+    return recovered;
 }
 
 // ------------------------------------------------------------ reports

@@ -33,6 +33,9 @@
 #include "trace/trace_buffer.hh"
 
 namespace terp {
+namespace pm {
+class PersistDomain;
+} // namespace pm
 namespace core {
 
 /** Result of a guarded region entry. */
@@ -140,6 +143,40 @@ class Runtime
     /** Close any still-open windows at end of run. */
     void finalize();
 
+    // ---- crash / recovery --------------------------------------------
+
+    /**
+     * Register the persistence domain crash()/recover() operate on.
+     * The domain is owned by the caller and must outlive the runtime.
+     */
+    void attachPersistence(pm::PersistDomain *domain) { dom = domain; }
+    pm::PersistDomain *persistence() { return dom; }
+
+    /**
+     * Modeled power failure at time @p at (use the max thread clock
+     * so exposure windows never close backwards). All volatile
+     * protection state is lost at once: thread permissions, the
+     * permission matrix, address-space mappings, circular-buffer
+     * residency, region nesting, and blocked waiters. Nobody is
+     * charged — power failures don't run syscalls. Host-side
+     * measurement state (counters, traces, cache models) survives:
+     * it belongs to the experiment, not the machine. Emits a Crash
+     * event plus the matching window-closing events so the trace
+     * audit stays balanced.
+     */
+    void crash(Cycles at);
+
+    /**
+     * Post-crash recovery pass, run on @p tc (the recovery process's
+     * thread): every registered PMO whose durable undo log holds an
+     * in-flight transaction is attached (full Table II cost), rolled
+     * back, and left for the scheme's normal idle path — the
+     * EW-conscious sweeper — to close, so recovery exposure obeys
+     * the same window target as any other. Returns the number of
+     * PMOs rolled back.
+     */
+    unsigned recover(sim::ThreadContext &tc);
+
     // ---- reporting ---------------------------------------------------
 
     OverheadReport report() const;
@@ -182,6 +219,7 @@ class Runtime
     arch::PermissionMatrix matrix;
     semantics::EwTracker ew;
     std::shared_ptr<trace::TraceSink> sink; //!< null = tracing off
+    pm::PersistDomain *dom = nullptr; //!< null = no crash/recovery
 
     /**
      * Counters bumped on the region-entry/exit and syscall paths.

@@ -1,15 +1,74 @@
 #include "pm/persist.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace terp {
 namespace pm {
 
+const char *
+persistBoundaryName(PersistBoundary b)
+{
+    switch (b) {
+      case PersistBoundary::Store: return "store";
+      case PersistBoundary::Clwb: return "clwb";
+      case PersistBoundary::Sfence: return "sfence";
+      case PersistBoundary::LogHeader: return "log-header";
+      default: return "?";
+    }
+}
+
+namespace {
+
+std::string
+powerFailureMessage(std::uint64_t boundary, PersistBoundary kind)
+{
+    std::ostringstream os;
+    os << "modeled power failure before boundary " << boundary
+       << " (" << persistBoundaryName(kind) << ")";
+    return os.str();
+}
+
+} // namespace
+
+PowerFailure::PowerFailure(std::uint64_t boundary_,
+                           PersistBoundary kind_)
+    : std::runtime_error(powerFailureMessage(boundary_, kind_)),
+      boundary(boundary_), kind(kind_)
+{
+}
+
 // ------------------------------------------------- PersistController
+
+void
+PersistController::armFault(std::uint64_t nth)
+{
+    TERP_ASSERT(nth > nBoundary,
+                "fault plan armed at an already-passed boundary ",
+                nth, " (", nBoundary, " seen)");
+    faultAt = nth;
+}
+
+void
+PersistController::noteBoundary(PersistBoundary k)
+{
+    ++nBoundary;
+    if (faultAt != 0 && nBoundary == faultAt) {
+        std::uint64_t at = nBoundary;
+        faultAt = 0;
+        // Power fails before the boundary takes effect: whatever it
+        // would have made visible/durable never happens.
+        crash();
+        throw PowerFailure(at, k);
+    }
+}
 
 void
 PersistController::store(Oid oid, std::uint64_t value)
 {
+    noteBoundary(PersistBoundary::Store);
     vol.poke(oid.raw, value);
     dirty[lineKeyOf(oid.raw)][oid.raw] = value;
 }
@@ -29,6 +88,7 @@ PersistController::persistedLoad(Oid oid) const
 void
 PersistController::clwb(sim::ThreadContext &tc, Oid oid)
 {
+    noteBoundary(PersistBoundary::Clwb);
     tc.work(clwbCost);
     ++nClwb;
     auto it = dirty.find(lineKeyOf(oid.raw));
@@ -43,6 +103,7 @@ PersistController::clwb(sim::ThreadContext &tc, Oid oid)
 void
 PersistController::sfence(sim::ThreadContext &tc)
 {
+    noteBoundary(PersistBoundary::Sfence);
     ++nFence;
     tc.work(drainCostPerLine *
             static_cast<Cycles>(pending.size()));
@@ -91,6 +152,8 @@ UndoLog::begin(sim::ThreadContext &tc)
     TERP_ASSERT(!active, "UndoLog: nested transaction");
     active = true;
     entries = 0;
+    writeSet.clear();
+    ctl.noteBoundary(PersistBoundary::LogHeader);
     ctl.persistentStore(tc, headerOid(), 0);
     ctl.sfence(tc);
 }
@@ -99,14 +162,25 @@ void
 UndoLog::write(sim::ThreadContext &tc, Oid oid, std::uint64_t value)
 {
     TERP_ASSERT(active, "UndoLog: write outside a transaction");
-    // 1. Persist the undo record.
-    ctl.persistentStore(tc, entryOid(entries, 0), oid.raw);
-    ctl.persistentStore(tc, entryOid(entries, 1), ctl.load(oid));
-    ctl.sfence(tc);
-    // 2. Publish the record durably before touching the data.
-    ++entries;
-    ctl.persistentStore(tc, headerOid(), entries);
-    ctl.sfence(tc);
+    // A location already logged this transaction keeps its original
+    // undo record: the oldest value is the one rollback must
+    // restore, and duplicate entries would make commit CLWB (and
+    // the SFENCE drain pay for) the same line once per write.
+    bool logged =
+        std::find(writeSet.begin(), writeSet.end(), oid.raw) !=
+        writeSet.end();
+    if (!logged) {
+        // 1. Persist the undo record.
+        ctl.persistentStore(tc, entryOid(entries, 0), oid.raw);
+        ctl.persistentStore(tc, entryOid(entries, 1), ctl.load(oid));
+        ctl.sfence(tc);
+        // 2. Publish the record durably before touching the data.
+        ++entries;
+        ctl.noteBoundary(PersistBoundary::LogHeader);
+        ctl.persistentStore(tc, headerOid(), entries);
+        ctl.sfence(tc);
+        writeSet.push_back(oid.raw);
+    }
     // 3. Now the data update may proceed (durable at commit).
     ctl.store(oid, value);
 }
@@ -115,39 +189,104 @@ void
 UndoLog::commit(sim::ThreadContext &tc)
 {
     TERP_ASSERT(active, "UndoLog: commit outside a transaction");
-    // Make the transaction's data updates durable: the write-set is
-    // exactly what the log recorded.
-    for (std::uint64_t i = 0; i < entries; ++i) {
-        Oid target = Oid::fromRaw(
-            ctl.load(entryOid(i, 0)));
-        ctl.clwb(tc, target);
+    // Make the transaction's data updates durable. The DRAM-side
+    // write-set (not volatile re-reads of the log region) names the
+    // touched locations; flush each distinct cache line once.
+    std::vector<std::uint64_t> lines;
+    for (std::uint64_t raw : writeSet) {
+        std::uint64_t line = lineKeyOf(raw);
+        if (std::find(lines.begin(), lines.end(), line) !=
+            lines.end()) {
+            continue;
+        }
+        lines.push_back(line);
+        ctl.clwb(tc, Oid::fromRaw(line));
     }
     ctl.sfence(tc);
     // Invalidate the log durably: the transaction is committed.
+    ctl.noteBoundary(PersistBoundary::LogHeader);
     ctl.persistentStore(tc, headerOid(), 0);
     ctl.sfence(tc);
     active = false;
     entries = 0;
+    writeSet.clear();
 }
 
-void
+std::uint64_t
 UndoLog::recover(sim::ThreadContext &tc)
 {
-    active = false;
-    entries = 0;
+    abortVolatile();
     std::uint64_t valid = ctl.persistedLoad(headerOid());
     if (valid == 0)
-        return; // nothing in flight at the crash
-    // Roll back in reverse order from the durable log.
+        return 0; // nothing in flight at the crash
+    // Roll back in reverse order from the durable log. A location
+    // whose durable image already equals the logged old value needs
+    // no store — the crash landed before its data update was ever
+    // flushed — and re-applying it would bill the recovering thread
+    // a second full persist for data that is already durable (the
+    // common case for a crash between the commit fence and the
+    // durable header clear: everything is durable, the whole walk
+    // is no-ops).
     for (std::uint64_t i = valid; i-- > 0;) {
         Oid target =
             Oid::fromRaw(ctl.persistedLoad(entryOid(i, 0)));
         std::uint64_t old = ctl.persistedLoad(entryOid(i, 1));
+        if (ctl.persistedLoad(target) == old &&
+            ctl.load(target) == old) {
+            continue;
+        }
         ctl.persistentStore(tc, target, old);
     }
     ctl.sfence(tc);
+    ctl.noteBoundary(PersistBoundary::LogHeader);
     ctl.persistentStore(tc, headerOid(), 0);
     ctl.sfence(tc);
+    return valid;
+}
+
+bool
+UndoLog::recoveryPending() const
+{
+    return ctl.persistedLoad(headerOid()) != 0;
+}
+
+void
+UndoLog::abortVolatile()
+{
+    active = false;
+    entries = 0;
+    writeSet.clear();
+}
+
+// ---------------------------------------------------- PersistDomain
+
+UndoLog &
+PersistDomain::openLog(PmoId pmo, std::uint64_t log_off)
+{
+    auto it = logs_.find(pmo);
+    if (it != logs_.end())
+        return *it->second;
+    auto [pos, inserted] = logs_.emplace(
+        pmo, std::make_unique<UndoLog>(ctl, pmo, log_off));
+    (void)inserted;
+    return *pos->second;
+}
+
+UndoLog *
+PersistDomain::findLog(PmoId pmo)
+{
+    auto it = logs_.find(pmo);
+    return it == logs_.end() ? nullptr : it->second.get();
+}
+
+void
+PersistDomain::crash()
+{
+    ctl.crash();
+    for (auto &[pmo, log] : logs_) {
+        (void)pmo;
+        log->abortVolatile();
+    }
 }
 
 } // namespace pm

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/units.hh"
@@ -39,8 +41,47 @@ lineKeyOf(std::uint64_t addr)
 }
 
 /**
+ * Crash-point taxonomy: the persist-boundary events a fault plan can
+ * interrupt. Every durability-relevant transition of the substrate
+ * is exactly one of these, so enumerating boundaries 1..N covers
+ * every distinguishable crash window of a run.
+ */
+enum class PersistBoundary : std::uint8_t
+{
+    Store,     //!< a store became visible in the volatile image
+    Clwb,      //!< a cache-line write-back was issued
+    Sfence,    //!< a fence drained pending write-backs durable
+    LogHeader, //!< an undo-log header update is about to start
+};
+
+const char *persistBoundaryName(PersistBoundary b);
+
+/**
+ * Thrown by an armed FaultPlan at its trigger boundary, after the
+ * controller performed the modeled power failure (crash()). Not a
+ * TERP_ASSERT/logic_error: a planned power failure is an injected
+ * event, not an invariant violation.
+ */
+class PowerFailure : public std::runtime_error
+{
+  public:
+    PowerFailure(std::uint64_t boundary_, PersistBoundary kind_);
+
+    std::uint64_t boundary; //!< 1-based index of the fatal boundary
+    PersistBoundary kind;   //!< what the boundary would have been
+};
+
+/**
  * Models the volatile-cache / persistent-media boundary at
  * cache-line granularity.
+ *
+ * Fault injection: armFault(n) plants a modeled power failure at the
+ * n-th persist-boundary event (1-based, counted from controller
+ * construction). The fatal boundary never takes effect — the crash
+ * happens *before* it — so "crash after boundary k" is the same
+ * point as "crash before boundary k+1" and enumerating n = 1..B
+ * (B = boundaryCount() of an uninterrupted run) covers every crash
+ * window exactly once.
  */
 class PersistController
 {
@@ -85,6 +126,23 @@ class PersistController
 
     MemImage &volatileImage() { return vol; }
 
+    // ---- fault plan ---------------------------------------------------
+
+    /** Crash before the @p nth boundary (1-based, from creation). */
+    void armFault(std::uint64_t nth);
+    /** Cancel a pending fault plan (e.g. before recovery persists). */
+    void disarmFault() { faultAt = 0; }
+    bool faultArmed() const { return faultAt != 0; }
+    /** Boundaries counted so far (B of a finished baseline run). */
+    std::uint64_t boundaryCount() const { return nBoundary; }
+
+    /**
+     * Record a boundary event of kind @p k; fires the fault plan
+     * when armed. UndoLog calls this with LogHeader ahead of header
+     * updates; the substrate itself notes Store/Clwb/Sfence.
+     */
+    void noteBoundary(PersistBoundary k);
+
   private:
     MemImage vol;  //!< what loads see
     MemImage dur;  //!< what survives a crash
@@ -96,6 +154,8 @@ class PersistController
         pending;
     std::uint64_t nClwb = 0;
     std::uint64_t nFence = 0;
+    std::uint64_t nBoundary = 0; //!< persist-boundary events seen
+    std::uint64_t faultAt = 0;   //!< fatal boundary; 0 = disarmed
 };
 
 /**
@@ -124,10 +184,30 @@ class UndoLog
     /** Commit: persist data, then mark the log invalid. */
     void commit(sim::ThreadContext &tc);
 
-    /** After a crash: undo any uncommitted transaction. */
-    void recover(sim::ThreadContext &tc);
+    /**
+     * After a crash: undo any uncommitted transaction. Returns the
+     * number of durable log entries examined (0 = log was clean).
+     */
+    std::uint64_t recover(sim::ThreadContext &tc);
 
     bool inTransaction() const { return active; }
+
+    /** The PMO this log protects. */
+    PmoId pmoId() const { return pmo; }
+
+    /**
+     * Does the durable image hold an in-flight (uncommitted)
+     * transaction that recover() would roll back?
+     */
+    bool recoveryPending() const;
+
+    /**
+     * Drop the volatile transaction state without touching the
+     * durable log — what a power failure does to the DRAM-side
+     * write-set. The durable header still marks the transaction
+     * in-flight; recover() rolls it back.
+     */
+    void abortVolatile();
 
   private:
     PersistController &ctl;
@@ -135,12 +215,61 @@ class UndoLog
     std::uint64_t logOff;
     bool active = false;
     std::uint64_t entries = 0;
+    /**
+     * DRAM-side write-set of the open transaction: the raw Oid of
+     * every *distinct* logged location, in log order. write()
+     * consults it to dedupe repeated stores to one location (one
+     * undo record per location is enough — the log keeps the oldest
+     * value) and commit() walks it instead of re-reading the log
+     * through volatile loads.
+     */
+    std::vector<std::uint64_t> writeSet;
 
     Oid headerOid() const { return Oid(pmo, logOff); }
     Oid entryOid(std::uint64_t i, unsigned word) const
     {
         return Oid(pmo, logOff + 64 + i * 16 + word * 8);
     }
+};
+
+/**
+ * One process's persistence context: the controller plus the undo
+ * log of every PMO opened transactionally. Runtime::recover() walks
+ * the registry after a modeled power failure so every registered
+ * PMO is rolled back to its last committed image.
+ */
+class PersistDomain
+{
+  public:
+    PersistController &controller() { return ctl; }
+    const PersistController &controller() const { return ctl; }
+
+    /**
+     * The undo log of @p pmo, created on first use with its log
+     * region at @p log_off. Reopening must use the same offset (the
+     * log location is part of the PMO's layout).
+     */
+    UndoLog &openLog(PmoId pmo, std::uint64_t log_off);
+
+    /** The registered log of @p pmo, or null. */
+    UndoLog *findLog(PmoId pmo);
+
+    /** Registered logs, ascending PmoId (recovery walk order). */
+    const std::map<PmoId, std::unique_ptr<UndoLog>> &logs() const
+    {
+        return logs_;
+    }
+
+    /**
+     * Modeled power failure over the whole domain: volatile images
+     * and every log's DRAM-side write-set are lost; durable state
+     * (including in-flight log records) survives for recovery.
+     */
+    void crash();
+
+  private:
+    PersistController ctl;
+    std::map<PmoId, std::unique_ptr<UndoLog>> logs_;
 };
 
 } // namespace pm

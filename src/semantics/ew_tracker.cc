@@ -93,6 +93,24 @@ EwTracker::processWindowOpen(pm::PmoId pmo) const
     return s && s->open;
 }
 
+Cycles
+EwTracker::processOpenSince(pm::PmoId pmo) const
+{
+    const PerPmo *s = stateIfSeen(pmo);
+    TERP_ASSERT(s && s->open, "open-since of unopened PMO ", pmo);
+    return s->openSince;
+}
+
+Cycles
+EwTracker::threadOpenSince(unsigned tid, pm::PmoId pmo) const
+{
+    const PerPmo *s = stateIfSeen(pmo);
+    TERP_ASSERT(s && tid < s->threadOpenSince.size() &&
+                    s->threadOpenSince[tid] != notOpen,
+                "open-since without open, tid ", tid);
+    return s->threadOpenSince[tid];
+}
+
 namespace {
 
 ExposureMetrics

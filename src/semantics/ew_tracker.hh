@@ -59,6 +59,18 @@ class EwTracker
     /** True if the PMO is currently in an open process window. */
     bool processWindowOpen(pm::PmoId pmo) const;
 
+    /**
+     * Open time of the current process window (requires one open).
+     * A crash can find a window the free-running sweeper reopened at
+     * a wall-clock instant beyond every thread clock; closing such a
+     * window at the crash instant would rewind time, so the crash
+     * path clamps its close to this.
+     */
+    Cycles processOpenSince(pm::PmoId pmo) const;
+
+    /** Open time of tid's current thread window (requires open). */
+    Cycles threadOpenSince(unsigned tid, pm::PmoId pmo) const;
+
     /** Metrics for a single PMO. */
     ExposureMetrics metricsFor(pm::PmoId pmo, Cycles total,
                                unsigned threads) const;

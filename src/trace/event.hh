@@ -46,6 +46,8 @@ enum class EventKind : std::uint8_t
     PmoMap,          //!< address space: PMO mapped; arg = vaddr base
     PmoUnmap,        //!< address space: PMO unmapped; arg = old base
     PmoRemap,        //!< address space: PMO moved; arg = new base
+    Crash,           //!< modeled power failure; arg = persist boundary
+    Recover,         //!< post-crash recovery pass over a PMO's log
     NumKinds
 };
 

@@ -29,6 +29,8 @@ eventKindName(EventKind k)
       case EventKind::PmoMap: return "pmo_map";
       case EventKind::PmoUnmap: return "pmo_unmap";
       case EventKind::PmoRemap: return "pmo_remap";
+      case EventKind::Crash: return "crash";
+      case EventKind::Recover: return "recover";
       default: return "?";
     }
 }

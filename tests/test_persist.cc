@@ -162,6 +162,168 @@ TEST(UndoLog, NestedBeginPanics)
     EXPECT_THROW(log.begin(tc), std::logic_error);
 }
 
+TEST(UndoLog, DuplicateWritesDedupeAndChargeOnce)
+{
+    // A transaction that stores repeatedly to one location needs one
+    // undo record — the oldest value — not one per store. The repeat
+    // writes must also cost nothing: the first write already paid for
+    // the log entry's persist (both entry words share one line).
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+    Oid x(1, 0x100);
+    ctl.persistentStore(tc, x, 10);
+    ctl.sfence(tc);
+
+    constexpr Cycles unit = PersistController::clwbCost +
+                            PersistController::drainCostPerLine;
+    log.begin(tc);
+    Cycles t0 = tc.now();
+    log.write(tc, x, 11);
+    EXPECT_EQ(tc.now() - t0, 2 * PersistController::clwbCost +
+                                 PersistController::drainCostPerLine +
+                                 unit);
+    t0 = tc.now();
+    log.write(tc, x, 12);
+    log.write(tc, x, 13);
+    EXPECT_EQ(tc.now() - t0, 0u) << "duplicate writes must be free";
+    log.commit(tc);
+    EXPECT_EQ(ctl.persistedLoad(x), 13u);
+
+    // Crash mid-transaction: recovery examines ONE durable entry and
+    // rolls back to the pre-transaction value, not an intermediate.
+    log.begin(tc);
+    log.write(tc, x, 21);
+    log.write(tc, x, 22);
+    ctl.crash();
+    EXPECT_EQ(log.recover(tc), 1u);
+    EXPECT_EQ(ctl.load(x), 13u);
+}
+
+TEST(UndoLog, RecoverIsIdempotentAndChargesOnce)
+{
+    // A crash can land between commit's data-flush fence and the
+    // durable header clear; the header then still marks the
+    // transaction in-flight and recovery rolls it back. A second
+    // recover() pass (e.g. a crash during recovery itself) must find
+    // a clean log and charge nothing — no double-applied rollback.
+    PersistController ctl;
+    auto tc = makeTc();
+    UndoLog log(ctl, 1, 0x10000);
+    Oid x(1, 0x100);
+    ctl.persistentStore(tc, x, 5);
+    ctl.sfence(tc);
+
+    log.begin(tc);
+    log.write(tc, x, 6);
+    ctl.crash();
+    EXPECT_TRUE(log.recoveryPending());
+    EXPECT_EQ(log.recover(tc), 1u);
+    EXPECT_EQ(ctl.persistedLoad(x), 5u);
+    EXPECT_FALSE(log.recoveryPending());
+
+    Cycles t0 = tc.now();
+    EXPECT_EQ(log.recover(tc), 0u);
+    EXPECT_EQ(tc.now() - t0, 0u);
+    EXPECT_EQ(ctl.persistedLoad(x), 5u);
+}
+
+TEST(UndoLog, TransactionsAtomicAtEveryPersistBoundary)
+{
+    // Exhaustive fault injection: a baseline run of a fixed 4-txn
+    // workload counts its persist boundaries B, then the workload is
+    // re-run B times with the fault plan armed at every n in 1..B.
+    // After each modeled power failure the durable image must equal
+    // the image after exactly the commits that returned, and a fresh
+    // transaction must still commit durably.
+    struct Workload
+    {
+        PersistController ctl;
+        UndoLog log{ctl, 1, 0x10000};
+        std::map<std::uint64_t, std::uint64_t> committed;
+
+        void
+        run(sim::ThreadContext &tc)
+        {
+            for (unsigned t = 1; t <= 4; ++t) {
+                std::vector<std::pair<Oid, std::uint64_t>> writes;
+                for (unsigned w = 0; w <= t % 3; ++w) {
+                    writes.push_back({Oid(1, 0x100 + 64ULL *
+                                                     ((t + w) % 5)),
+                                      100ULL * t + w});
+                }
+                if (t == 2) // a duplicate store, exercising dedupe
+                    writes.push_back({writes.front().first, 299});
+                log.begin(tc);
+                for (const auto &[o, v] : writes)
+                    log.write(tc, o, v);
+                log.commit(tc);
+                for (const auto &[o, v] : writes)
+                    committed[o.raw] = v;
+            }
+        }
+    };
+
+    auto tcBase = makeTc();
+    std::uint64_t bounds = 0;
+    {
+        Workload base;
+        base.run(tcBase);
+        bounds = base.ctl.boundaryCount();
+        ASSERT_GT(bounds, 0u);
+    }
+
+    for (std::uint64_t n = 1; n <= bounds; ++n) {
+        Workload w;
+        auto tc = makeTc();
+        w.ctl.armFault(n);
+        bool crashed = false;
+        try {
+            w.run(tc);
+        } catch (const PowerFailure &pf) {
+            crashed = true;
+            EXPECT_EQ(pf.boundary, n);
+        }
+        ASSERT_TRUE(crashed) << "fault " << n << " never fired";
+        w.log.recover(tc);
+
+        // All-or-nothing: exactly the committed prefix is durable.
+        for (const auto &[raw, v] : w.committed) {
+            EXPECT_EQ(w.ctl.load(Oid::fromRaw(raw)), v)
+                << "boundary " << n << " oid 0x" << std::hex << raw;
+        }
+        for (unsigned c = 0; c < 5; ++c) {
+            Oid o(1, 0x100 + 64ULL * c);
+            if (!w.committed.count(o.raw)) {
+                EXPECT_EQ(w.ctl.load(o), 0u)
+                    << "boundary " << n << " leaked cell " << c;
+            }
+        }
+
+        // Liveness: the recovered log accepts a new transaction.
+        w.log.begin(tc);
+        w.log.write(tc, Oid(1, 0x400), 999);
+        w.log.commit(tc);
+        EXPECT_EQ(w.ctl.persistedLoad(Oid(1, 0x400)), 999u);
+    }
+}
+
+TEST(Persist, FaultPlanFiresBeforeTheArmedBoundary)
+{
+    // "Crash before boundary n": the n-th boundary's effect must not
+    // be visible. Boundary 1 of a fresh controller is the store
+    // itself — arming it loses even the volatile value.
+    PersistController ctl;
+    Oid a(1, 0x100);
+    ctl.armFault(1);
+    EXPECT_THROW(ctl.store(a, 42), PowerFailure);
+    EXPECT_FALSE(ctl.faultArmed()) << "plans are one-shot";
+    EXPECT_EQ(ctl.load(a), 0u);
+    EXPECT_EQ(ctl.boundaryCount(), 1u);
+    ctl.store(a, 43); // disarmed: the substrate keeps working
+    EXPECT_EQ(ctl.load(a), 43u);
+}
+
 class UndoLogCrashPointTest
     : public ::testing::TestWithParam<std::uint64_t>
 {

@@ -194,8 +194,8 @@ TEST(TraceEvents, TtRegionEmitsAttachGrantRevoke)
 
     // A second region on the still-resident PMO combines silently.
     r.rt->regionBegin(*r.tc, r.pmo, pm::Mode::ReadWrite);
-    const Event *sa =
-        firstOf(r.events(), EventKind::SilentAttach);
+    std::vector<Event> es2 = r.events();
+    const Event *sa = firstOf(es2, EventKind::SilentAttach);
     ASSERT_NE(sa, nullptr);
     EXPECT_EQ(sa->arg, trace::silent::combined);
 }

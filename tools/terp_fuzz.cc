@@ -21,6 +21,8 @@
  *   --threads N     threads per schedule (default 3)
  *   --pmos N        PMOs per schedule (default 2)
  *   --ew US         EW target in microseconds (default 5; floor 5)
+ *   --crash         mix undo-log transactions and crash/recover
+ *                   steps into the schedules
  *   --shrink        minimize divergent schedules (greedy deletion)
  *   --no-shrink     report the raw divergent schedule
  *
@@ -47,7 +49,8 @@ usage()
                  " [--seeds N]\n"
                  "                 [--first-seed N] [--events N] "
                  "[--threads N] [--pmos N]\n"
-                 "                 [--ew US] [--shrink|--no-shrink]\n");
+                 "                 [--ew US] [--crash] "
+                 "[--shrink|--no-shrink]\n");
     return 2;
 }
 
@@ -97,6 +100,8 @@ main(int argc, char **argv)
                 std::strtoul(val().c_str(), nullptr, 0));
         } else if (a == "--ew") {
             ewUs = std::strtod(val().c_str(), nullptr);
+        } else if (a == "--crash") {
+            opt.gen.persistOps = true;
         } else if (a == "--shrink") {
             opt.shrink = true;
         } else if (a == "--no-shrink") {
