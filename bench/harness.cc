@@ -50,6 +50,42 @@ noteSim(std::uint64_t cycles)
     tallyCycles.fetch_add(cycles, std::memory_order_relaxed);
 }
 
+metrics::Registry &
+globalMetrics()
+{
+    static metrics::Registry reg;
+    return reg;
+}
+
+namespace {
+
+std::mutex &
+globalMetricsLock()
+{
+    static std::mutex m;
+    return m;
+}
+
+// Per-PMO series are dropped from the aggregate — PMO ids are only
+// meaningful within one run — keeping the pmo="all" rollups.
+bool
+keepInAggregate(const std::string &name)
+{
+    return name.find("{pmo=\"") == std::string::npos ||
+           name.find("{pmo=\"all\"") != std::string::npos;
+}
+
+} // namespace
+
+void
+noteRunMetrics(const workloads::RunResult &r)
+{
+    if (!r.metrics)
+        return;
+    std::lock_guard<std::mutex> g(globalMetricsLock());
+    globalMetrics().merge(*r.metrics, keepInAggregate, {"scheme"});
+}
+
 workloads::RunResult
 runWhisperCounted(const std::string &name,
                   const core::RuntimeConfig &cfg,
@@ -57,6 +93,7 @@ runWhisperCounted(const std::string &name,
 {
     workloads::RunResult r = workloads::runWhisper(name, cfg, params);
     noteSim(r.totalCycles);
+    noteRunMetrics(r);
     return r;
 }
 
@@ -67,6 +104,7 @@ runSpecCounted(const std::string &name,
 {
     workloads::RunResult r = workloads::runSpec(name, cfg, params);
     noteSim(r.totalCycles);
+    noteRunMetrics(r);
     return r;
 }
 

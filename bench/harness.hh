@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/registry.hh"
 #include "workloads/spec.hh"
 #include "workloads/whisper.hh"
 
@@ -71,6 +72,19 @@ SimTally tallySnapshot();
 
 /** Record one completed simulation of @p cycles simulated cycles. */
 void noteSim(std::uint64_t cycles);
+
+/**
+ * The process-wide metrics aggregate: every counted run's registry
+ * is merged in (commutatively, under a lock) with the `scheme` label
+ * baked into each name so runs of different schemes stay distinct.
+ * Per-PMO exposure histograms are dropped at the merge — PMO ids are
+ * only meaningful within one run — keeping the pmo="all" rollups.
+ * Empty when metrics are disabled (TERP_METRICS=off).
+ */
+metrics::Registry &globalMetrics();
+
+/** Merge one run's registry into globalMetrics(). */
+void noteRunMetrics(const workloads::RunResult &r);
 
 /** runWhisper, recorded in the tally. */
 workloads::RunResult

@@ -8,58 +8,26 @@
 #ifndef TERP_COMMON_STATS_HH
 #define TERP_COMMON_STATS_HH
 
-#include <algorithm>
 #include <cstdint>
-#include <limits>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "metrics/metric.hh"
 
 namespace terp {
 
 /**
  * Running scalar summary (count / sum / min / max / mean) over
  * uint64 samples such as exposure-window lengths in cycles.
+ *
+ * Canonically defined in metrics/metric.hh so every consumer — the
+ * EwTracker, the trace auditor's window tallies, the differential
+ * oracle and the metrics registry — shares one implementation with
+ * one set of empty-sample conventions (min()==0, mean()==0.0 on
+ * n==0). This alias keeps the historical spelling.
  */
-class Summary
-{
-  public:
-    void
-    add(std::uint64_t v)
-    {
-        ++n;
-        total += v;
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-    }
-
-    std::uint64_t count() const { return n; }
-    std::uint64_t sum() const { return total; }
-    std::uint64_t min() const { return n ? lo : 0; }
-    std::uint64_t max() const { return n ? hi : 0; }
-
-    double
-    mean() const
-    {
-        return n ? static_cast<double>(total) / static_cast<double>(n)
-                 : 0.0;
-    }
-
-    void
-    reset()
-    {
-        n = 0;
-        total = 0;
-        lo = std::numeric_limits<std::uint64_t>::max();
-        hi = 0;
-    }
-
-  private:
-    std::uint64_t n = 0;
-    std::uint64_t total = 0;
-    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
-    std::uint64_t hi = 0;
-};
+using Summary = metrics::Summary;
 
 /**
  * Histogram over explicit bucket upper bounds. A sample lands in the

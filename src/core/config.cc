@@ -17,6 +17,23 @@ schemeName(Scheme s)
     }
 }
 
+const char *
+schemeTag(const RuntimeConfig &cfg)
+{
+    switch (cfg.scheme) {
+      case Scheme::Unprotected:
+        return "unprotected";
+      case Scheme::MM:
+        return "mm";
+      case Scheme::TM:
+        return cfg.basicBlocking ? "basic" : "tm";
+      case Scheme::TT:
+        return cfg.windowCombining ? "tt" : "ttnc";
+      default:
+        return "?";
+    }
+}
+
 RuntimeConfig
 RuntimeConfig::unprotected()
 {

@@ -36,6 +36,17 @@ enum class Scheme
 
 const char *schemeName(Scheme s);
 
+struct RuntimeConfig;
+
+/**
+ * Short lowercase tag naming the *configured* scheme, including the
+ * Fig-11 ablations the Scheme enum alone cannot distinguish:
+ * "unprotected", "mm", "tm", "tt", "ttnc" (TT without the circular
+ * buffer) or "basic" (blocking ablation). Matches the terp-trace /
+ * terp-stats CLI spellings; used as the `scheme` metrics label.
+ */
+const char *schemeTag(const RuntimeConfig &cfg);
+
 /** Which insertion points drive attach/detach. */
 enum class Insertion
 {
@@ -80,6 +91,22 @@ struct RuntimeConfig
     /** Per-thread trace ring capacity, in events. */
     std::size_t traceCapacity = 1u << 16;
 
+    /**
+     * Metrics registry (src/metrics). On by default: recording never
+     * charges simulated cycles and never prints, so cycle totals and
+     * harness stdout are bit-for-bit identical either way (held down
+     * by tests/test_bench_harness.cc). Set false — or export
+     * TERP_METRICS=off — for a hot path where every instrument
+     * pointer is null and each site costs one predictable branch.
+     */
+    bool metricsEnabled = true;
+    /**
+     * Snapshot-sampler period in cycles; 0 disables the time-series.
+     * Sampling happens at sweeper-tick granularity, so periods below
+     * the machine's hookPeriod sample every tick.
+     */
+    Cycles metricsSamplePeriod = 0;
+
     /** Fluent helper: same config with tracing switched on. */
     RuntimeConfig
     withTrace(std::size_t capacity = 1u << 16) const
@@ -87,6 +114,25 @@ struct RuntimeConfig
         RuntimeConfig c = *this;
         c.traceEnabled = true;
         c.traceCapacity = capacity;
+        return c;
+    }
+
+    /** Fluent helper: metrics with a snapshot time-series. */
+    RuntimeConfig
+    withMetricsSampling(Cycles period) const
+    {
+        RuntimeConfig c = *this;
+        c.metricsEnabled = true;
+        c.metricsSamplePeriod = period;
+        return c;
+    }
+
+    /** Fluent helper: same config with metrics switched off. */
+    RuntimeConfig
+    withoutMetrics() const
+    {
+        RuntimeConfig c = *this;
+        c.metricsEnabled = false;
         return c;
     }
 

@@ -29,6 +29,21 @@ Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
         mach.setTraceSink(sink.get());
         pm_.setTraceSink(sink.get());
     }
+    if (cfg.metricsEnabled && metrics::enabledByEnv()) {
+        reg = std::make_shared<metrics::Registry>();
+        reg->setLabel("scheme", schemeTag(cfg));
+        ew.enableMetrics(reg.get());
+        mSweepTicks = &reg->counter("sweeper.ticks");
+        mSweepForceDetach = &reg->counter("sweeper.force_detach");
+        mSweepRandomize = &reg->counter("sweeper.randomize");
+        mSweepTickNs = &reg->histogram("host.sweep_tick_ns");
+        if (cfg.windowCombining)
+            mCbOccupancy = &reg->gauge("cb.occupancy");
+        if (cfg.metricsSamplePeriod > 0) {
+            sampler = std::make_unique<metrics::Sampler>(
+                *reg, cfg.metricsSamplePeriod);
+        }
+    }
 }
 
 Runtime::~Runtime()
@@ -261,6 +276,8 @@ Runtime::ttRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
 
     if (cfg.windowCombining) {
         arch::CondAttachCase c = cb.condAttach(pmo, tc.now());
+        if (mCbOccupancy)
+            mCbOccupancy->set(cb.liveEntries());
         if (c == arch::CondAttachCase::FirstAttach) {
             doRealAttach(tc, pmo, mode);
         } else {
@@ -572,9 +589,22 @@ Runtime::onSweep(Cycles now)
     if (cfg.scheme == Scheme::Unprotected)
         return;
 
+    if (sampler)
+        sampler->tick(now);
+    // Host-side tick latency, sampled every 64th tick: the clock
+    // read costs more than an uneventful sweep, so timing every tick
+    // would mostly profile the profiler.
+    metrics::ScopedTimer tickTimer(
+        mSweepTickNs && (sweepTickSeq++ & 63) == 0 ? mSweepTickNs
+                                                   : nullptr);
+    if (mSweepTicks)
+        mSweepTicks->inc();
+
     if (cfg.windowCombining) {
         for (const arch::SweepAction &a : cb.sweep(now, cfg.ewTarget)) {
             if (a.detach) {
+                if (mSweepForceDetach)
+                    mSweepForceDetach->inc();
                 // The hardware-triggered detach interrupts the
                 // earliest-running thread.
                 emitSweeper(trace::EventKind::DelayedDetach, now,
@@ -589,6 +619,8 @@ Runtime::onSweep(Cycles now)
                     doRealDetachAt(nullptr, a.pmo, now);
                 }
             } else {
+                if (mSweepRandomize)
+                    mSweepRandomize->inc();
                 // Threads still hold the PMO: randomize in place so
                 // the location never outlives the max EW (partial
                 // combining, Fig 6c).
@@ -598,6 +630,8 @@ Runtime::onSweep(Cycles now)
                 mapState(a.pmo).lastRealAttach = now;
             }
         }
+        if (mCbOccupancy)
+            mCbOccupancy->set(cb.liveEntries());
         return;
     }
 
@@ -610,6 +644,8 @@ Runtime::onSweep(Cycles now)
         if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
             continue;
         if (m.holders == 0) {
+            if (mSweepForceDetach)
+                mSweepForceDetach->inc();
             // Idle and expired: full detach, regardless of who
             // inserted the protection points. The old Insertion::Auto
             // qualifier here left a manually-bookended PMO that went
@@ -624,6 +660,8 @@ Runtime::onSweep(Cycles now)
                 doRealDetachAt(nullptr, pmo, now);
             }
         } else {
+            if (mSweepRandomize)
+                mSweepRandomize->inc();
             doRandomize(pmo, now);
             ew.processClose(pmo, now);
             ew.processOpen(pmo, now);
@@ -639,6 +677,87 @@ Runtime::finalize()
         return;
     finalized = true;
     ew.finalize(mach.maxClock());
+    publishMetrics();
+}
+
+void
+Runtime::publishMetrics()
+{
+    if (!reg)
+        return;
+
+    // Event counters, under the same names counters() reports.
+    static const char *const ctrNames[numCounters] = {
+        "runtime.attach_syscalls", "runtime.detach_syscalls",
+        "runtime.randomizations",  "runtime.cond_ops",
+        "runtime.nested_regions",  "runtime.cond_silent_nocb",
+        "runtime.cond_full_nocb",  "runtime.perm_syscalls",
+        "runtime.basic_blocks",
+    };
+    for (unsigned i = 0; i < numCounters; ++i)
+        if (ctr[i])
+            reg->counter(ctrNames[i]).inc(ctr[i]);
+
+    // Cycle attribution, summed over threads like report().
+    OverheadReport rep = report();
+    reg->counter("runtime.cycles_work").inc(rep.work);
+    reg->counter("runtime.cycles_attach").inc(rep.attach);
+    reg->counter("runtime.cycles_detach").inc(rep.detach);
+    reg->counter("runtime.cycles_rand").inc(rep.rand);
+    reg->counter("runtime.cycles_cond").inc(rep.cond);
+    reg->counter("runtime.cycles_other").inc(rep.other);
+
+    // Silent-vs-real operation split (Table 3). The integer operands
+    // are the exact ones report() divides, so a consumer recomputing
+    // silent/(silent+full) reproduces silentFraction bit-for-bit.
+    std::uint64_t silent = 0, full = 0;
+    if (cfg.windowCombining) {
+        const arch::CircularBuffer::Stats &cs = cb.stats();
+        reg->counter("cb.condat_case1").inc(cs.case1);
+        reg->counter("cb.condat_case2").inc(cs.case2);
+        reg->counter("cb.condat_case3").inc(cs.case3);
+        reg->counter("cb.conddt_case4").inc(cs.case4);
+        reg->counter("cb.conddt_case5").inc(cs.case5);
+        reg->counter("cb.conddt_case6").inc(cs.case6);
+        reg->counter("cb.sweep_detach").inc(cs.sweepDetach);
+        reg->counter("cb.sweep_randomize").inc(cs.sweepRandomize);
+        silent = cs.case2 + cs.case3 + cs.case4 + cs.case6;
+        full = cs.case1 + cs.case5;
+    } else if (cfg.condInstructions) {
+        silent = ctr[ctrCondSilentNocb];
+        full = ctr[ctrCondFullNocb];
+    } else if (cfg.scheme == Scheme::TM &&
+               cfg.insertion == Insertion::Auto) {
+        silent = ctr[ctrPermSyscalls];
+        full = ctr[ctrAttachSyscalls] + ctr[ctrDetachSyscalls];
+    }
+    reg->counter("runtime.silent_ops").inc(silent);
+    reg->counter("runtime.full_ops").inc(full);
+    reg->gauge("runtime.silent_fraction").set(rep.silentFraction);
+
+    // Persistence substrate.
+    if (dom) {
+        const pm::PersistController &pc = dom->controller();
+        reg->counter("pm.clwb_issued").inc(pc.clwbCount());
+        reg->counter("pm.fences").inc(pc.fenceCount());
+        std::uint64_t logBytes = 0, logEntries = 0;
+        std::uint64_t rollbacks = 0, rolledBack = 0;
+        for (const auto &[pmo, log] : dom->logs()) {
+            (void)pmo;
+            logBytes += log->bytesLogged();
+            logEntries += log->entriesLogged();
+            rollbacks += log->rollbacks();
+            rolledBack += log->entriesRolledBack();
+        }
+        reg->counter("pm.undo_log_bytes").inc(logBytes);
+        reg->counter("pm.undo_log_entries").inc(logEntries);
+        reg->counter("pm.rollbacks").inc(rollbacks);
+        reg->counter("pm.entries_rolled_back").inc(rolledBack);
+    }
+
+    // Simulator shape.
+    reg->counter("sim.total_cycles").inc(mach.maxClock());
+    reg->gauge("sim.threads").set(mach.threadCount());
 }
 
 // ----------------------------------------------------- crash/recovery

@@ -27,6 +27,8 @@
 #include "arch/perm_matrix.hh"
 #include "common/stats.hh"
 #include "core/config.hh"
+#include "metrics/registry.hh"
+#include "metrics/sampler.hh"
 #include "pm/pmo_manager.hh"
 #include "semantics/ew_tracker.hh"
 #include "sim/machine.hh"
@@ -199,6 +201,18 @@ class Runtime
      */
     std::shared_ptr<trace::TraceSink> traceSink() const { return sink; }
 
+    /**
+     * The run's metrics registry, shared so run results can keep it
+     * past the runtime's lifetime. Null when metrics are disabled
+     * (config.metricsEnabled=false or TERP_METRICS=off). Exposure
+     * histograms stream in live; the counter/gauge roll-up
+     * (runtime/cb/pm/sim groups) lands at finalize().
+     */
+    std::shared_ptr<metrics::Registry> metricsRegistry() const
+    {
+        return reg;
+    }
+
     /** Is the PMO currently mapped? */
     bool mapped(pm::PmoId pmo) const;
 
@@ -220,6 +234,25 @@ class Runtime
     semantics::EwTracker ew;
     std::shared_ptr<trace::TraceSink> sink; //!< null = tracing off
     pm::PersistDomain *dom = nullptr; //!< null = no crash/recovery
+
+    /**
+     * Metrics registry and cached hot-path instruments (null when
+     * metrics are off, mirroring the trace sink's null-check
+     * pattern). Instruments record host-side state only — they
+     * never charge simulated cycles — so enabling them cannot
+     * perturb simulation results.
+     */
+    std::shared_ptr<metrics::Registry> reg;
+    metrics::Counter *mSweepTicks = nullptr;
+    metrics::Counter *mSweepForceDetach = nullptr;
+    metrics::Counter *mSweepRandomize = nullptr;
+    metrics::Gauge *mCbOccupancy = nullptr;
+    metrics::LogHistogram *mSweepTickNs = nullptr;
+    std::unique_ptr<metrics::Sampler> sampler;
+    std::uint64_t sweepTickSeq = 0;
+
+    /** Final counter/gauge roll-up into the registry (finalize()). */
+    void publishMetrics();
 
     /**
      * Counters bumped on the region-entry/exit and syscall paths.

@@ -1,0 +1,222 @@
+#include "metrics/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace terp {
+namespace metrics {
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (type != Type::Number)
+        return 0;
+    // Prefer the raw text: a 64-bit count round-trips exactly where
+    // the double may have lost low bits.
+    if (!raw.empty() && raw.find_first_of(".eE") == std::string::npos)
+        return std::strtoull(raw.c_str(), nullptr, 10);
+    return static_cast<std::uint64_t>(number);
+}
+
+namespace {
+
+/** Recursive-descent parser over a string + cursor. */
+struct Parser
+{
+    const std::string &s;
+    std::size_t i = 0;
+    std::string err;
+
+    explicit Parser(const std::string &text) : s(text) {}
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(i);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++i;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != '"')
+            return fail("expected string");
+        ++i;
+        out.clear();
+        while (i < s.size() && s[i] != '"') {
+            char c = s[i++];
+            if (c == '\\') {
+                if (i >= s.size())
+                    return fail("bad escape");
+                char e = s[i++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u':
+                    // The repo's own exports never emit \u; accept
+                    // and keep the escape verbatim.
+                    out += "\\u";
+                    break;
+                  default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (i >= s.size())
+            return fail("unterminated string");
+        ++i; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v)
+    {
+        skipWs();
+        if (i >= s.size())
+            return fail("unexpected end of input");
+        char c = s[i];
+        if (c == '{') {
+            ++i;
+            v.type = JsonValue::Type::Object;
+            skipWs();
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                v.object[key] = std::move(member);
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++i;
+            v.type = JsonValue::Type::Array;
+            skipWs();
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                v.array.push_back(std::move(item));
+                skipWs();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            v.type = JsonValue::Type::String;
+            return parseString(v.str);
+        }
+        if (s.compare(i, 4, "true") == 0) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+            i += 4;
+            return true;
+        }
+        if (s.compare(i, 5, "false") == 0) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+            i += 5;
+            return true;
+        }
+        if (s.compare(i, 4, "null") == 0) {
+            v.type = JsonValue::Type::Null;
+            i += 4;
+            return true;
+        }
+        // Number.
+        std::size_t start = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '-' || s[i] == '+'))
+            ++i;
+        if (i == start)
+            return fail("unexpected character");
+        v.type = JsonValue::Type::Number;
+        v.raw = s.substr(start, i - start);
+        v.number = std::strtod(v.raw.c_str(), nullptr);
+        return true;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string &text, std::string &error)
+{
+    Parser p(text);
+    auto v = std::make_unique<JsonValue>();
+    if (!p.parseValue(*v)) {
+        error = p.err.empty() ? "parse error" : p.err;
+        return nullptr;
+    }
+    p.skipWs();
+    if (p.i != text.size()) {
+        error = "trailing data at offset " + std::to_string(p.i);
+        return nullptr;
+    }
+    error.clear();
+    return v;
+}
+
+} // namespace metrics
+} // namespace terp

@@ -1,0 +1,249 @@
+#include "metrics/registry.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace metrics {
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Summary: return "summary";
+      case Kind::Histogram: return "histogram";
+      default: return "?";
+    }
+}
+
+std::string
+labeled(const std::string &name, const std::string &key,
+        const std::string &value)
+{
+    std::map<std::string, std::string> ls = nameLabels(name);
+    ls[key] = value;
+    std::string out = baseName(name) + "{";
+    bool first = true;
+    for (const auto &[k, v] : ls) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + v + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+baseName(const std::string &name)
+{
+    std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+std::map<std::string, std::string>
+nameLabels(const std::string &name)
+{
+    std::map<std::string, std::string> ls;
+    std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return ls;
+    std::size_t i = brace + 1;
+    while (i < name.size() && name[i] != '}') {
+        std::size_t eq = name.find('=', i);
+        TERP_ASSERT(eq != std::string::npos && eq + 1 < name.size() &&
+                        name[eq + 1] == '"',
+                    "malformed metric labels: ", name);
+        std::string key = name.substr(i, eq - i);
+        std::size_t close = name.find('"', eq + 2);
+        TERP_ASSERT(close != std::string::npos,
+                    "malformed metric labels: ", name);
+        ls[key] = name.substr(eq + 2, close - (eq + 2));
+        i = close + 1;
+        if (i < name.size() && name[i] == ',')
+            ++i;
+    }
+    return ls;
+}
+
+bool
+enabledByEnv()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("TERP_METRICS");
+        if (!v)
+            return true;
+        return std::strcmp(v, "0") != 0 &&
+               std::strcmp(v, "off") != 0 &&
+               std::strcmp(v, "false") != 0;
+    }();
+    return enabled;
+}
+
+Registry::Entry &
+Registry::getOrCreate(const std::string &name, Kind kind)
+{
+    auto [it, inserted] = map.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+    } else {
+        TERP_ASSERT(it->second.kind == kind, "metric '", name,
+                    "' registered as ", kindName(it->second.kind),
+                    ", requested as ", kindName(kind));
+    }
+    return it->second;
+}
+
+const Registry::Entry *
+Registry::find(const std::string &name, Kind kind) const
+{
+    auto it = map.find(name);
+    if (it == map.end() || it->second.kind != kind)
+        return nullptr;
+    return &it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return getOrCreate(name, Kind::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return getOrCreate(name, Kind::Gauge).gauge;
+}
+
+Summary &
+Registry::summary(const std::string &name)
+{
+    return getOrCreate(name, Kind::Summary).summary;
+}
+
+LogHistogram &
+Registry::histogram(const std::string &name, unsigned sub_bits)
+{
+    Entry &e = getOrCreate(name, Kind::Histogram);
+    if (!e.hist)
+        e.hist = std::make_unique<LogHistogram>(sub_bits);
+    return *e.hist;
+}
+
+const Counter *
+Registry::findCounter(const std::string &name) const
+{
+    const Entry *e = find(name, Kind::Counter);
+    return e ? &e->counter : nullptr;
+}
+
+const Gauge *
+Registry::findGauge(const std::string &name) const
+{
+    const Entry *e = find(name, Kind::Gauge);
+    return e ? &e->gauge : nullptr;
+}
+
+const Summary *
+Registry::findSummary(const std::string &name) const
+{
+    const Entry *e = find(name, Kind::Summary);
+    return e ? &e->summary : nullptr;
+}
+
+const LogHistogram *
+Registry::findHistogram(const std::string &name) const
+{
+    const Entry *e = find(name, Kind::Histogram);
+    return e && e->hist ? e->hist.get() : nullptr;
+}
+
+void
+Registry::setLabel(const std::string &key, const std::string &value)
+{
+    tags[key] = value;
+}
+
+void
+Registry::merge(const Registry &other,
+                const std::function<bool(const std::string &)> &keep,
+                const std::vector<std::string> &inject_labels)
+{
+    for (const auto &[name, e] : other.map) {
+        if (keep && !keep(name))
+            continue;
+        std::string dst = name;
+        for (const std::string &key : inject_labels) {
+            auto it = other.tags.find(key);
+            if (it != other.tags.end())
+                dst = labeled(dst, key, it->second);
+        }
+        switch (e.kind) {
+          case Kind::Counter:
+            counter(dst).merge(e.counter);
+            break;
+          case Kind::Gauge:
+            gauge(dst).merge(e.gauge);
+            break;
+          case Kind::Summary:
+            summary(dst).merge(e.summary);
+            break;
+          case Kind::Histogram:
+            if (e.hist)
+                histogram(dst, e.hist->subBucketBits())
+                    .merge(*e.hist);
+            break;
+        }
+    }
+}
+
+void
+Registry::snapshot(Cycles at)
+{
+    SeriesRow row;
+    row.at = at;
+    for (const auto &[name, e] : map) {
+        if (e.kind == Kind::Counter) {
+            row.values.emplace_back(
+                name, static_cast<double>(e.counter.value()));
+        } else if (e.kind == Kind::Gauge) {
+            row.values.emplace_back(name, e.gauge.value());
+        }
+    }
+    rows.push_back(std::move(row));
+}
+
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ScopedTimer::ScopedTimer(LogHistogram *h) : hist(h)
+{
+    if (hist)
+        t0 = steadyNowNs();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (hist) {
+        std::uint64_t t1 = steadyNowNs();
+        hist->record(t1 > t0 ? t1 - t0 : 0);
+    }
+}
+
+} // namespace metrics
+} // namespace terp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The metrics registry: a named collection of Counter / Gauge /
+ * Summary / LogHistogram instruments with label support, cross-run
+ * merging, and an embedded snapshot time-series.
+ *
+ * Ownership and threading model: each Runtime owns one Registry and
+ * is driven by one host thread, so registration and recording are
+ * unsynchronized. The benchmark harness aggregates finished runs by
+ * merging whole registries into a process-global one under its own
+ * lock (bench::globalMetrics()); every merge operation is
+ * commutative — counters/summaries/histograms add, gauges take the
+ * max — so the aggregate is identical for every --jobs=N work-steal
+ * order, preserving the suite's determinism invariant.
+ *
+ * Naming scheme (see DESIGN.md §11): dot-separated lowercase paths,
+ * `subsystem.metric_name`, with optional labels appended in
+ * Prometheus style: `exposure.ew_cycles{pmo="3"}`. The labeled()
+ * helper inserts a label keeping keys sorted, so a name is a
+ * canonical string key. Registry-wide labels (scheme, workload)
+ * apply to every instrument at export time.
+ */
+
+#ifndef TERP_METRICS_REGISTRY_HH
+#define TERP_METRICS_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "metrics/metric.hh"
+
+namespace terp {
+namespace metrics {
+
+/** What an Entry holds. */
+enum class Kind
+{
+    Counter,
+    Gauge,
+    Summary,
+    Histogram,
+};
+
+const char *kindName(Kind k);
+
+/**
+ * Insert `key="value"` into @p name's label set, keeping label keys
+ * sorted so equal label sets always produce the same string.
+ * `labeled("a.b", "pmo", "3")` -> `a.b{pmo="3"}`;
+ * `labeled("a.b{pmo=\"3\"}", "scheme", "tt")` ->
+ * `a.b{pmo="3",scheme="tt"}`.
+ */
+std::string labeled(const std::string &name, const std::string &key,
+                    const std::string &value);
+
+/** The base part of @p name (everything before '{'). */
+std::string baseName(const std::string &name);
+
+/** The parsed label set of @p name (empty if unlabeled). */
+std::map<std::string, std::string> nameLabels(const std::string &name);
+
+/**
+ * Is metrics collection enabled for this process? Reads the
+ * TERP_METRICS environment variable once (first call): "0", "off" or
+ * "false" disable every registry the runtime would create, turning
+ * all instrument pointers into nulls on the hot paths.
+ */
+bool enabledByEnv();
+
+/** A single-writer metrics registry. */
+class Registry
+{
+  public:
+    /** One named instrument. Exactly the member for `kind` is live. */
+    struct Entry
+    {
+        Kind kind = Kind::Counter;
+        Counter counter;
+        Gauge gauge;
+        Summary summary;
+        std::unique_ptr<LogHistogram> hist; //!< only for Histogram
+    };
+
+    /** One snapshot row of the embedded time-series. */
+    struct SeriesRow
+    {
+        Cycles at = 0;
+        /** (name, value) of every counter/gauge at the instant. */
+        std::vector<std::pair<std::string, double>> values;
+    };
+
+    Registry() = default;
+
+    // ---- registration (get-or-create; panics on a kind clash) ------
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Summary &summary(const std::string &name);
+    LogHistogram &
+    histogram(const std::string &name,
+              unsigned sub_bits = LogHistogram::defaultSubBits);
+
+    // ---- lookup (null when absent or of another kind) ---------------
+
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Summary *findSummary(const std::string &name) const;
+    const LogHistogram *findHistogram(const std::string &name) const;
+
+    /** All entries, ascending by name (deterministic export order). */
+    const std::map<std::string, Entry> &entries() const { return map; }
+
+    std::size_t size() const { return map.size(); }
+
+    // ---- registry-wide labels ---------------------------------------
+
+    void setLabel(const std::string &key, const std::string &value);
+    const std::map<std::string, std::string> &labels() const
+    {
+        return tags;
+    }
+
+    // ---- cross-run aggregation --------------------------------------
+
+    /**
+     * Fold @p other into this registry. Same-named instruments merge
+     * per their type (add / max); new names are created. @p keep, if
+     * given, filters source entries by name; @p inject_labels lists
+     * keys of @p other's registry labels to bake into each merged
+     * name (e.g. "scheme", so runs of different schemes stay
+     * distinct in the aggregate). The embedded time-series is
+     * per-run and never merged.
+     */
+    void merge(const Registry &other,
+               const std::function<bool(const std::string &)> &keep =
+                   nullptr,
+               const std::vector<std::string> &inject_labels = {});
+
+    // ---- snapshot time-series ---------------------------------------
+
+    /**
+     * Append one time-series row capturing every counter and gauge
+     * at simulated time @p at (histograms/summaries are cumulative
+     * and cheap to query at the end; the series exists to show how
+     * the scalar posture evolves).
+     */
+    void snapshot(Cycles at);
+
+    const std::vector<SeriesRow> &series() const { return rows; }
+
+  private:
+    Entry &getOrCreate(const std::string &name, Kind kind);
+    const Entry *find(const std::string &name, Kind kind) const;
+
+    std::map<std::string, Entry> map;
+    std::map<std::string, std::string> tags;
+    std::vector<SeriesRow> rows;
+};
+
+/**
+ * Scoped host-wall-clock timer recording elapsed nanoseconds into a
+ * LogHistogram on destruction. Pass null to make it a no-op (the
+ * disabled-metrics mode). Host time never feeds simulated state, so
+ * profiling hooks cannot perturb simulation results.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(LogHistogram *h);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    LogHistogram *hist;
+    std::uint64_t t0 = 0; //!< steady_clock ns at construction
+};
+
+} // namespace metrics
+} // namespace terp
+
+#endif // TERP_METRICS_REGISTRY_HH

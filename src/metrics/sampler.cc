@@ -1,0 +1,27 @@
+#include "metrics/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace metrics {
+
+Sampler::Sampler(Registry &reg, Cycles p)
+    : registry(reg), period(p), nextAt(p)
+{
+    TERP_ASSERT(p > 0, "Sampler: period must be positive");
+}
+
+void
+Sampler::tick(Cycles now)
+{
+    if (now < nextAt)
+        return;
+    registry.snapshot(now);
+    ++n;
+    // One catch-up snapshot per gap; schedule the next boundary
+    // strictly after now so a burst of late ticks samples once.
+    nextAt += ((now - nextAt) / period + 1) * period;
+}
+
+} // namespace metrics
+} // namespace terp

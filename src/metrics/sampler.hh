@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cycle-driven snapshot sampler: turns the sweeper's periodic tick
+ * into a time-series of registry snapshots. The runtime calls
+ * tick(now) from its onSweep hook; every @p period simulated cycles
+ * the sampler appends one Registry::SeriesRow, giving terp-stats a
+ * view of how the security posture (attach counts, CB occupancy,
+ * silent fractions) evolved over the run. Sampling reads host-side
+ * instruments only and never charges simulated cycles.
+ */
+
+#ifndef TERP_METRICS_SAMPLER_HH
+#define TERP_METRICS_SAMPLER_HH
+
+#include "common/units.hh"
+#include "metrics/registry.hh"
+
+namespace terp {
+namespace metrics {
+
+/** Periodic snapshotter over one registry. */
+class Sampler
+{
+  public:
+    /** @param period Simulated cycles between snapshots (> 0). */
+    Sampler(Registry &reg, Cycles period);
+
+    /**
+     * Called at every sweeper tick. Samples once per elapsed period;
+     * after a long gap it takes a single catch-up snapshot rather
+     * than backfilling (intermediate instants are unrecoverable).
+     */
+    void tick(Cycles now);
+
+    /** Snapshots taken so far. */
+    std::size_t samples() const { return n; }
+
+  private:
+    Registry &registry;
+    Cycles period;
+    Cycles nextAt;
+    std::size_t n = 0;
+};
+
+} // namespace metrics
+} // namespace terp
+
+#endif // TERP_METRICS_SAMPLER_HH

@@ -176,6 +176,8 @@ UndoLog::write(sim::ThreadContext &tc, Oid oid, std::uint64_t value)
         ctl.sfence(tc);
         // 2. Publish the record durably before touching the data.
         ++entries;
+        ++nEntriesLogged;
+        nBytesLogged += 16; // (address, old value) pair
         ctl.noteBoundary(PersistBoundary::LogHeader);
         ctl.persistentStore(tc, headerOid(), entries);
         ctl.sfence(tc);
@@ -219,6 +221,8 @@ UndoLog::recover(sim::ThreadContext &tc)
     std::uint64_t valid = ctl.persistedLoad(headerOid());
     if (valid == 0)
         return 0; // nothing in flight at the crash
+    ++nRollbacks;
+    nEntriesRolledBack += valid;
     // Roll back in reverse order from the durable log. A location
     // whose durable image already equals the logged old value needs
     // no store — the crash landed before its data update was ever

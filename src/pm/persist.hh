@@ -209,12 +209,31 @@ class UndoLog
      */
     void abortVolatile();
 
+    // Lifetime totals (monotonic; survive commit/abort/recovery —
+    // the metrics exporter reads them once at finalize).
+
+    /** Bytes of undo records ever appended (16 per entry). */
+    std::uint64_t bytesLogged() const { return nBytesLogged; }
+    /** Undo records ever appended. */
+    std::uint64_t entriesLogged() const { return nEntriesLogged; }
+    /** recover() calls that found a transaction to roll back. */
+    std::uint64_t rollbacks() const { return nRollbacks; }
+    /** Durable entries examined across all rollbacks. */
+    std::uint64_t entriesRolledBack() const
+    {
+        return nEntriesRolledBack;
+    }
+
   private:
     PersistController &ctl;
     PmoId pmo;
     std::uint64_t logOff;
     bool active = false;
     std::uint64_t entries = 0;
+    std::uint64_t nBytesLogged = 0;
+    std::uint64_t nEntriesLogged = 0;
+    std::uint64_t nRollbacks = 0;
+    std::uint64_t nEntriesRolledBack = 0;
     /**
      * DRAM-side write-set of the open transaction: the raw Oid of
      * every *distinct* logged location, in log order. write()

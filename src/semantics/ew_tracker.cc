@@ -40,7 +40,7 @@ EwTracker::processClose(pm::PmoId pmo, Cycles t)
     auto &s = state(pmo);
     TERP_ASSERT(s.open, "process-close of unopened PMO ", pmo);
     TERP_ASSERT(t >= s.openSince, "time went backwards");
-    s.ew.add(t - s.openSince);
+    recordEw(s, pmo, t - s.openSince);
     s.open = false;
 }
 
@@ -63,26 +63,52 @@ EwTracker::threadClose(unsigned tid, pm::PmoId pmo, Cycles t)
                     s.threadOpenSince[tid] != notOpen,
                 "thread-close without open, tid ", tid);
     TERP_ASSERT(t >= s.threadOpenSince[tid], "time went backwards");
-    s.tew.add(t - s.threadOpenSince[tid]);
+    recordTew(s, pmo, t - s.threadOpenSince[tid]);
     s.threadOpenSince[tid] = notOpen;
 }
 
 void
 EwTracker::finalize(Cycles t_end)
 {
-    for (auto &s : perPmo) {
+    for (pm::PmoId pmo = 0; pmo < perPmo.size(); ++pmo) {
+        PerPmo &s = perPmo[pmo];
         if (!s.seen)
             continue;
         if (s.open) {
-            s.ew.add(t_end >= s.openSince ? t_end - s.openSince : 0);
+            recordEw(s, pmo,
+                     t_end >= s.openSince ? t_end - s.openSince : 0);
             s.open = false;
         }
         for (Cycles &since : s.threadOpenSince) {
             if (since == notOpen)
                 continue;
-            s.tew.add(t_end >= since ? t_end - since : 0);
+            recordTew(s, pmo, t_end >= since ? t_end - since : 0);
             since = notOpen;
         }
+    }
+}
+
+void
+EwTracker::recordEw(PerPmo &s, pm::PmoId pmo, Cycles len)
+{
+    s.ew.add(len);
+    if (reg) {
+        reg->histogram(metrics::labeled("exposure.ew_cycles", "pmo",
+                                        std::to_string(pmo)))
+            .record(len);
+        reg->histogram("exposure.ew_cycles{pmo=\"all\"}").record(len);
+    }
+}
+
+void
+EwTracker::recordTew(PerPmo &s, pm::PmoId pmo, Cycles len)
+{
+    s.tew.add(len);
+    if (reg) {
+        reg->histogram(metrics::labeled("exposure.tew_cycles", "pmo",
+                                        std::to_string(pmo)))
+            .record(len);
+        reg->histogram("exposure.tew_cycles{pmo=\"all\"}").record(len);
     }
 }
 

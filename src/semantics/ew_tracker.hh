@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/units.hh"
+#include "metrics/registry.hh"
 #include "pm/oid.hh"
 
 namespace terp {
@@ -89,6 +90,19 @@ class EwTracker
     const Summary *ewSummaryFor(pm::PmoId pmo) const;
     const Summary *tewSummaryFor(pm::PmoId pmo) const;
 
+    /**
+     * Publish every closed window into @p r as log-bucketed length
+     * histograms: `exposure.ew_cycles{pmo="N"}` /
+     * `exposure.tew_cycles{pmo="N"}` per PMO plus a `pmo="all"`
+     * aggregate. The histograms' exact count/sum/min/max equal the
+     * per-PMO Summaries cycle-for-cycle (only quantiles are
+     * approximate), which is what lets terp-stats and the metrics
+     * cross-check test validate the registry against this tracker.
+     * Pass null to detach. Windows closed before the call are not
+     * backfilled, so enable before the first event.
+     */
+    void enableMetrics(metrics::Registry *r) { reg = r; }
+
   private:
     /** Sentinel for "thread window not open". */
     static constexpr Cycles notOpen = ~Cycles(0);
@@ -108,7 +122,12 @@ class EwTracker
     PerPmo &state(pm::PmoId pmo);
     const PerPmo *stateIfSeen(pm::PmoId pmo) const;
 
+    /** Funnels for window closes: Summary + registry histograms. */
+    void recordEw(PerPmo &s, pm::PmoId pmo, Cycles len);
+    void recordTew(PerPmo &s, pm::PmoId pmo, Cycles len);
+
     std::vector<PerPmo> perPmo; //!< indexed by PmoId; .seen gates use
+    metrics::Registry *reg = nullptr; //!< null = no metrics
 };
 
 } // namespace semantics

@@ -39,15 +39,14 @@ compareTally(AuditReport &r, const char *what, std::uint64_t pmo,
     std::uint64_t ws = want ? want->sum() : 0;
     std::uint64_t wlo = want ? want->min() : 0;
     std::uint64_t wm = want ? want->max() : 0;
-    std::uint64_t glo = got.count ? got.minCycles : 0;
-    if (got.count == wc && got.sumCycles == ws && glo == wlo &&
-        got.maxCycles == wm) {
+    if (got.count() == wc && got.sum() == ws && got.min() == wlo &&
+        got.max() == wm) {
         return;
     }
     std::ostringstream os;
-    os << what << " pmo " << pmo << ": trace replay {n=" << got.count
-       << " sum=" << got.sumCycles << " min=" << glo << " max="
-       << got.maxCycles << "} vs EwTracker {n=" << wc << " sum="
+    os << what << " pmo " << pmo << ": trace replay {n=" << got.count()
+       << " sum=" << got.sum() << " min=" << got.min() << " max="
+       << got.max() << "} vs EwTracker {n=" << wc << " sum="
        << ws << " min=" << wlo << " max=" << wm << "}";
     mismatch(r, os.str());
 }

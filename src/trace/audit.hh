@@ -21,31 +21,22 @@
 #include <string>
 #include <vector>
 
+#include "metrics/metric.hh"
 #include "semantics/ew_tracker.hh"
 #include "trace/trace_buffer.hh"
 
 namespace terp {
 namespace trace {
 
-/** Recomputed window statistics for one PMO. */
-struct WindowTally
-{
-    std::uint64_t count = 0;
-    std::uint64_t sumCycles = 0;
-    std::uint64_t minCycles = ~0ULL;
-    std::uint64_t maxCycles = 0;
-
-    void
-    add(std::uint64_t len)
-    {
-        ++count;
-        sumCycles += len;
-        if (len < minCycles)
-            minCycles = len;
-        if (len > maxCycles)
-            maxCycles = len;
-    }
-};
+/**
+ * Recomputed window statistics for one PMO. The replay accumulates
+ * the same canonical summary type the EwTracker and the metrics
+ * registry use, so the three observability paths compare counts,
+ * sums, minima and maxima cycle-for-cycle with no convention skew
+ * (the old hand-rolled tally reported min as ~0ULL when empty; the
+ * shared type pins empty min to 0).
+ */
+using WindowTally = metrics::Summary;
 
 /** Outcome of one audit. */
 struct AuditReport

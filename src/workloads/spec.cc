@@ -588,6 +588,13 @@ runSpec(const std::string &name, const core::RuntimeConfig &cfg,
             trace::auditTimeline(*sink, r.totalCycles,
                                  rt.exposure()));
     }
+    if ((r.metrics = rt.metricsRegistry())) {
+        r.metrics->setLabel("workload", name);
+        std::uint64_t instrs = 0;
+        for (const auto &in : interps)
+            instrs += in->instructionsExecuted();
+        r.metrics->counter("interp.instructions").inc(instrs);
+    }
     return r;
 }
 

@@ -648,6 +648,8 @@ runWhisper(const std::string &name, const core::RuntimeConfig &cfg,
             trace::auditTimeline(*sink, r.totalCycles,
                                  rt.exposure()));
     }
+    if ((r.metrics = rt.metricsRegistry()))
+        r.metrics->setLabel("workload", name);
     return r;
 }
 

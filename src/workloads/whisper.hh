@@ -59,6 +59,14 @@ struct RunResult
      */
     std::shared_ptr<trace::TraceSink> trace;
     std::shared_ptr<trace::AuditReport> traceAudit;
+
+    /**
+     * The run's metrics registry (null when metrics are disabled),
+     * labeled with the scheme tag and workload name. Single-run
+     * consumers read it directly; the parallel harness merges it
+     * into bench::globalMetrics().
+     */
+    std::shared_ptr<metrics::Registry> metrics;
 };
 
 /** The six WHISPER workload names. */

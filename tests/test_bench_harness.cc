@@ -148,6 +148,56 @@ TEST(BenchHarness, RunnerRethrowsTaskException)
     EXPECT_THROW(pool.run(), std::runtime_error);
 }
 
+// Enabling metrics must not perturb the simulation: recording never
+// charges simulated cycles and never prints, so every number the
+// fig11/table4 print phases consume — cycle totals, per-charge
+// breakdowns, exposure statistics, silent fractions — is identical
+// with the registry on or off. Byte-identical figure output follows,
+// since the tables are pure functions of these results.
+TEST(BenchHarness, MetricsOnOffLeavesSpecRunIdentical)
+{
+    workloads::SpecParams p;
+    p.threads = 2;
+    p.scale = 0.05;
+    const core::RuntimeConfig on = core::RuntimeConfig::tt();
+    const workloads::RunResult a =
+        workloads::runSpec("mcf", on, p);
+    const workloads::RunResult b =
+        workloads::runSpec("mcf", on.withoutMetrics(), p);
+    ASSERT_EQ(b.metrics, nullptr);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.report.total, b.report.total);
+    EXPECT_EQ(a.report.work, b.report.work);
+    EXPECT_EQ(a.report.attach, b.report.attach);
+    EXPECT_EQ(a.report.detach, b.report.detach);
+    EXPECT_EQ(a.report.rand, b.report.rand);
+    EXPECT_EQ(a.report.cond, b.report.cond);
+    EXPECT_EQ(a.report.other, b.report.other);
+    EXPECT_EQ(a.report.silentFraction, b.report.silentFraction);
+    EXPECT_EQ(a.exposure.ewCount, b.exposure.ewCount);
+    EXPECT_EQ(a.exposure.ewMaxUs, b.exposure.ewMaxUs);
+    EXPECT_EQ(a.exposure.er, b.exposure.er);
+    EXPECT_EQ(a.exposure.ter, b.exposure.ter);
+}
+
+TEST(BenchHarness, MetricsOnOffLeavesWhisperRunIdentical)
+{
+    workloads::WhisperParams p;
+    p.sections = 30;
+    for (const core::RuntimeConfig &cfg :
+         {core::RuntimeConfig::mm(), core::RuntimeConfig::tt()}) {
+        const workloads::RunResult a =
+            workloads::runWhisper("hashmap", cfg, p);
+        const workloads::RunResult b = workloads::runWhisper(
+            "hashmap", cfg.withoutMetrics(), p);
+        EXPECT_EQ(a.totalCycles, b.totalCycles);
+        EXPECT_EQ(a.report.total, b.report.total);
+        EXPECT_EQ(a.report.silentFraction, b.report.silentFraction);
+        EXPECT_EQ(a.exposure.ewAvgUs, b.exposure.ewAvgUs);
+        EXPECT_EQ(a.exposure.tewAvgUs, b.exposure.tewAvgUs);
+    }
+}
+
 // The hot-path work behind the benches (interpreter dispatch, cache
 // indexing, runtime counters) must not change protection semantics:
 // replay a seeded schedule matrix against the Section-IV oracle.

@@ -18,6 +18,7 @@
  * Usage:
  *   terp-bench [--quick] [--jobs=N] [--out=FILE]
  *              [--golden=FILE] [--write-golden=FILE]
+ *              [--metrics-prom=FILE]
  *
  * Options:
  *   --quick            reduced workload sizes (CI smoke run)
@@ -26,6 +27,14 @@
  *   --golden=FILE      fail (exit 1) if per-figure sims or simulated
  *                      cycles differ from FILE
  *   --write-golden=FILE  write the per-figure summary to FILE
+ *   --metrics-prom=FILE  also export the aggregated metrics registry
+ *                      in Prometheus text format
+ *
+ * The JSON summary ends with a "metrics" section: the process-wide
+ * registry every run merged into (bench::globalMetrics()), giving
+ * the suite's security-posture aggregate — exposure-window
+ * percentiles, silent-operation fractions, sweeper activity — next
+ * to the performance numbers. tools/terp-stats reads it back.
  *
  * Exit status: 0 on success, 1 on golden drift, 2 on usage errors.
  */
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "metrics/export.hh"
 
 using namespace terp;
 
@@ -123,7 +133,8 @@ usage()
     std::fprintf(stderr,
                  "usage: terp-bench [--quick] [--jobs=N] [--out=FILE]"
                  " [--golden=FILE]\n"
-                 "                  [--write-golden=FILE]\n");
+                 "                  [--write-golden=FILE]"
+                 " [--metrics-prom=FILE]\n");
     return 2;
 }
 
@@ -137,6 +148,7 @@ main(int argc, char **argv)
     std::string outPath = "BENCH_terp.json";
     std::string goldenPath;
     std::string writeGoldenPath;
+    std::string promPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -151,6 +163,8 @@ main(int argc, char **argv)
             goldenPath = a.substr(9);
         } else if (a.rfind("--write-golden=", 0) == 0) {
             writeGoldenPath = a.substr(15);
+        } else if (a.rfind("--metrics-prom=", 0) == 0) {
+            promPath = a.substr(15);
         } else if (a == "--help" || a == "-h") {
             return usage();
         } else {
@@ -228,7 +242,11 @@ main(int argc, char **argv)
                          r.wallS > 0 ? r.sims / r.wallS : 0.0,
                          i + 1 < results.size() ? "," : "");
         }
-        std::fprintf(f, "  ]\n}\n");
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"metrics\": %s\n",
+                     metrics::toJson(bench::globalMetrics(), "  ")
+                         .c_str());
+        std::fprintf(f, "}\n");
         std::fclose(f);
         std::fprintf(stderr, "terp-bench: wrote %s (%.2fs total)\n",
                      outPath.c_str(), totalS);
@@ -236,6 +254,21 @@ main(int argc, char **argv)
         std::fprintf(stderr, "terp-bench: cannot write %s\n",
                      outPath.c_str());
         return 2;
+    }
+
+    if (!promPath.empty()) {
+        FILE *f = std::fopen(promPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "terp-bench: cannot write %s\n",
+                         promPath.c_str());
+            return 2;
+        }
+        std::string prom =
+            metrics::toPrometheus(bench::globalMetrics());
+        std::fwrite(prom.data(), 1, prom.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "terp-bench: wrote %s\n",
+                     promPath.c_str());
     }
 
     // ---- golden summary (simulated work only; no wall-clock) ------

@@ -1,0 +1,763 @@
+/**
+ * @file
+ * terp-stats — the security-posture reporter: turns a metrics
+ * registry (live from a run, or loaded back from a JSON export) into
+ * a one-page report of the numbers the paper's evaluation cares
+ * about — exposure-window percentiles, silent-operation fractions,
+ * sweeper and circular-buffer activity, persistence-substrate work.
+ *
+ * Usage:
+ *   terp-stats run <workload> <scheme> [--sections=N] [--seed=N]
+ *   terp-stats --from=FILE
+ *   terp-stats --diff A B
+ *
+ * Sources:
+ *   run <workload> <scheme>  simulate one WHISPER workload (echo,
+ *                            ycsb, tpcc, ctree, hashmap, redis) under
+ *                            a scheme tag (unprotected, mm, tm, tt,
+ *                            ttnc, basic) with tracing enabled, then
+ *                            cross-check the metrics-derived EW/TEW
+ *                            statistics cycle-for-cycle against the
+ *                            trace auditor's independent replay and
+ *                            the runtime's silent fraction (exit 1 on
+ *                            any disagreement)
+ *   --from=FILE              load a metrics JSON export — either a
+ *                            bare registry document or a
+ *                            BENCH_terp.json with a "metrics" member
+ *   --diff A B               compare two metrics files; print every
+ *                            changed value and exit 1 on differences
+ *
+ * Outputs (with run or --from):
+ *   (default)                the one-page report
+ *   --json                   re-emit the registry as JSON
+ *   --prom                   emit the Prometheus text format
+ *   --golden=FILE            compare against a checked-in golden
+ *                            (exit 1 on drift); host.* metrics are
+ *                            excluded — they are wall-clock noise
+ *   --write-golden=FILE      write the golden
+ *
+ * Exit status: 0 on success, 1 on cross-check failure, golden drift
+ * or (for --diff) any difference, 2 on usage/IO errors.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/export.hh"
+#include "metrics/json.hh"
+#include "metrics/registry.hh"
+#include "trace/audit.hh"
+#include "workloads/whisper.hh"
+
+using namespace terp;
+
+namespace {
+
+// ------------------------------------------------------- flat document
+
+/** The per-name statistics of a summary or histogram export. */
+struct DistStat
+{
+    std::uint64_t count = 0, sum = 0, min = 0, max = 0;
+    std::uint64_t p50 = 0, p90 = 0, p99 = 0;
+    double mean = 0.0;
+    bool hasQuantiles = false;
+};
+
+/**
+ * A metrics registry flattened to plain maps — the common shape the
+ * report, golden and diff code works on whether the numbers came
+ * from a live Registry or a JSON file.
+ */
+struct Doc
+{
+    std::map<std::string, std::string> labels;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::pair<double, double>> gauges;
+    std::map<std::string, DistStat> dists; //!< summaries + histograms
+};
+
+std::uint64_t
+memberU64(const metrics::JsonValue &obj, const char *key)
+{
+    const metrics::JsonValue *v = obj.get(key);
+    return v ? v->asU64() : 0;
+}
+
+bool
+docFromJson(const metrics::JsonValue &root, Doc &doc,
+            std::string &error)
+{
+    // A BENCH_terp.json wraps the registry in a "metrics" member; a
+    // bare export is the registry document itself.
+    const metrics::JsonValue *reg = root.get("metrics");
+    if (!reg)
+        reg = &root;
+    if (!reg->isObject()) {
+        error = "no metrics object found";
+        return false;
+    }
+
+    if (const metrics::JsonValue *ls = reg->get("labels"))
+        for (const auto &[k, v] : ls->object)
+            doc.labels[k] = v.str;
+    if (const metrics::JsonValue *cs = reg->get("counters"))
+        for (const auto &[k, v] : cs->object)
+            doc.counters[k] = v.asU64();
+    if (const metrics::JsonValue *gs = reg->get("gauges")) {
+        for (const auto &[k, v] : gs->object) {
+            const metrics::JsonValue *val = v.get("value");
+            const metrics::JsonValue *hwm = v.get("hwm");
+            doc.gauges[k] = {val ? val->number : 0.0,
+                             hwm ? hwm->number : 0.0};
+        }
+    }
+    for (const char *section : {"summaries", "histograms"}) {
+        const metrics::JsonValue *ss = reg->get(section);
+        if (!ss)
+            continue;
+        for (const auto &[k, v] : ss->object) {
+            DistStat d;
+            d.count = memberU64(v, "count");
+            d.sum = memberU64(v, "sum");
+            d.min = memberU64(v, "min");
+            d.max = memberU64(v, "max");
+            if (const metrics::JsonValue *m = v.get("mean"))
+                d.mean = m->number;
+            if (v.get("p50")) {
+                d.hasQuantiles = true;
+                d.p50 = memberU64(v, "p50");
+                d.p90 = memberU64(v, "p90");
+                d.p99 = memberU64(v, "p99");
+            }
+            doc.dists[k] = d;
+        }
+    }
+    return true;
+}
+
+/** Flatten a live registry through its own JSON export (one parser
+ * path for both sources; also exercises the round-trip). */
+bool
+docFromRegistry(const metrics::Registry &reg, Doc &doc,
+                std::string &error)
+{
+    std::unique_ptr<metrics::JsonValue> root =
+        metrics::parseJson(metrics::toJson(reg), error);
+    if (!root)
+        return false;
+    return docFromJson(*root, doc, error);
+}
+
+bool
+readFile(const std::string &path, std::string &out,
+         std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+docFromFile(const std::string &path, Doc &doc, std::string &error)
+{
+    std::string text;
+    if (!readFile(path, text, error))
+        return false;
+    std::unique_ptr<metrics::JsonValue> root =
+        metrics::parseJson(text, error);
+    if (!root) {
+        error = path + ": " + error;
+        return false;
+    }
+    return docFromJson(*root, doc, error);
+}
+
+// ------------------------------------------------------------- report
+
+bool
+isHostMetric(const std::string &name)
+{
+    return metrics::baseName(name).rfind("host.", 0) == 0;
+}
+
+/** The `{...}` label suffix of @p name ("" when unlabeled). */
+std::string
+labelSuffix(const std::string &name)
+{
+    std::string::size_type b = name.find('{');
+    return b == std::string::npos ? "" : name.substr(b);
+}
+
+double
+cyclesUs(std::uint64_t c)
+{
+    return cyclesToUs(c);
+}
+
+void
+printReport(const Doc &doc)
+{
+    std::printf("=== terp-stats: security-posture report ===\n");
+    if (!doc.labels.empty()) {
+        std::printf("labels:");
+        for (const auto &[k, v] : doc.labels)
+            std::printf(" %s=%s", k.c_str(), v.c_str());
+        std::printf("\n");
+    }
+
+    // Exposure-window percentiles: the pmo="all" rollups (per-PMO
+    // series are shown by `terp-stats run` cross-checks, not here).
+    bool header = false;
+    for (const auto &[name, d] : doc.dists) {
+        std::string base = metrics::baseName(name);
+        if (base != "exposure.ew_cycles" &&
+            base != "exposure.tew_cycles")
+            continue;
+        auto ls = metrics::nameLabels(name);
+        auto pmo = ls.find("pmo");
+        if (pmo != ls.end() && pmo->second != "all")
+            continue;
+        if (!header) {
+            std::printf("\nexposure windows (us):\n");
+            std::printf("  %-44s %8s %8s %8s %8s %8s %8s\n", "",
+                        "count", "mean", "p50", "p90", "p99", "max");
+            header = true;
+        }
+        std::printf(
+            "  %-44s %8llu %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+            name.c_str(), (unsigned long long)d.count,
+            cyclesUs(static_cast<std::uint64_t>(d.mean + 0.5)),
+            cyclesUs(d.p50), cyclesUs(d.p90), cyclesUs(d.p99),
+            cyclesUs(d.max));
+    }
+
+    // Silent-vs-real split per label group (Table 3). The aggregate
+    // keeps runs of different schemes distinct via injected labels;
+    // a single-run registry has one unlabeled group.
+    header = false;
+    for (const auto &[name, silent] : doc.counters) {
+        if (metrics::baseName(name) != "runtime.silent_ops")
+            continue;
+        std::string suffix = labelSuffix(name);
+        auto full = doc.counters.find("runtime.full_ops" + suffix);
+        std::uint64_t f =
+            full == doc.counters.end() ? 0 : full->second;
+        if (!header) {
+            std::printf("\nsilent vs real operations:\n");
+            header = true;
+        }
+        double frac = silent + f > 0
+                          ? static_cast<double>(silent) /
+                                static_cast<double>(silent + f)
+                          : 0.0;
+        std::printf("  %-24s silent=%llu full=%llu silent%%=%.2f\n",
+                    suffix.empty() ? "(all)" : suffix.c_str(),
+                    (unsigned long long)silent,
+                    (unsigned long long)f, 100 * frac);
+    }
+
+    // Remaining counters, grouped under their subsystem prefix.
+    const struct
+    {
+        const char *title;
+        const char *prefix;
+    } kGroups[] = {
+        {"sweeper", "sweeper."},
+        {"circular buffer", "cb."},
+        {"runtime", "runtime."},
+        {"persistence", "pm."},
+        {"interpreter", "interp."},
+        {"simulator", "sim."},
+    };
+    for (const auto &g : kGroups) {
+        header = false;
+        for (const auto &[name, v] : doc.counters) {
+            std::string base = metrics::baseName(name);
+            if (base.rfind(g.prefix, 0) != 0 ||
+                base == "runtime.silent_ops" ||
+                base == "runtime.full_ops")
+                continue;
+            if (!header) {
+                std::printf("\n%s:\n", g.title);
+                header = true;
+            }
+            std::printf("  %-44s %llu\n", name.c_str(),
+                        (unsigned long long)v);
+        }
+        for (const auto &[name, v] : doc.gauges) {
+            if (metrics::baseName(name).rfind(g.prefix, 0) != 0)
+                continue;
+            if (!header) {
+                std::printf("\n%s:\n", g.title);
+                header = true;
+            }
+            std::printf("  %-44s %g (hwm %g)\n", name.c_str(),
+                        v.first, v.second);
+        }
+    }
+
+    // Host-side profiling (never part of goldens or diffs).
+    bool hostHeader = false;
+    for (const auto &[name, d] : doc.dists) {
+        if (!isHostMetric(name))
+            continue;
+        if (!hostHeader) {
+            std::printf("\nhost profiling:\n");
+            hostHeader = true;
+        }
+        std::printf("  %-44s count=%llu p50=%lluns p99=%lluns\n",
+                    name.c_str(), (unsigned long long)d.count,
+                    (unsigned long long)d.p50,
+                    (unsigned long long)d.p99);
+    }
+}
+
+// ------------------------------------------------------------- golden
+
+/**
+ * Golden format, one metric per line (host.* excluded):
+ *   C <name> <value>                    counters
+ *   G <name> <value %.6g>               gauges
+ *   H <name> <count> <sum> <min> <max>  summaries/histograms
+ * Only exact (deterministic) quantities plus %.6g-rounded gauges, so
+ * the file is stable across hosts and --jobs values.
+ */
+std::string
+goldenText(const Doc &doc)
+{
+    std::ostringstream os;
+    os << "# terp-stats golden: C name v | G name v | "
+          "H name count sum min max\n";
+    char buf[64];
+    for (const auto &[name, v] : doc.counters)
+        if (!isHostMetric(name))
+            os << "C " << name << " " << v << "\n";
+    for (const auto &[name, v] : doc.gauges) {
+        if (isHostMetric(name))
+            continue;
+        std::snprintf(buf, sizeof(buf), "%.6g", v.first);
+        os << "G " << name << " " << buf << "\n";
+    }
+    for (const auto &[name, d] : doc.dists) {
+        if (isHostMetric(name))
+            continue;
+        os << "H " << name << " " << d.count << " " << d.sum << " "
+           << d.min << " " << d.max << "\n";
+    }
+    return os.str();
+}
+
+int
+checkGolden(const Doc &doc, const std::string &path)
+{
+    std::string want, error;
+    if (!readFile(path, want, error)) {
+        std::fprintf(stderr, "terp-stats: %s\n", error.c_str());
+        return 2;
+    }
+    std::string got = goldenText(doc);
+    if (got == want) {
+        std::fprintf(stderr, "terp-stats: metrics match golden %s\n",
+                     path.c_str());
+        return 0;
+    }
+    // Report the first differing lines for a usable CI message.
+    std::istringstream a(want), b(got);
+    std::string la, lb;
+    unsigned lineNo = 0, shown = 0;
+    for (;;) {
+        bool ha = static_cast<bool>(std::getline(a, la));
+        bool hb = static_cast<bool>(std::getline(b, lb));
+        if (!ha && !hb)
+            break;
+        ++lineNo;
+        if (ha && hb && la == lb)
+            continue;
+        std::fprintf(stderr,
+                     "terp-stats: DRIFT at line %u:\n  golden: %s\n"
+                     "  actual: %s\n",
+                     lineNo, ha ? la.c_str() : "<eof>",
+                     hb ? lb.c_str() : "<eof>");
+        if (++shown >= 5) {
+            std::fprintf(stderr, "terp-stats: (more drift elided)\n");
+            break;
+        }
+    }
+    return 1;
+}
+
+// --------------------------------------------------------------- diff
+
+int
+diffDocs(const Doc &a, const Doc &b)
+{
+    unsigned changes = 0;
+    auto note = [&](const std::string &name, const std::string &va,
+                    const std::string &vb) {
+        std::printf("%-44s %s -> %s\n", name.c_str(), va.c_str(),
+                    vb.c_str());
+        ++changes;
+    };
+    auto u64s = [](std::uint64_t v) { return std::to_string(v); };
+
+    for (const auto &[name, v] : a.counters) {
+        if (isHostMetric(name))
+            continue;
+        auto it = b.counters.find(name);
+        if (it == b.counters.end())
+            note(name, u64s(v), "(absent)");
+        else if (it->second != v)
+            note(name, u64s(v), u64s(it->second));
+    }
+    for (const auto &[name, v] : b.counters)
+        if (!isHostMetric(name) && !a.counters.count(name))
+            note(name, "(absent)", u64s(v));
+
+    for (const auto &[name, v] : a.gauges) {
+        if (isHostMetric(name))
+            continue;
+        auto it = b.gauges.find(name);
+        char va[64], vb[64];
+        std::snprintf(va, sizeof(va), "%.6g", v.first);
+        if (it == b.gauges.end()) {
+            note(name, va, "(absent)");
+            continue;
+        }
+        std::snprintf(vb, sizeof(vb), "%.6g", it->second.first);
+        if (std::strcmp(va, vb) != 0)
+            note(name, va, vb);
+    }
+    for (const auto &[name, v] : b.gauges) {
+        if (!isHostMetric(name) && !a.gauges.count(name)) {
+            char vb[64];
+            std::snprintf(vb, sizeof(vb), "%.6g", v.first);
+            note(name, "(absent)", vb);
+        }
+    }
+
+    auto distStr = [&](const DistStat &d) {
+        return "count=" + u64s(d.count) + " sum=" + u64s(d.sum) +
+               " min=" + u64s(d.min) + " max=" + u64s(d.max);
+    };
+    for (const auto &[name, d] : a.dists) {
+        if (isHostMetric(name))
+            continue;
+        auto it = b.dists.find(name);
+        if (it == b.dists.end()) {
+            note(name, distStr(d), "(absent)");
+        } else if (it->second.count != d.count ||
+                   it->second.sum != d.sum ||
+                   it->second.min != d.min ||
+                   it->second.max != d.max) {
+            note(name, distStr(d), distStr(it->second));
+        }
+    }
+    for (const auto &[name, d] : b.dists)
+        if (!isHostMetric(name) && !a.dists.count(name))
+            note(name, "(absent)", distStr(d));
+
+    if (changes == 0) {
+        std::printf("no differences\n");
+        return 0;
+    }
+    std::printf("%u metric(s) differ\n", changes);
+    return 1;
+}
+
+// ---------------------------------------------------------- run mode
+
+bool
+schemeConfig(const std::string &tag, core::RuntimeConfig &cfg)
+{
+    if (tag == "unprotected")
+        cfg = core::RuntimeConfig::unprotected();
+    else if (tag == "mm")
+        cfg = core::RuntimeConfig::mm();
+    else if (tag == "tm")
+        cfg = core::RuntimeConfig::tm();
+    else if (tag == "tt")
+        cfg = core::RuntimeConfig::tt();
+    else if (tag == "ttnc")
+        cfg = core::RuntimeConfig::ttNoCombining();
+    else if (tag == "basic")
+        cfg = core::RuntimeConfig::basicSemantics();
+    else
+        return false;
+    return true;
+}
+
+/**
+ * Cross-check the three observability paths on a finished run: the
+ * metrics histograms must agree cycle-for-cycle (count, sum, min,
+ * max) with the trace auditor's independent replay for every PMO,
+ * and the silent fraction recomputed from the published integer
+ * counters must reproduce the runtime report's double bit-for-bit.
+ */
+unsigned
+crossCheck(const workloads::RunResult &r)
+{
+    unsigned failures = 0;
+    auto fail = [&](const std::string &what) {
+        std::fprintf(stderr, "terp-stats: CROSS-CHECK FAILED: %s\n",
+                     what.c_str());
+        ++failures;
+    };
+
+    if (!r.traceAudit || !r.trace) {
+        fail("no trace audit available");
+        return failures;
+    }
+    if (!r.traceAudit->ok)
+        fail("trace audit: " + r.traceAudit->summary());
+
+    const struct
+    {
+        const char *base;
+        const std::map<std::uint64_t, trace::WindowTally> &want;
+    } kSides[] = {
+        {"exposure.ew_cycles", r.traceAudit->ew},
+        {"exposure.tew_cycles", r.traceAudit->tew},
+    };
+    for (const auto &side : kSides) {
+        metrics::Summary all;
+        for (const auto &[pmo, tally] : side.want) {
+            std::string name = metrics::labeled(
+                side.base, "pmo", std::to_string(pmo));
+            const metrics::LogHistogram *h =
+                r.metrics->findHistogram(name);
+            if (!h) {
+                if (tally.count() > 0)
+                    fail(name + ": histogram missing");
+                continue;
+            }
+            if (h->count() != tally.count() ||
+                h->sum() != tally.sum() ||
+                h->min() != tally.min() ||
+                h->max() != tally.max()) {
+                std::ostringstream os;
+                os << name << ": metrics count/sum/min/max "
+                   << h->count() << "/" << h->sum() << "/"
+                   << h->min() << "/" << h->max()
+                   << " != audit " << tally.count() << "/"
+                   << tally.sum() << "/" << tally.min() << "/"
+                   << tally.max();
+                fail(os.str());
+            }
+            all.merge(tally);
+        }
+        std::string allName =
+            metrics::labeled(side.base, "pmo", "all");
+        const metrics::LogHistogram *h =
+            r.metrics->findHistogram(allName);
+        if (!h) {
+            if (all.count() > 0)
+                fail(allName + ": histogram missing");
+        } else if (h->count() != all.count() ||
+                   h->sum() != all.sum() || h->min() != all.min() ||
+                   h->max() != all.max()) {
+            fail(allName + ": rollup disagrees with per-PMO merge");
+        }
+    }
+
+    const metrics::Counter *silent =
+        r.metrics->findCounter("runtime.silent_ops");
+    const metrics::Counter *full =
+        r.metrics->findCounter("runtime.full_ops");
+    if (!silent || !full) {
+        fail("runtime.silent_ops / runtime.full_ops missing");
+    } else {
+        std::uint64_t s = silent->value(), f = full->value();
+        double frac = s + f > 0 ? static_cast<double>(s) /
+                                      static_cast<double>(s + f)
+                                : 0.0;
+        if (frac != r.report.silentFraction) {
+            std::ostringstream os;
+            os << "silent fraction from counters " << frac
+               << " != report " << r.report.silentFraction;
+            fail(os.str());
+        }
+    }
+
+    if (failures == 0) {
+        std::fprintf(stderr,
+                     "terp-stats: cross-check OK (%zu EW + %zu TEW "
+                     "window sets, silent fraction exact)\n",
+                     r.traceAudit->ew.size(),
+                     r.traceAudit->tew.size());
+    }
+    return failures;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: terp-stats run <workload> <scheme> [--sections=N]"
+        " [--seed=N]\n"
+        "       terp-stats --from=FILE\n"
+        "       terp-stats --diff A B\n"
+        "options: [--json] [--prom] [--golden=FILE]"
+        " [--write-golden=FILE]\n"
+        "workloads: echo ycsb tpcc ctree hashmap redis\n"
+        "schemes: unprotected mm tm tt ttnc basic\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string fromPath, goldenPath, writeGoldenPath;
+    std::vector<std::string> diffPaths, positional;
+    bool emitJson = false, emitProm = false;
+    std::uint64_t sections = 400, seed = 1234;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--from=", 0) == 0) {
+            fromPath = a.substr(7);
+        } else if (a == "--diff") {
+            if (i + 2 >= argc)
+                return usage();
+            diffPaths = {argv[i + 1], argv[i + 2]};
+            i += 2;
+        } else if (a.rfind("--golden=", 0) == 0) {
+            goldenPath = a.substr(9);
+        } else if (a.rfind("--write-golden=", 0) == 0) {
+            writeGoldenPath = a.substr(15);
+        } else if (a.rfind("--sections=", 0) == 0) {
+            sections = std::strtoull(a.c_str() + 11, nullptr, 10);
+        } else if (a.rfind("--seed=", 0) == 0) {
+            seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+        } else if (a == "--json") {
+            emitJson = true;
+        } else if (a == "--prom") {
+            emitProm = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage();
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return usage();
+        } else {
+            positional.push_back(a);
+        }
+    }
+
+    if (!diffPaths.empty()) {
+        Doc a, b;
+        std::string error;
+        if (!docFromFile(diffPaths[0], a, error) ||
+            !docFromFile(diffPaths[1], b, error)) {
+            std::fprintf(stderr, "terp-stats: %s\n", error.c_str());
+            return 2;
+        }
+        return diffDocs(a, b);
+    }
+
+    Doc doc;
+    std::string error;
+    std::shared_ptr<metrics::Registry> liveReg;
+    unsigned failures = 0;
+
+    if (!fromPath.empty()) {
+        if (!positional.empty())
+            return usage();
+        if (!docFromFile(fromPath, doc, error)) {
+            std::fprintf(stderr, "terp-stats: %s\n", error.c_str());
+            return 2;
+        }
+    } else if (positional.size() == 3 && positional[0] == "run") {
+        const std::string &workload = positional[1];
+        core::RuntimeConfig cfg;
+        if (!schemeConfig(positional[2], cfg)) {
+            std::fprintf(stderr, "unknown scheme '%s'\n",
+                         positional[2].c_str());
+            return usage();
+        }
+        bool known = false;
+        for (const std::string &n : workloads::whisperNames())
+            known = known || n == workload;
+        if (!known) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         workload.c_str());
+            return usage();
+        }
+        workloads::WhisperParams p;
+        p.sections = sections;
+        p.seed = seed;
+        std::fprintf(stderr, "terp-stats: running %s under %s ...\n",
+                     workload.c_str(), positional[2].c_str());
+        workloads::RunResult r =
+            workloads::runWhisper(workload, cfg.withTrace(), p);
+        if (!r.metrics) {
+            std::fprintf(stderr,
+                         "terp-stats: metrics are disabled "
+                         "(TERP_METRICS=off?)\n");
+            return 2;
+        }
+        liveReg = r.metrics;
+        failures = crossCheck(r);
+        if (!docFromRegistry(*liveReg, doc, error)) {
+            std::fprintf(stderr, "terp-stats: %s\n", error.c_str());
+            return 2;
+        }
+    } else {
+        return usage();
+    }
+
+    if (emitJson) {
+        if (liveReg) {
+            std::printf("%s\n", metrics::toJson(*liveReg).c_str());
+        } else {
+            std::string text;
+            if (!readFile(fromPath, text, error)) {
+                std::fprintf(stderr, "terp-stats: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            std::fputs(text.c_str(), stdout);
+        }
+    } else if (emitProm && liveReg) {
+        std::fputs(metrics::toPrometheus(*liveReg).c_str(), stdout);
+    } else if (emitProm) {
+        std::fprintf(stderr, "terp-stats: --prom needs a live run "
+                             "(quantile bucket detail is not in the "
+                             "JSON export)\n");
+        return 2;
+    } else {
+        printReport(doc);
+    }
+
+    if (!writeGoldenPath.empty()) {
+        std::ofstream out(writeGoldenPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "terp-stats: cannot write %s\n",
+                         writeGoldenPath.c_str());
+            return 2;
+        }
+        out << goldenText(doc);
+        std::fprintf(stderr, "terp-stats: wrote golden %s\n",
+                     writeGoldenPath.c_str());
+    }
+    if (!goldenPath.empty()) {
+        int rc = checkGolden(doc, goldenPath);
+        if (rc != 0)
+            return rc;
+    }
+    return failures > 0 ? 1 : 0;
+}
