@@ -1,0 +1,46 @@
+#include "history.hh"
+
+#include <cstdio>
+
+namespace terp {
+namespace bench {
+
+std::string
+gitRev()
+{
+    std::string rev = "unknown";
+    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null",
+                        "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), p)) {
+            rev = buf;
+            while (!rev.empty() &&
+                   (rev.back() == '\n' || rev.back() == '\r'))
+                rev.pop_back();
+        }
+        pclose(p);
+        if (rev.empty())
+            rev = "unknown";
+    }
+    return rev;
+}
+
+bool
+appendHistory(const std::string &path, const HistoryRecord &rec)
+{
+    FILE *f = std::fopen(path.c_str(), "a");
+    if (!f)
+        return false;
+    std::fprintf(f,
+                 "{\"v\": 1, \"git_rev\": \"%s\", \"tool\": \"%s\", "
+                 "\"sims_per_s\": %.2f, \"p99_ew_cycles\": %llu, "
+                 "\"p99_latency_cycles\": %llu}\n",
+                 gitRev().c_str(), rec.tool.c_str(), rec.simsPerS,
+                 static_cast<unsigned long long>(rec.p99EwCycles),
+                 static_cast<unsigned long long>(rec.p99LatencyCycles));
+    std::fclose(f);
+    return true;
+}
+
+} // namespace bench
+} // namespace terp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Append-only benchmark history (bench/history.jsonl).
+ *
+ * Every terp-bench / terp-serve invocation given --history appends
+ * one JSON line — `{git rev, tool, sims/s, p99 EW, p99 latency}` —
+ * so throughput and exposure-tail regressions are visible across
+ * commits without re-running old revisions. Append-only by design:
+ * the file is a log, never rewritten, and concurrent appenders are
+ * safe because each record is a single short O_APPEND write.
+ */
+
+#ifndef TERP_BENCH_HISTORY_HH
+#define TERP_BENCH_HISTORY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace terp {
+namespace bench {
+
+/** Short git revision of the working tree, or "unknown". */
+std::string gitRev();
+
+/** One history record; zeros mean "not measured by this tool". */
+struct HistoryRecord
+{
+    std::string tool;            //!< "terp-bench" / "terp-serve"
+    double simsPerS = 0.0;       //!< host throughput
+    std::uint64_t p99EwCycles = 0;
+    std::uint64_t p99LatencyCycles = 0;
+};
+
+/**
+ * Append @p rec (plus the current git revision and the record
+ * schema version) as one line of JSON to @p path. Returns false if
+ * the file cannot be opened for append.
+ */
+bool appendHistory(const std::string &path, const HistoryRecord &rec);
+
+} // namespace bench
+} // namespace terp
+
+#endif // TERP_BENCH_HISTORY_HH

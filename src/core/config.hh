@@ -66,6 +66,17 @@ struct RuntimeConfig
     /** Thread exposure-window target used by automatic insertion. */
     Cycles tewTarget = target::defaultTew;
 
+    /**
+     * Exposure SLO thresholds (0 = off, the batch default): every
+     * closed EW/TEW longer than these counts as a violation in the
+     * runtime's EwTracker and, with metrics on, in the
+     * `exposure.slo_violations{win=...}` counters. Distinct from the
+     * targets above: the targets steer the sweeper, the SLOs only
+     * judge the result — terp-serve alerts on them per shard.
+     */
+    Cycles ewSlo = 0;
+    Cycles tewSlo = 0;
+
     /** Conditional instructions available (27-cycle silent path). */
     bool condInstructions = false;
     /** Circular-buffer window combining + sweeper. */
@@ -124,6 +135,16 @@ struct RuntimeConfig
         RuntimeConfig c = *this;
         c.metricsEnabled = true;
         c.metricsSamplePeriod = period;
+        return c;
+    }
+
+    /** Fluent helper: same config with exposure SLO thresholds. */
+    RuntimeConfig
+    withExposureSlo(Cycles ew_slo, Cycles tew_slo) const
+    {
+        RuntimeConfig c = *this;
+        c.ewSlo = ew_slo;
+        c.tewSlo = tew_slo;
         return c;
     }
 

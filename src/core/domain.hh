@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shard runtime domains — the enabling refactor for terp-serve.
+ *
+ * Historically every workload hand-assembled the same quartet
+ * (Machine, PmoManager, optional PersistDomain, Runtime) and wired
+ * the sweeper hook into Machine::run itself. That pattern bakes in
+ * two batch-run assumptions a long-lived multi-tenant server cannot
+ * make:
+ *
+ *   1. there is exactly one runtime domain per process, so nothing
+ *      states which circular buffer / sweeper / EwTracker /
+ *      persistence controller a PMO belongs to — it is "the" one;
+ *   2. the sweeper only advances inside Machine::run, so a driver
+ *      that steps threads itself (the serve request pipeline) has no
+ *      way to fire the hardware timer deterministically.
+ *
+ * ShardDomain makes the ownership explicit: one instance owns one
+ * complete protection stack — its own circular buffer and sweeper
+ * (inside its Runtime), its own exposure tracker, its own placement
+ * RNG (inside its PmoManager) and its own persistence controller —
+ * so a fleet of shards proceeds concurrently with no shared mutable
+ * state. Cross-shard coordination is limited, by construction, to
+ * merging metrics registries and to whatever simulated-clock
+ * agreement the driver imposes (terp-serve uses epoch barriers).
+ *
+ * The sweeper drive is hoisted here too: runJobs() reproduces the
+ * exact Machine::run + hook pattern of the batch harnesses (a
+ * 1-shard domain is cycle-identical to the hand-assembled Runtime —
+ * held down by tests/test_serve.cc), while sweepTo() exposes the
+ * same boundary-by-boundary firing rule to manual drivers.
+ */
+
+#ifndef TERP_CORE_DOMAIN_HH
+#define TERP_CORE_DOMAIN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/runtime.hh"
+#include "pm/persist.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+
+namespace terp {
+namespace core {
+
+/** Everything needed to build one shard's runtime domain. */
+struct DomainConfig
+{
+    RuntimeConfig runtime;
+    sim::MachineConfig machine;
+    /**
+     * Seed of the shard's placement RNG (PmoManager). Derive it from
+     * (fleet seed, shard id) so shards draw independent streams; a
+     * shared RNG would make one shard's attach order perturb
+     * another's placements — exactly the hidden-singleton coupling
+     * this type exists to rule out.
+     */
+    std::uint64_t placementSeed = 42;
+    /** Shard index within the fleet (labels metrics and traces). */
+    unsigned shardId = 0;
+    /** Construct a persistence domain and attach it to the runtime. */
+    bool persistence = false;
+};
+
+/**
+ * One shard's complete, self-owned protection stack.
+ *
+ * Members are constructed machine -> pmos -> persistence -> runtime
+ * and destroyed in reverse, so the Runtime's destructor can safely
+ * unhook the trace sink from the machine and PMO manager it was
+ * built over.
+ */
+class ShardDomain
+{
+  public:
+    explicit ShardDomain(const DomainConfig &cfg);
+
+    ShardDomain(const ShardDomain &) = delete;
+    ShardDomain &operator=(const ShardDomain &) = delete;
+
+    unsigned shardId() const { return id; }
+
+    sim::Machine &machine() { return *mach; }
+    pm::PmoManager &pmos() { return *pm; }
+    Runtime &runtime() { return *rt; }
+    const Runtime &runtime() const { return *rt; }
+    pm::PersistDomain *persistence() { return dom.get(); }
+
+    // ---- sweeper drive ----------------------------------------------
+
+    /**
+     * Fire the shard's hardware sweep timer at every hookPeriod
+     * boundary <= @p t that has not fired yet. Idempotent per
+     * boundary; callers may invoke it as often as convenient (before
+     * each request, between micro-ops, during a held window) and the
+     * tick sequence stays identical — which is what makes the serve
+     * pipeline's results independent of host worker count.
+     */
+    void sweepTo(Cycles t);
+
+    /** The next boundary sweepTo() would fire. */
+    Cycles nextSweepTick() const { return nextHook; }
+
+    /**
+     * Batch-compatibility drive: Machine::run with the sweeper hook,
+     * exactly as the figure harnesses wire it by hand. Jobs run to
+     * completion; the domain is NOT finalized (callers may keep
+     * issuing work or crash/recover first).
+     *
+     * Note Machine::run fires the hook from its own boundary cursor;
+     * sweepTo()'s cursor is advanced to match afterwards so mixed
+     * drivers never double-fire a boundary.
+     */
+    void runJobs(const std::vector<sim::Job *> &jobs);
+
+    /** Close still-open windows and publish final metrics. */
+    void finalize();
+
+  private:
+    unsigned id;
+    std::unique_ptr<sim::Machine> mach;
+    std::unique_ptr<pm::PmoManager> pm;
+    std::unique_ptr<pm::PersistDomain> dom;
+    std::unique_ptr<Runtime> rt;
+    Cycles nextHook;
+    Cycles hookPeriod;
+};
+
+} // namespace core
+} // namespace terp
+
+#endif // TERP_CORE_DOMAIN_HH

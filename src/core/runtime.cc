@@ -29,6 +29,7 @@ Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
         mach.setTraceSink(sink.get());
         pm_.setTraceSink(sink.get());
     }
+    ew.setSlo(cfg.ewSlo, cfg.tewSlo);
     if (cfg.metricsEnabled && metrics::enabledByEnv()) {
         reg = std::make_shared<metrics::Registry>();
         reg->setLabel("scheme", schemeTag(cfg));

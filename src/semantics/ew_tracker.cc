@@ -92,6 +92,11 @@ void
 EwTracker::recordEw(PerPmo &s, pm::PmoId pmo, Cycles len)
 {
     s.ew.add(len);
+    if (sloEw > 0 && len > sloEw) {
+        ++ewViolations;
+        if (reg)
+            reg->counter("exposure.slo_violations{win=\"ew\"}").inc();
+    }
     if (reg) {
         reg->histogram(metrics::labeled("exposure.ew_cycles", "pmo",
                                         std::to_string(pmo)))
@@ -104,6 +109,11 @@ void
 EwTracker::recordTew(PerPmo &s, pm::PmoId pmo, Cycles len)
 {
     s.tew.add(len);
+    if (sloTew > 0 && len > sloTew) {
+        ++tewViolations;
+        if (reg)
+            reg->counter("exposure.slo_violations{win=\"tew\"}").inc();
+    }
     if (reg) {
         reg->histogram(metrics::labeled("exposure.tew_cycles", "pmo",
                                         std::to_string(pmo)))

@@ -103,6 +103,26 @@ class EwTracker
      */
     void enableMetrics(metrics::Registry *r) { reg = r; }
 
+    /**
+     * Exposure SLOs: count every closed window longer than the
+     * threshold (0 disables that class). Violations are counted per
+     * tracker — i.e. per shard domain — and, when metrics are
+     * enabled, published as `exposure.slo_violations{win="ew"}` and
+     * `{win="tew"}`; the serve layer's slow-client scenario is what
+     * exercises the TEW counter past the sweeper horizon.
+     */
+    void
+    setSlo(Cycles ew_slo, Cycles tew_slo)
+    {
+        sloEw = ew_slo;
+        sloTew = tew_slo;
+    }
+
+    /** Closed process windows that exceeded the EW SLO. */
+    std::uint64_t sloEwViolations() const { return ewViolations; }
+    /** Closed thread windows that exceeded the TEW SLO. */
+    std::uint64_t sloTewViolations() const { return tewViolations; }
+
   private:
     /** Sentinel for "thread window not open". */
     static constexpr Cycles notOpen = ~Cycles(0);
@@ -128,6 +148,10 @@ class EwTracker
 
     std::vector<PerPmo> perPmo; //!< indexed by PmoId; .seen gates use
     metrics::Registry *reg = nullptr; //!< null = no metrics
+    Cycles sloEw = 0;   //!< EW SLO threshold; 0 = off
+    Cycles sloTew = 0;  //!< TEW SLO threshold; 0 = off
+    std::uint64_t ewViolations = 0;
+    std::uint64_t tewViolations = 0;
 };
 
 } // namespace semantics

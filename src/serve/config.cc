@@ -1,0 +1,23 @@
+#include "serve/config.hh"
+
+namespace terp {
+namespace serve {
+
+ServeConfig
+ServeConfig::quick()
+{
+    ServeConfig c;
+    c.shards = 2;
+    c.workersPerShard = 4;
+    c.pmosPerShard = 8;
+    c.pmoSize = 4 * MiB;
+    c.sessions = 200;
+    c.requestsPerSession = 8;
+    c.opsPerRequest = 4;
+    c.thinkMean = 20 * cyclesPerUs;
+    c.queueCapacity = 16;
+    return c;
+}
+
+} // namespace serve
+} // namespace terp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic-by-seed open-loop load generator.
+ *
+ * Each simulated client session is an independent derived Rng stream:
+ * session s of a run with master seed S draws from Rng(mix(S, s)),
+ * so the full transaction schedule — arrival times, tenant choices,
+ * op counts, slow-client designation — is a pure function of
+ * (seed, config) and in particular independent of shard count
+ * *execution* and host parallelism. Requests are partitioned onto
+ * shards by tenant (global pmo g lives on shard g % shards) and each
+ * shard's stream is sorted by (arrival, session, seq), which is the
+ * total order the shard executes them in.
+ */
+
+#ifndef TERP_SERVE_LOADGEN_HH
+#define TERP_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "pm/oid.hh"
+#include "serve/config.hh"
+
+namespace terp {
+namespace serve {
+
+/** One client transaction: attach, access, (hold,) detach. */
+struct Request
+{
+    Cycles arrival = 0;        //!< fleet-clock arrival time
+    std::uint32_t session = 0; //!< issuing session id
+    std::uint32_t seq = 0;     //!< per-session sequence number
+    pm::PmoId globalPmo = 0;   //!< fleet-wide tenant index
+    std::uint16_t ops = 0;     //!< accesses in the transaction
+    bool slow = false;         //!< holds the region past the horizon
+    std::uint64_t salt = 0;    //!< per-request op-offset RNG seed
+};
+
+/**
+ * The pre-generated load: per-shard request streams plus summary
+ * facts the report wants (totals, slow-session count, horizon).
+ */
+class LoadGen
+{
+  public:
+    explicit LoadGen(const ServeConfig &cfg);
+
+    /** Shard k's stream, sorted by (arrival, session, seq). */
+    const std::vector<Request> &
+    shardStream(unsigned shard) const
+    {
+        return streams.at(shard);
+    }
+
+    std::uint64_t totalRequests() const { return total; }
+    unsigned slowSessions() const { return nSlow; }
+    /** Latest arrival across the fleet. */
+    Cycles horizon() const { return lastArrival; }
+
+  private:
+    std::vector<std::vector<Request>> streams;
+    std::uint64_t total = 0;
+    unsigned nSlow = 0;
+    Cycles lastArrival = 0;
+};
+
+} // namespace serve
+} // namespace terp
+
+#endif // TERP_SERVE_LOADGEN_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Rendering of the fleet's exposure/latency posture.
+ *
+ * The report is the serve golden: every number derives from
+ * simulated state (cycle counts, seeded randomness, commutative
+ * metric merges), never from host timing, so the text is
+ * byte-identical for a fixed (seed, shards) across any host worker
+ * count, platform, or run. Host wall time goes to the JSON export
+ * only.
+ */
+
+#ifndef TERP_SERVE_REPORT_HH
+#define TERP_SERVE_REPORT_HH
+
+#include <string>
+
+#include "serve/server.hh"
+
+namespace terp {
+namespace serve {
+
+/** The human/golden posture report. */
+std::string postureReport(const FleetResult &res);
+
+/**
+ * JSON document for tooling: config, fleet summary, per-shard
+ * summaries, and the full metrics registries (fleet + per shard)
+ * in the BENCH_terp.json "metrics" layout. Host wall time included
+ * (callers comparing output byte-for-byte use the report instead).
+ */
+std::string toJson(const FleetResult &res, unsigned hostWorkers);
+
+} // namespace serve
+} // namespace terp
+
+#endif // TERP_SERVE_REPORT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The terp-serve fleet driver: shards on a host worker pool.
+ *
+ * Host-side shape: a bounded work queue feeds N host worker threads;
+ * every submitted task carries a promise the scheduler waits on
+ * (the classic bounded-queue/promise pipeline). Simulated-side
+ * shape: shards advance in lockstep *epochs* of simulated time — the
+ * scheduler submits one processUntil(epochEnd) task per live shard,
+ * waits for all of them (the barrier is the fleet's only
+ * simulated-clock coordination), then opens the next epoch.
+ *
+ * Determinism for any worker count: a shard is only ever touched by
+ * one task at a time, each shard's evolution is a pure function of
+ * its request stream (see shard.hh), and the fleet aggregate is a
+ * commutative metrics merge collected in shard-id order on the
+ * coordinating thread. Host threads decide *when* a shard's epoch
+ * runs, never *what* it computes — so `--workers=N` changes wall
+ * time only, and the posture report is byte-identical for fixed
+ * (seed, shards).
+ */
+
+#ifndef TERP_SERVE_SERVER_HH
+#define TERP_SERVE_SERVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "metrics/registry.hh"
+#include "serve/config.hh"
+#include "serve/loadgen.hh"
+#include "serve/shard.hh"
+
+namespace terp {
+namespace serve {
+
+/** End-of-run results, everything the report/exports need. */
+struct FleetResult
+{
+    ServeConfig cfg;
+    std::uint64_t generated = 0; //!< requests in the load
+    unsigned slowSessions = 0;
+    Cycles horizon = 0;          //!< latest arrival
+    Cycles endClock = 0;         //!< max shard clock at drain
+    std::uint64_t epochs = 0;    //!< lockstep epochs executed
+    double wallSeconds = 0.0;    //!< host time (not in the report)
+
+    std::vector<ShardSummary> shards;
+    /** Per-shard registries, index = shard id. */
+    std::vector<std::shared_ptr<metrics::Registry>> shardMetrics;
+    /**
+     * Fleet roll-up: shard registries merged in shard-id order,
+     * keeping per-PMO exposure series out (only meaningful within a
+     * shard) exactly like the bench aggregate does.
+     */
+    std::shared_ptr<metrics::Registry> fleet;
+};
+
+/**
+ * Run the configured fleet on @p hostWorkers host threads.
+ * The result is independent of @p hostWorkers (enforced by tests
+ * and the serve golden in CI).
+ */
+FleetResult runFleet(const ServeConfig &cfg, unsigned hostWorkers);
+
+} // namespace serve
+} // namespace terp
+
+#endif // TERP_SERVE_SERVER_HH

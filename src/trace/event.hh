@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t
     PmoRemap,        //!< address space: PMO moved; arg = new base
     Crash,           //!< modeled power failure; arg = persist boundary
     Recover,         //!< post-crash recovery pass over a PMO's log
+    SessionStart,    //!< serve: client session issued its first request; arg = session id
+    SessionEnd,      //!< serve: client session completed/cancelled; arg = session id
+    RequestStart,    //!< serve: request dequeued onto a worker; arg = session id
+    RequestDone,     //!< serve: request completed; arg = session id
+    RequestShed,     //!< serve: bounded queue full, request shed; arg = session id
     NumKinds
 };
 

@@ -31,6 +31,11 @@ eventKindName(EventKind k)
       case EventKind::PmoRemap: return "pmo_remap";
       case EventKind::Crash: return "crash";
       case EventKind::Recover: return "recover";
+      case EventKind::SessionStart: return "session_start";
+      case EventKind::SessionEnd: return "session_end";
+      case EventKind::RequestStart: return "request_start";
+      case EventKind::RequestDone: return "request_done";
+      case EventKind::RequestShed: return "request_shed";
       default: return "?";
     }
 }

@@ -18,7 +18,7 @@
  * Usage:
  *   terp-bench [--quick] [--jobs=N] [--out=FILE]
  *              [--golden=FILE] [--write-golden=FILE]
- *              [--metrics-prom=FILE]
+ *              [--metrics-prom=FILE] [--history=FILE]
  *
  * Options:
  *   --quick            reduced workload sizes (CI smoke run)
@@ -29,6 +29,8 @@
  *   --write-golden=FILE  write the per-figure summary to FILE
  *   --metrics-prom=FILE  also export the aggregated metrics registry
  *                      in Prometheus text format
+ *   --history=FILE     append {git rev, sims/s, p99 EW} to the
+ *                      append-only bench history (JSON lines)
  *
  * The JSON summary ends with a "metrics" section: the process-wide
  * registry every run merged into (bench::globalMetrics()), giving
@@ -49,6 +51,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "history.hh"
 #include "metrics/export.hh"
 
 using namespace terp;
@@ -83,24 +86,27 @@ struct FigResult
     std::uint64_t simCycles = 0;
 };
 
-std::string
-gitRev()
+/**
+ * Largest p99 across the aggregate's pmo="all" EW histograms (the
+ * merge bakes scheme labels into the names, so there is one per
+ * scheme; the worst tail is the regression-relevant one).
+ */
+std::uint64_t
+aggregateEwP99()
 {
-    std::string rev = "unknown";
-    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null",
-                        "r")) {
-        char buf[64] = {};
-        if (std::fgets(buf, sizeof(buf), p)) {
-            rev = buf;
-            while (!rev.empty() &&
-                   (rev.back() == '\n' || rev.back() == '\r'))
-                rev.pop_back();
-        }
-        pclose(p);
-        if (rev.empty())
-            rev = "unknown";
+    std::uint64_t worst = 0;
+    for (const auto &[name, entry] :
+         bench::globalMetrics().entries()) {
+        if (entry.kind != metrics::Kind::Histogram || !entry.hist)
+            continue;
+        if (name.rfind("exposure.ew_cycles{", 0) != 0 ||
+            name.find("pmo=\"all\"") == std::string::npos)
+            continue;
+        std::uint64_t p = entry.hist->quantile(0.99);
+        if (p > worst)
+            worst = p;
     }
-    return rev;
+    return worst;
 }
 
 /** Run @p fn with stdout pointed at /dev/null, restoring it after. */
@@ -134,7 +140,7 @@ usage()
                  "usage: terp-bench [--quick] [--jobs=N] [--out=FILE]"
                  " [--golden=FILE]\n"
                  "                  [--write-golden=FILE]"
-                 " [--metrics-prom=FILE]\n");
+                 " [--metrics-prom=FILE] [--history=FILE]\n");
     return 2;
 }
 
@@ -149,6 +155,7 @@ main(int argc, char **argv)
     std::string goldenPath;
     std::string writeGoldenPath;
     std::string promPath;
+    std::string historyPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -165,6 +172,8 @@ main(int argc, char **argv)
             writeGoldenPath = a.substr(15);
         } else if (a.rfind("--metrics-prom=", 0) == 0) {
             promPath = a.substr(15);
+        } else if (a.rfind("--history=", 0) == 0) {
+            historyPath = a.substr(10);
         } else if (a == "--help" || a == "-h") {
             return usage();
         } else {
@@ -218,7 +227,8 @@ main(int argc, char **argv)
     // ---- JSON summary --------------------------------------------
     if (FILE *f = std::fopen(outPath.c_str(), "w")) {
         std::fprintf(f, "{\n");
-        std::fprintf(f, "  \"git_rev\": \"%s\",\n", gitRev().c_str());
+        std::fprintf(f, "  \"git_rev\": \"%s\",\n",
+                     bench::gitRev().c_str());
         std::fprintf(f, "  \"host_threads\": %u,\n",
                      std::thread::hardware_concurrency());
         std::fprintf(f, "  \"jobs\": %u,\n", jobs);
@@ -254,6 +264,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "terp-bench: cannot write %s\n",
                      outPath.c_str());
         return 2;
+    }
+
+    if (!historyPath.empty()) {
+        bench::HistoryRecord rec;
+        rec.tool = "terp-bench";
+        rec.simsPerS = totalS > 0 ? total.sims / totalS : 0.0;
+        rec.p99EwCycles = aggregateEwP99();
+        if (!bench::appendHistory(historyPath, rec)) {
+            std::fprintf(stderr, "terp-bench: cannot append %s\n",
+                         historyPath.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "terp-bench: appended history %s\n",
+                     historyPath.c_str());
     }
 
     if (!promPath.empty()) {

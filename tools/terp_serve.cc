@@ -1,0 +1,270 @@
+/**
+ * @file
+ * terp-serve — a long-lived multi-tenant PMO server simulation.
+ *
+ * Owns a fleet of tenant PMOs partitioned into shards (one isolated
+ * runtime domain each: circular buffer, sweeper, exposure tracker,
+ * placement RNG) and serves an open-loop stream of
+ * attach/access/detach transactions from simulated client sessions:
+ * Zipfian tenant popularity, bursty on/off arrivals, a configurable
+ * fraction of slow clients that hold their attach windows past the
+ * sweeper horizon. Prints the fleet's exposure/latency posture —
+ * EW/TEW tails, SLO violations, request latency percentiles, queue
+ * depth and shed counts, per shard and fleet-wide.
+ *
+ * Determinism contract (held down by tests and the CI golden):
+ * for a fixed --seed and --shards, the posture report is
+ * byte-identical for any --workers=N — host threads only decide
+ * when a shard's epoch executes, never what it computes.
+ *
+ * Usage:
+ *   terp-serve [--quick] [--seed=S] [--shards=K] [--workers=N]
+ *              [--sessions=C] [--requests=R] [--scheme=NAME]
+ *              [--slow=FRAC] [--queue-cap=Q] [--out=FILE]
+ *              [--golden=FILE] [--write-golden=FILE]
+ *              [--metrics-prom=FILE] [--history=FILE] [--quiet]
+ *
+ * Options:
+ *   --quick              small CI configuration (2 shards, 200
+ *                        sessions) — the serve golden's config
+ *   --seed=S             master seed (default 1)
+ *   --shards=K           runtime domains (default 2)
+ *   --workers=N          host worker threads (default 1)
+ *   --sessions=C         client sessions (default 200)
+ *   --requests=R         requests per session (default 16)
+ *   --scheme=NAME        tt | tm | mm | ttnc | basic | unprotected
+ *                        (default tt)
+ *   --slow=FRAC          slow-client fraction (default 0.02)
+ *   --queue-cap=Q        bounded per-shard queue (default 64)
+ *   --out=FILE           JSON results (default SERVE_terp.json)
+ *   --golden=FILE        fail (exit 1) if the report differs
+ *   --write-golden=FILE  write the report to FILE
+ *   --metrics-prom=FILE  fleet metrics, Prometheus text format
+ *   --history=FILE       append {git rev, req/s, p99 EW, p99
+ *                        latency} to the bench history (JSON lines)
+ *   --quiet              suppress the report on stdout
+ *
+ * Exit status: 0 on success, 1 on golden drift, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "history.hh"
+#include "metrics/export.hh"
+#include "serve/report.hh"
+#include "serve/server.hh"
+
+using namespace terp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: terp-serve [--quick] [--seed=S] [--shards=K]"
+        " [--workers=N]\n"
+        "                  [--sessions=C] [--requests=R]"
+        " [--scheme=NAME] [--slow=FRAC]\n"
+        "                  [--queue-cap=Q] [--out=FILE]"
+        " [--golden=FILE]\n"
+        "                  [--write-golden=FILE]"
+        " [--metrics-prom=FILE]\n"
+        "                  [--history=FILE] [--quiet]\n");
+    return 2;
+}
+
+bool
+applyScheme(serve::ServeConfig &cfg, const std::string &name)
+{
+    if (name == "tt")
+        cfg.runtime = core::RuntimeConfig::tt();
+    else if (name == "tm")
+        cfg.runtime = core::RuntimeConfig::tm();
+    else if (name == "mm")
+        cfg.runtime = core::RuntimeConfig::mm();
+    else if (name == "ttnc")
+        cfg.runtime = core::RuntimeConfig::ttNoCombining();
+    else if (name == "basic")
+        cfg.runtime = core::RuntimeConfig::basicSemantics();
+    else if (name == "unprotected")
+        cfg.runtime = core::RuntimeConfig::unprotected();
+    else
+        return false;
+    return true;
+}
+
+std::uint64_t
+fleetP99(const serve::FleetResult &res, const char *name)
+{
+    if (!res.fleet)
+        return 0;
+    const metrics::LogHistogram *h = res.fleet->findHistogram(name);
+    return h && h->summary().count() ? h->quantile(0.99) : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeConfig cfg;
+    unsigned workers = 1;
+    bool quiet = false;
+    std::string outPath = "SERVE_terp.json";
+    std::string goldenPath, writeGoldenPath, promPath, historyPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--quick") {
+            cfg = serve::ServeConfig::quick();
+        } else if (a.rfind("--seed=", 0) == 0) {
+            cfg.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+        } else if (a.rfind("--shards=", 0) == 0) {
+            long v = std::atol(a.c_str() + 9);
+            if (v < 1)
+                return usage();
+            cfg.shards = static_cast<unsigned>(v);
+        } else if (a.rfind("--workers=", 0) == 0) {
+            long v = std::atol(a.c_str() + 10);
+            workers = v > 1 ? static_cast<unsigned>(v) : 1;
+        } else if (a.rfind("--sessions=", 0) == 0) {
+            cfg.sessions =
+                static_cast<unsigned>(std::atol(a.c_str() + 11));
+        } else if (a.rfind("--requests=", 0) == 0) {
+            cfg.requestsPerSession =
+                static_cast<unsigned>(std::atol(a.c_str() + 11));
+        } else if (a.rfind("--scheme=", 0) == 0) {
+            if (!applyScheme(cfg, a.substr(9))) {
+                std::fprintf(stderr, "unknown scheme '%s'\n",
+                             a.c_str() + 9);
+                return usage();
+            }
+        } else if (a.rfind("--slow=", 0) == 0) {
+            cfg.slowFraction = std::atof(a.c_str() + 7);
+        } else if (a.rfind("--queue-cap=", 0) == 0) {
+            long v = std::atol(a.c_str() + 12);
+            if (v < 1)
+                return usage();
+            cfg.queueCapacity = static_cast<unsigned>(v);
+        } else if (a.rfind("--out=", 0) == 0) {
+            outPath = a.substr(6);
+        } else if (a.rfind("--golden=", 0) == 0) {
+            goldenPath = a.substr(9);
+        } else if (a.rfind("--write-golden=", 0) == 0) {
+            writeGoldenPath = a.substr(15);
+        } else if (a.rfind("--metrics-prom=", 0) == 0) {
+            promPath = a.substr(15);
+        } else if (a.rfind("--history=", 0) == 0) {
+            historyPath = a.substr(10);
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return usage();
+        }
+    }
+
+    std::fprintf(stderr,
+                 "terp-serve: %u shard(s), %u session(s), %u host "
+                 "worker(s), seed %llu\n",
+                 cfg.shards, cfg.sessions, workers,
+                 static_cast<unsigned long long>(cfg.seed));
+
+    serve::FleetResult res = serve::runFleet(cfg, workers);
+    std::string report = serve::postureReport(res);
+    if (!quiet)
+        std::fputs(report.c_str(), stdout);
+    std::fprintf(stderr, "terp-serve: done in %.2fs\n",
+                 res.wallSeconds);
+
+    if (!outPath.empty()) {
+        std::ofstream f(outPath);
+        if (!f) {
+            std::fprintf(stderr, "terp-serve: cannot write %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+        f << serve::toJson(res, workers);
+        std::fprintf(stderr, "terp-serve: wrote %s\n",
+                     outPath.c_str());
+    }
+
+    if (!promPath.empty()) {
+        if (!res.fleet) {
+            std::fprintf(stderr,
+                         "terp-serve: metrics disabled, no %s\n",
+                         promPath.c_str());
+            return 2;
+        }
+        std::ofstream f(promPath);
+        if (!f) {
+            std::fprintf(stderr, "terp-serve: cannot write %s\n",
+                         promPath.c_str());
+            return 2;
+        }
+        f << metrics::toPrometheus(*res.fleet);
+        std::fprintf(stderr, "terp-serve: wrote %s\n",
+                     promPath.c_str());
+    }
+
+    if (!historyPath.empty()) {
+        bench::HistoryRecord rec;
+        rec.tool = "terp-serve";
+        std::uint64_t done = 0;
+        for (const auto &s : res.shards)
+            done += s.completed;
+        rec.simsPerS =
+            res.wallSeconds > 0 ? done / res.wallSeconds : 0.0;
+        rec.p99EwCycles =
+            fleetP99(res, "exposure.ew_cycles{pmo=\"all\"}");
+        rec.p99LatencyCycles =
+            fleetP99(res, "serve.request_latency_cycles");
+        if (!bench::appendHistory(historyPath, rec)) {
+            std::fprintf(stderr, "terp-serve: cannot append %s\n",
+                         historyPath.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "terp-serve: appended history %s\n",
+                     historyPath.c_str());
+    }
+
+    if (!writeGoldenPath.empty()) {
+        std::ofstream f(writeGoldenPath);
+        if (!f) {
+            std::fprintf(stderr, "terp-serve: cannot write %s\n",
+                         writeGoldenPath.c_str());
+            return 2;
+        }
+        f << report;
+        std::fprintf(stderr, "terp-serve: wrote golden %s\n",
+                     writeGoldenPath.c_str());
+    }
+
+    if (!goldenPath.empty()) {
+        std::ifstream f(goldenPath);
+        if (!f) {
+            std::fprintf(stderr, "terp-serve: cannot read golden %s\n",
+                         goldenPath.c_str());
+            return 2;
+        }
+        std::ostringstream want;
+        want << f.rdbuf();
+        if (want.str() != report) {
+            std::fprintf(stderr,
+                         "terp-serve: DRIFT: report differs from "
+                         "golden %s\n",
+                         goldenPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "terp-serve: report matches golden\n");
+    }
+    return 0;
+}
