@@ -26,15 +26,25 @@ std::string gitRev();
 struct HistoryRecord
 {
     std::string tool;            //!< "terp-bench" / "terp-serve"
-    double simsPerS = 0.0;       //!< host throughput
+    /**
+     * What `sims_per_s` actually measures for this tool —
+     * "sims_per_s" (terp-bench: simulations per host second) or
+     * "req_per_s" (terp-serve: completed requests per host second).
+     * The JSON key name predates terp-serve and is kept for v1
+     * consumers; the label disambiguates (schema v2).
+     */
+    std::string metric = "sims_per_s";
+    double simsPerS = 0.0;       //!< host throughput (see metric)
     std::uint64_t p99EwCycles = 0;
     std::uint64_t p99LatencyCycles = 0;
 };
 
 /**
  * Append @p rec (plus the current git revision and the record
- * schema version) as one line of JSON to @p path. Returns false if
- * the file cannot be opened for append.
+ * schema version) as one line of JSON to @p path. The rendering is
+ * locale-independent (a comma-decimal process locale must not
+ * produce invalid JSON) and string fields are escaped. Returns
+ * false if the file cannot be opened, written, or closed.
  */
 bool appendHistory(const std::string &path, const HistoryRecord &rec);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "common/rng.hh"
 #include "core/runtime.hh"
 #include "pm/pmo_manager.hh"
+#include "pm/tx_manager.hh"
 #include "sim/machine.hh"
 #include "trace/audit.hh"
 
@@ -65,18 +67,38 @@ struct World
 };
 
 /**
+ * One open TxManager transaction's expected post-recovery outcome.
+ *
+ * Undo transactions must recover to all-old at every crash point:
+ * recovery rolls the logged old values back. Redo transactions are
+ * *ambiguous* while their outermost commit is the next thing the
+ * workload does: the durable commit record is written mid-commit, so
+ * a crash inside commit recovers to all-old (record not yet durable)
+ * or all-new (record durable, recovery rolls forward) — but never a
+ * mix. An aborted transaction of either kind never reaches its
+ * durable point, so it pins `ambiguous` false (all-old only).
+ */
+struct TxFlight
+{
+    bool ambiguous = false;
+    std::vector<std::uint64_t> keys;              //!< raw Oids
+    std::map<std::uint64_t, std::uint64_t> newv;  //!< raw -> new val
+};
+
+/**
  * The recovery oracle's committed-image ledger: what the durable
  * image must look like after the transactions whose commit returned,
- * plus the write-set of the (at most one) in-flight transaction.
- * Commit durability coincides with commit() returning: the last
- * persist boundary inside commit is the fence that makes the header
- * clear durable, so a crash can never land after the transaction is
- * durable but before the host-side ledger update.
+ * plus the write-set of the (at most one per thread) in-flight
+ * transaction. Commit durability coincides with commit() returning:
+ * the last persist boundary inside commit is the fence that makes
+ * the header update durable, so a crash can never land after the
+ * transaction is durable but before the host-side ledger update.
  */
 struct Ledger
 {
     std::map<std::uint64_t, std::uint64_t> image; //!< raw Oid -> val
     std::vector<std::uint64_t> inFlight;          //!< current txn keys
+    std::map<unsigned, TxFlight> flight;          //!< per-tid TxManager txn
     unsigned done = 0;                            //!< commits returned
 };
 
@@ -136,7 +158,18 @@ checkDurable(World &w, const Ledger &led,
              std::vector<std::string> &out)
 {
     const pm::PersistController &ctl = w.dom.controller();
+    // Keys of open TxManager transactions are judged by the flight
+    // rule below (which still pins them to the committed value for
+    // an undo transaction, but admits all-new for a redo one whose
+    // commit was in flight), not by the strict committed-image scan.
+    std::set<std::uint64_t> flightKeys;
+    for (const auto &[tid, fl] : led.flight) {
+        (void)tid;
+        flightKeys.insert(fl.keys.begin(), fl.keys.end());
+    }
     for (const auto &[raw, want] : led.image) {
+        if (flightKeys.count(raw))
+            continue;
         std::uint64_t got = ctl.persistedLoad(pm::Oid::fromRaw(raw));
         if (got != want) {
             std::ostringstream os;
@@ -161,6 +194,29 @@ checkDurable(World &w, const Ledger &led,
             out.push_back(os.str());
         }
     }
+    // TxManager transactions open at the crash: all-or-nothing. Undo
+    // must recover to all-old; a redo whose commit was in progress
+    // may land on either side of its durable point, but never mixed.
+    for (const auto &[tid, fl] : led.flight) {
+        bool allOld = true, allNew = true;
+        for (std::uint64_t raw : fl.keys) {
+            auto it = led.image.find(raw);
+            std::uint64_t oldv = it == led.image.end() ? 0 : it->second;
+            std::uint64_t got =
+                ctl.persistedLoad(pm::Oid::fromRaw(raw));
+            if (got != oldv)
+                allOld = false;
+            if (got != fl.newv.at(raw))
+                allNew = false;
+        }
+        if (!(allOld || (fl.ambiguous && allNew))) {
+            std::ostringstream os;
+            os << "atomicity: transaction of tid " << tid
+               << " recovered torn (not all-old"
+               << (fl.ambiguous ? ", not all-new" : "") << ")";
+            out.push_back(os.str());
+        }
+    }
 }
 
 /** Post-recovery liveness + exposure-hygiene checks. */
@@ -171,6 +227,11 @@ probeAndDrain(World &w, Ledger &led, std::vector<std::string> &out)
         (void)pmo;
         if (log->recoveryPending())
             out.push_back("recovery left an in-flight log record");
+    }
+    for (const auto &[pmo, log] : w.dom.redoLogs()) {
+        (void)pmo;
+        if (log->recoveryPending())
+            out.push_back("recovery left an in-flight redo record");
     }
 
     // The recovery attach must be closed by the scheme's normal idle
@@ -351,6 +412,209 @@ checkHashmapInvariant(World &w, std::vector<std::string> &out)
                 return;
             }
             rec = ctl.persistedLoad(pm::Oid(1, rec + 16));
+        }
+    }
+}
+
+/** Scheme-appropriate protection bookends for the tx workloads. */
+void
+protOpen(World &w, sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    if (w.cfg.insertion == core::Insertion::Manual)
+        w.rt->manualBegin(tc, pmo, pm::Mode::ReadWrite);
+    else if (w.cfg.insertion == core::Insertion::Auto)
+        w.rt->regionBegin(tc, pmo, pm::Mode::ReadWrite);
+}
+
+void
+protClose(World &w, sim::ThreadContext &tc, pm::PmoId pmo)
+{
+    if (w.cfg.insertion == core::Insertion::Manual)
+        w.rt->manualEnd(tc, pmo);
+    else if (w.cfg.insertion == core::Insertion::Auto)
+        w.rt->regionEnd(tc, pmo);
+}
+
+/** Register tid's open transaction with the atomicity oracle. */
+void
+armFlight(Ledger &led, unsigned tid, bool ambiguous,
+          const std::vector<std::pair<pm::Oid, std::uint64_t>> &writes)
+{
+    TxFlight fl;
+    fl.ambiguous = ambiguous;
+    for (const auto &[oid, v] : writes) {
+        fl.keys.push_back(oid.raw);
+        fl.newv[oid.raw] = v;
+    }
+    led.flight[tid] = std::move(fl);
+}
+
+/** Commit returned: settle tid's flight into the committed image. */
+void
+settleFlight(Ledger &led, unsigned tid, bool committed)
+{
+    if (committed) {
+        for (const auto &[raw, v] : led.flight.at(tid).newv)
+            led.image[raw] = v;
+        ++led.done;
+    }
+    led.flight.erase(tid);
+}
+
+/**
+ * txnest: nested TxManager transactions transferring between two
+ * accounts that live in *different* PMOs — one flattened transaction
+ * under two ordered locks, with the anchor PMO's log recording the
+ * cross-PMO write-set. The outer level debits, a nested level
+ * credits and bumps the sequence word, and ~20% of transfers abort
+ * at the inner level, poisoning the outer commit, which must then
+ * leave no trace. Transactions alternate seeded between the undo and
+ * redo variants, so crash points land in both protocols' commit
+ * sequences (including the redo ambiguity window).
+ */
+void
+txnestWorkload(World &w, Ledger &led, const CrashOptions &opt)
+{
+    sim::ThreadContext &tc = w.mach.thread(0);
+    pm::TxManager &txm = *w.rt->tx();
+    const pm::PersistController &ctl = w.dom.controller();
+    const pm::Oid acctA(1, 0x1000), acctB(2, 0x1000), seq(1, 0x800);
+
+    Rng rng(41 + opt.seed);
+    for (unsigned t = 0; t < opt.txns; ++t) {
+        bool init = t == 0;
+        bool redo = !init && rng.nextBelow(2) == 1;
+        bool doAbort = !init && rng.nextBelow(100) < 20;
+        std::uint64_t amt = 1 + rng.nextBelow(200);
+        // Values are computed before begin: a redo transaction's
+        // in-place image is stale until its commit applies.
+        std::uint64_t newA =
+            init ? 1000 : ctl.load(acctA) - amt;
+        std::uint64_t newB =
+            init ? 1000 : ctl.load(acctB) + amt;
+        std::vector<std::pair<pm::Oid, std::uint64_t>> writes = {
+            {acctA, newA}, {acctB, newB}, {seq, t + 1}};
+
+        armFlight(led, 0, redo && !doAbort, writes);
+        protOpen(w, tc, 1);
+        protOpen(w, tc, 2);
+        txm.begin(tc, 0, {1, 2},
+                  redo ? pm::TxKind::Redo : pm::TxKind::Undo);
+        w.rt->access(tc, acctA, /*write=*/true);
+        txm.write(tc, 0, acctA, newA);
+        txm.begin(tc, 0, {2}); // nested level: locks already held
+        w.rt->access(tc, acctB, /*write=*/true);
+        txm.write(tc, 0, acctB, newB);
+        txm.write(tc, 0, seq, t + 1);
+        if (doAbort)
+            txm.abort(tc, 0);
+        txm.commit(tc, 0); // inner: unwind only
+        bool ok = txm.commit(tc, 0); // outermost: the durable point
+        protClose(w, tc, 2);
+        protClose(w, tc, 1);
+        settleFlight(led, 0, ok);
+        w.advanceSweeps(tc.now());
+    }
+}
+
+/** txnest's invariant: the cross-PMO balance sum is conserved. */
+void
+checkTxnestInvariant(World &w, std::vector<std::string> &out)
+{
+    const pm::PersistController &ctl = w.dom.controller();
+    std::uint64_t sum = ctl.persistedLoad(pm::Oid(1, 0x1000)) +
+                        ctl.persistedLoad(pm::Oid(2, 0x1000));
+    // Before the init transaction commits, both accounts are 0.
+    if (sum != 0 && sum != 2000) {
+        std::ostringstream os;
+        os << "txnest: recovered cross-PMO balances sum to " << sum
+           << ", expected 2000 (or 0 pre-init)";
+        out.push_back(os.str());
+    }
+}
+
+/**
+ * txpair: two threads running transactions over disjoint PMOs —
+ * thread 0 locks PMO 1, thread 1 locks PMO 2 — with their writes
+ * interleaved boundary-by-boundary and their commits staggered, so
+ * enumeration crashes between one thread's durable point and the
+ * other's. Each transaction writes a split pair (x, 2000 - x) plus
+ * a sequence word; recovery must treat the two transactions
+ * independently (each all-or-nothing on its own).
+ */
+void
+txpairWorkload(World &w, Ledger &led, const CrashOptions &opt)
+{
+    sim::ThreadContext &tc0 = w.mach.thread(0);
+    sim::ThreadContext &tc1 = w.mach.thread(1);
+    pm::TxManager &txm = *w.rt->tx();
+    const pm::PersistController &ctl = w.dom.controller();
+    auto xOf = [](pm::PmoId p) { return pm::Oid(p, 0x1000); };
+    auto yOf = [](pm::PmoId p) { return pm::Oid(p, 0x1040); };
+    auto seqOf = [](pm::PmoId p) { return pm::Oid(p, 0x800); };
+
+    Rng rng(17 + opt.seed);
+    for (unsigned t = 0; t < opt.txns; ++t) {
+        bool init = t == 0;
+        bool redo0 = !init && rng.nextBelow(2) == 1;
+        bool redo1 = !init && rng.nextBelow(2) == 1;
+        bool abort0 = !init && rng.nextBelow(100) < 15;
+        bool abort1 = !init && rng.nextBelow(100) < 15;
+        std::uint64_t d0 = 1 + rng.nextBelow(500);
+        std::uint64_t d1 = 1 + rng.nextBelow(500);
+        std::uint64_t x0 = init ? 1000 : ctl.load(xOf(1)) + d0;
+        std::uint64_t x1 = init ? 1000 : ctl.load(xOf(2)) + d1;
+        std::vector<std::pair<pm::Oid, std::uint64_t>> w0 = {
+            {xOf(1), x0}, {yOf(1), 2000 - x0}, {seqOf(1), t + 1}};
+        std::vector<std::pair<pm::Oid, std::uint64_t>> w1 = {
+            {xOf(2), x1}, {yOf(2), 2000 - x1}, {seqOf(2), t + 1}};
+
+        armFlight(led, 0, redo0 && !abort0, w0);
+        armFlight(led, 1, redo1 && !abort1, w1);
+        protOpen(w, tc0, 1);
+        protOpen(w, tc1, 2);
+        txm.begin(tc0, 0, {1},
+                  redo0 ? pm::TxKind::Redo : pm::TxKind::Undo);
+        txm.begin(tc1, 1, {2},
+                  redo1 ? pm::TxKind::Redo : pm::TxKind::Undo);
+        // Interleave the two write-sets boundary-by-boundary.
+        for (unsigned j = 0; j < 3; ++j) {
+            w.rt->access(tc0, w0[j].first, /*write=*/true);
+            txm.write(tc0, 0, w0[j].first, w0[j].second);
+            w.rt->access(tc1, w1[j].first, /*write=*/true);
+            txm.write(tc1, 1, w1[j].first, w1[j].second);
+        }
+        if (abort0)
+            txm.abort(tc0, 0);
+        if (abort1)
+            txm.abort(tc1, 1);
+        // Staggered durable points: thread 0 settles first, so a
+        // crash inside thread 1's commit sees thread 0 committed.
+        bool ok0 = txm.commit(tc0, 0);
+        settleFlight(led, 0, ok0);
+        bool ok1 = txm.commit(tc1, 1);
+        settleFlight(led, 1, ok1);
+        protClose(w, tc0, 1);
+        protClose(w, tc1, 2);
+        w.advanceSweeps(std::max(tc0.now(), tc1.now()));
+    }
+}
+
+/** txpair's invariant: each PMO's split pair is conserved. */
+void
+checkTxpairInvariant(World &w, std::vector<std::string> &out)
+{
+    const pm::PersistController &ctl = w.dom.controller();
+    for (pm::PmoId p = 1; p <= 2; ++p) {
+        std::uint64_t sum =
+            ctl.persistedLoad(pm::Oid(p, 0x1000)) +
+            ctl.persistedLoad(pm::Oid(p, 0x1040));
+        if (sum != 0 && sum != 2000) {
+            std::ostringstream os;
+            os << "txpair: recovered pair on PMO " << p
+               << " sums to " << sum
+               << ", expected 2000 (or 0 pre-init)";
+            out.push_back(os.str());
         }
     }
 }
@@ -565,6 +829,16 @@ struct ScheduleReplay
 
           case OpKind::Sweep:
             break; // handled in run()
+
+          case OpKind::TxBegin:
+          case OpKind::TxWrite:
+          case OpKind::TxCommit:
+          case OpKind::TxAbort:
+            // The schedule workload generates with txnOps off (its
+            // transactions are the self-contained TxPut above, which
+            // the crash ledger can account); manager ops only appear
+            // in differ-driven schedules.
+            break;
         }
     }
 };
@@ -584,6 +858,10 @@ runWorkload(World &w, Ledger &led, const CrashOptions &opt,
         bankWorkload(w, led, opt);
     else if (opt.workload == "hashmap")
         hashmapWorkload(w, led, opt);
+    else if (opt.workload == "txnest")
+        txnestWorkload(w, led, opt);
+    else if (opt.workload == "txpair")
+        txpairWorkload(w, led, opt);
     else
         scheduleWorkload(w, led, *sched);
 }
@@ -596,6 +874,10 @@ checkWorkloadInvariant(World &w, const CrashOptions &opt,
         checkBankInvariant(w, out);
     else if (opt.workload == "hashmap")
         checkHashmapInvariant(w, out);
+    else if (opt.workload == "txnest")
+        checkTxnestInvariant(w, out);
+    else if (opt.workload == "txpair")
+        checkTxpairInvariant(w, out);
 }
 
 std::string
@@ -620,6 +902,7 @@ CrashResult
 enumerateCrashPoints(const CrashOptions &opt)
 {
     if (opt.workload != "bank" && opt.workload != "hashmap" &&
+        opt.workload != "txnest" && opt.workload != "txpair" &&
         opt.workload != "schedule")
         throw std::invalid_argument("unknown workload: " +
                                     opt.workload);
@@ -627,6 +910,12 @@ enumerateCrashPoints(const CrashOptions &opt)
     CrashResult res;
     Schedule sched;
     unsigned pmoCount = 1, threads = 1;
+    if (opt.workload == "txnest") {
+        pmoCount = 2;
+    } else if (opt.workload == "txpair") {
+        pmoCount = 2;
+        threads = 2;
+    }
     if (opt.workload == "schedule") {
         GenParams gp;
         gp.persistOps = true;

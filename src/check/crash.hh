@@ -44,6 +44,11 @@ struct CrashOptions
      * bank:     single-PMO transfer ledger with a sum invariant;
      * hashmap:  WHISPER-style chained-bucket inserts (record fields
      *           plus the bucket-head pointer in one transaction);
+     * txnest:   nested TxManager transactions transferring across
+     *           two PMOs under one flattened lock set, mixed
+     *           undo/redo kinds, ~20% inner aborts;
+     * txpair:   two threads, disjoint-PMO transactions with
+     *           interleaved writes and staggered commits;
      * schedule: a generated fuzz schedule (persistOps on) replayed
      *           with explicit — never RAII — protection bookends.
      */

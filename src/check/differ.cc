@@ -6,10 +6,12 @@
 #include <sstream>
 
 #include "check/oracle.hh"
+#include "check/tx_oracle.hh"
 #include "common/units.hh"
 #include "core/runtime.hh"
 #include "pm/persist.hh"
 #include "pm/pmo_manager.hh"
+#include "pm/tx_manager.hh"
 #include "sim/machine.hh"
 #include "trace/audit.hh"
 
@@ -80,7 +82,8 @@ class Replay
         std::uint64_t det0 = 0;
     };
 
-    static constexpr std::uint64_t logOff = 1ULL << 32;
+    static constexpr std::uint64_t logOff =
+        pm::TxManager::undoLogOff;
 
     const Schedule &s;
     core::RuntimeConfig cfg;
@@ -90,8 +93,9 @@ class Replay
     core::Runtime rt;
     SpecOracle oracle;
     pm::PersistDomain dom;
-    /** Expected durable image: raw Oid -> last committed value. */
-    std::map<std::uint64_t, std::uint64_t> durable;
+    /** Transaction-layer spec mirror (durable image included). */
+    TxOracle txo{pm::TxManager::undoLogOff,
+                 pm::TxManager::redoLogOff};
     Cycles hookPeriod;
     Cycles nextHook;
     std::size_t opIdx = 0;
@@ -392,12 +396,33 @@ class Replay
           }
 
           case OpKind::TxPut: {
+            // A raw undo-log burst would collide with an open
+            // TxManager transaction holding this PMO (the anchor
+            // log is busy and isolation would break): skip, like
+            // any other ill-formed op.
+            if (txo.locked(op.pmo))
+                break;
             txPut(op, tc);
             break;
           }
 
           case OpKind::CrashRecover: {
+            // Transactions are atomic ops in this harness; a crash
+            // with one open would make recovery do real work the
+            // differ doesn't model (terp-crash enumerates those).
+            // The generator only emits idle-point crashes; shrunken
+            // subsequences may not be, so skip.
+            if (!txo.idle())
+                break;
             crashRecover(tc);
+            break;
+          }
+
+          case OpKind::TxBegin:
+          case OpKind::TxWrite:
+          case OpKind::TxCommit:
+          case OpKind::TxAbort: {
+            txOp(op, tc);
             break;
           }
 
@@ -408,9 +433,148 @@ class Replay
     }
 
     /**
-     * Run one undo-log transaction and verify its exact cycle charge,
-     * CLWB/fence counts and the durable image it leaves behind
-     * against the closed-form model of the log layout.
+     * Compare one transaction op's observed behavior against the
+     * oracle's predicted TxEffects: return value, exact cycle
+     * charge, CLWB/fence counts, and no protection syscalls.
+     */
+    void
+    checkTxEffects(const char *what, const TxEffects &e, bool ok,
+                   const Observed &o, std::uint64_t clwbs,
+                   std::uint64_t fences)
+    {
+        if (ok != e.ok) {
+            std::ostringstream os;
+            os << what << " returned " << ok << ", oracle expects "
+               << e.ok;
+            complain(os.str());
+        }
+        if (o.tPost - o.tPre != e.charge) {
+            std::ostringstream os;
+            os << what << " charged " << (o.tPost - o.tPre)
+               << " cycles, oracle expects " << e.charge;
+            complain(os.str());
+        }
+        if (clwbs != e.clwbs || fences != e.fences) {
+            std::ostringstream os;
+            os << what << " issued " << clwbs << " clwbs / "
+               << fences << " fences, oracle expects " << e.clwbs
+               << " / " << e.fences;
+            complain(os.str());
+        }
+        if (o.attaches || o.detaches)
+            complain(std::string(what) +
+                     " issued attach/detach syscalls");
+    }
+
+    /** Cross-check the TxManager's semantic state for one thread. */
+    void
+    probeTxState(unsigned tid)
+    {
+        pm::TxManager &txm = *rt.tx();
+        if (txm.depth(tid) != txo.depthView(tid)) {
+            std::ostringstream os;
+            os << "tx depth=" << txm.depth(tid) << ", oracle says "
+               << txo.depthView(tid);
+            complain(os.str());
+        }
+        bool aborted = txm.status(tid) == pm::TxStatus::Aborted;
+        if (aborted != txo.abortedView(tid)) {
+            std::ostringstream os;
+            os << "tx aborted=" << aborted << ", oracle says "
+               << txo.abortedView(tid);
+            complain(os.str());
+        }
+        for (pm::PmoId p = 1; p <= s.pmos; ++p) {
+            if (txm.lockOwner(p) != txo.ownerView(p)) {
+                std::ostringstream os;
+                os << "tx lock on p" << p << " held by "
+                   << txm.lockOwner(p) << ", oracle says "
+                   << txo.ownerView(p);
+                complain(os.str());
+            }
+        }
+    }
+
+    /** Replay one TxManager op in lockstep with the oracle. */
+    void
+    txOp(const Op &op, sim::ThreadContext &tc)
+    {
+        pm::TxManager &txm = *rt.tx();
+        pm::PersistController &ctl = dom.controller();
+        std::uint64_t clwb0 = ctl.clwbCount();
+        std::uint64_t fence0 = ctl.fenceCount();
+        Probe pr = preOp(tc);
+
+        switch (op.kind) {
+          case OpKind::TxBegin: {
+            std::vector<pm::PmoId> lockSet{op.pmo};
+            if (op.pmo2)
+                lockSet.push_back(op.pmo2);
+            TxEffects e = txo.onBegin(op.tid, lockSet, op.redo);
+            bool ok = txm.begin(tc, op.tid, lockSet,
+                                op.redo ? pm::TxKind::Redo
+                                        : pm::TxKind::Undo);
+            checkTxEffects("tx-begin", e, ok, postOp(tc, pr),
+                           ctl.clwbCount() - clwb0,
+                           ctl.fenceCount() - fence0);
+            break;
+          }
+          case OpKind::TxWrite: {
+            if (!txo.canWrite(op.tid, op.pmo))
+                break; // no txn / outside the lock set: skip
+            pm::Oid oid(op.pmo, op.offset);
+            std::uint64_t val =
+                (static_cast<std::uint64_t>(opIdx) << 8) | 0xA5;
+            TxEffects e = txo.onWrite(op.tid, oid.raw, val);
+            bool ok = txm.write(tc, op.tid, oid, val);
+            checkTxEffects("tx-write", e, ok, postOp(tc, pr),
+                           ctl.clwbCount() - clwb0,
+                           ctl.fenceCount() - fence0);
+            // Read-your-writes: undo reads the in-place volatile
+            // image, redo its own buffer; both must see the value
+            // the oracle expects (the pre-txn one after an abort).
+            std::uint64_t got = txm.read(op.tid, oid);
+            std::uint64_t want = txo.expectedRead(op.tid, oid.raw);
+            if (got != want) {
+                std::ostringstream os;
+                os << "tx-read saw 0x" << std::hex << got
+                   << ", oracle expects 0x" << want;
+                complain(os.str());
+            }
+            break;
+          }
+          case OpKind::TxCommit: {
+            if (!txo.canCommit(op.tid))
+                break; // unmatched commit: skip
+            TxEffects e = txo.onCommit(op.tid);
+            bool ok = txm.commit(tc, op.tid);
+            checkTxEffects("tx-commit", e, ok, postOp(tc, pr),
+                           ctl.clwbCount() - clwb0,
+                           ctl.fenceCount() - fence0);
+            break;
+          }
+          case OpKind::TxAbort: {
+            if (!txo.canAbort(op.tid))
+                break; // unmatched abort: skip
+            TxEffects e = txo.onAbort(op.tid);
+            txm.abort(tc, op.tid);
+            checkTxEffects("tx-abort", e, true, postOp(tc, pr),
+                           ctl.clwbCount() - clwb0,
+                           ctl.fenceCount() - fence0);
+            break;
+          }
+          default:
+            break;
+        }
+        probeTxState(op.tid);
+    }
+
+    /**
+     * Run one undo-log transaction burst and verify its exact cycle
+     * charge, CLWB/fence counts and the durable image it leaves
+     * behind, all predicted by the oracle's persist mirror (a
+     * closed form no longer exists once redo transactions can leave
+     * unfenced write-backs for this burst's fences to drain).
      */
     void
     txPut(const Op &op, sim::ThreadContext &tc)
@@ -418,76 +582,36 @@ class Replay
         pm::UndoLog *log = dom.findLog(op.pmo);
         pm::PersistController &ctl = dom.controller();
 
-        // Distinct locations (the log dedupes repeats) and distinct
-        // data cache lines (commit write-backs are per line).
-        std::vector<std::uint64_t> oids, lines;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
         for (unsigned j = 0; j < op.accesses; ++j) {
             std::uint64_t raw =
                 pm::Oid(op.pmo, op.offset + j * op.bytes).raw;
-            if (std::find(oids.begin(), oids.end(), raw) ==
-                oids.end())
-                oids.push_back(raw);
+            std::uint64_t val =
+                (static_cast<std::uint64_t>(opIdx) << 8) | j;
+            writes.emplace_back(raw, val);
         }
-        for (std::uint64_t raw : oids) {
-            std::uint64_t line = pm::lineKeyOf(raw);
-            if (std::find(lines.begin(), lines.end(), line) ==
-                lines.end())
-                lines.push_back(line);
-        }
-        std::uint64_t d = oids.size();
-        std::uint64_t l = lines.size();
 
         std::uint64_t clwb0 = ctl.clwbCount();
         std::uint64_t fence0 = ctl.fenceCount();
         Probe pr = preOp(tc);
+        TxEffects e = txo.onTxPut(op.pmo, writes);
 
         log->begin(tc);
-        for (unsigned j = 0; j < op.accesses; ++j) {
-            pm::Oid oid(op.pmo, op.offset + j * op.bytes);
-            std::uint64_t val =
-                (static_cast<std::uint64_t>(opIdx) << 8) | j;
-            log->write(tc, oid, val);
-            durable[oid.raw] = val; // committed below
-        }
+        for (const auto &[raw, val] : writes)
+            log->write(tc, pm::Oid::fromRaw(raw), val);
         log->commit(tc);
 
-        Observed o = postOp(tc, pr);
-        // begin: header persist + fence. Per distinct location: two
-        // entry-word write-backs + one fence (both words share a
-        // line), then header persist + fence; repeats are free (just
-        // a store). commit: one write-back per distinct data line +
-        // fence, then header persist + fence.
-        constexpr Cycles unit = pm::PersistController::clwbCost +
-                                pm::PersistController::drainCostPerLine;
-        Cycles want = unit +
-                      d * (2 * pm::PersistController::clwbCost +
-                           pm::PersistController::drainCostPerLine +
-                           unit) +
-                      l * unit + unit;
-        if (o.tPost - o.tPre != want) {
-            std::ostringstream os;
-            os << "txn charged " << (o.tPost - o.tPre)
-               << " cycles, expected " << want << " (" << d
-               << " locations, " << l << " lines)";
-            complain(os.str());
-        }
-        if (o.attaches || o.detaches)
-            complain("txn issued attach/detach syscalls");
-        std::uint64_t clwbs = ctl.clwbCount() - clwb0;
-        std::uint64_t fences = ctl.fenceCount() - fence0;
-        if (clwbs != 2 + 3 * d + l || fences != 3 + 2 * d) {
-            std::ostringstream os;
-            os << "txn issued " << clwbs << " clwbs / " << fences
-               << " fences, expected " << (2 + 3 * d + l) << " / "
-               << (3 + 2 * d);
-            complain(os.str());
-        }
+        checkTxEffects("txn", e, true, postOp(tc, pr),
+                       ctl.clwbCount() - clwb0,
+                       ctl.fenceCount() - fence0);
         if (log->inTransaction() || log->recoveryPending())
             complain("txn left the log open");
-        for (std::uint64_t raw : oids) {
+        for (const auto &[raw, val] : writes) {
             pm::Oid oid = pm::Oid::fromRaw(raw);
-            if (ctl.load(oid) != durable[raw] ||
-                ctl.persistedLoad(oid) != durable[raw]) {
+            std::uint64_t want = txo.committed().at(raw);
+            (void)val;
+            if (ctl.load(oid) != want ||
+                ctl.persistedLoad(oid) != want) {
                 std::ostringstream os;
                 os << "committed value not durable at offset 0x"
                    << std::hex << oid.offset();
@@ -521,6 +645,7 @@ class Replay
         }
         rt.crash(at);
         oracle.noteCrash(at);
+        txo.onCrash();
 
         Probe pr = preOp(tc);
         unsigned n = rt.recover(tc);
@@ -540,9 +665,9 @@ class Replay
             if (oracle.mappedView(p))
                 complain("oracle left a PMO mapped across a crash");
         }
-        for (const auto &[raw, val] : durable) {
+        pm::PersistController &ctl = dom.controller();
+        for (const auto &[raw, val] : txo.committed()) {
             pm::Oid oid = pm::Oid::fromRaw(raw);
-            pm::PersistController &ctl = dom.controller();
             if (ctl.persistedLoad(oid) != val || ctl.load(oid) != val)
                 complain("committed data lost across a crash");
         }
@@ -573,8 +698,10 @@ class Replay
     probe(const Op &op)
     {
         if (op.kind == OpKind::Work || op.kind == OpKind::Sweep ||
-            op.kind == OpKind::CrashRecover)
-            return; // CrashRecover checks all PMOs itself
+            op.kind == OpKind::CrashRecover ||
+            op.kind == OpKind::TxCommit || op.kind == OpKind::TxAbort)
+            return; // CrashRecover checks all PMOs itself;
+                    // commit/abort carry no PMO operand
 
         if (rt.mapped(op.pmo) != oracle.mappedView(op.pmo)) {
             std::ostringstream os;
@@ -663,6 +790,21 @@ class Replay
             os << "silent fraction " << got << ", oracle expects "
                << want;
             complain(os.str());
+        }
+
+        // Every value a committed transaction wrote must be durable.
+        // Open (shrinker-truncated) transactions only dirty the
+        // volatile image, so the persisted image is checkable even
+        // when the schedule ends mid-transaction.
+        pm::PersistController &ctl = dom.controller();
+        for (const auto &[raw, val] : txo.committed()) {
+            if (ctl.persistedLoad(pm::Oid::fromRaw(raw)) != val) {
+                std::ostringstream os;
+                os << "committed value not durable at end of run "
+                      "(raw 0x"
+                   << std::hex << raw << ")";
+                complain(os.str());
+            }
         }
 
         if (auto sink = rt.traceSink()) {

@@ -24,6 +24,10 @@ opKindName(OpKind k)
       case OpKind::Sweep: return "sweep";
       case OpKind::TxPut: return "tx-put";
       case OpKind::CrashRecover: return "crash-recover";
+      case OpKind::TxBegin: return "tx-begin";
+      case OpKind::TxWrite: return "tx-write";
+      case OpKind::TxCommit: return "tx-commit";
+      case OpKind::TxAbort: return "tx-abort";
       default: return "?";
     }
 }
@@ -43,7 +47,51 @@ struct GenState
     std::map<pm::PmoId, int> basicOwner; //!< -1 = unowned
     std::vector<int> blockedOn;          //!< per tid; -1 = runnable
 
-    explicit GenState(unsigned threads) : blockedOn(threads, -1) {}
+    /** TxManager mirror: per-thread transaction shape. */
+    struct TxGen
+    {
+        unsigned depth = 0;
+        bool aborted = false;
+        std::vector<pm::PmoId> locks;
+    };
+    std::vector<TxGen> tx;                //!< per tid
+    std::map<pm::PmoId, unsigned> txOwner; //!< pmo -> locking tid
+
+    explicit GenState(unsigned threads)
+        : blockedOn(threads, -1), tx(threads)
+    {
+    }
+
+    bool
+    txBusy(unsigned tid, pm::PmoId pmo) const
+    {
+        auto it = txOwner.find(pmo);
+        return it != txOwner.end() && it->second != tid;
+    }
+
+    void
+    txLock(unsigned tid, pm::PmoId pmo)
+    {
+        if (txOwner.emplace(pmo, tid).second)
+            tx[tid].locks.push_back(pmo);
+    }
+
+    void
+    txRelease(unsigned tid)
+    {
+        for (pm::PmoId pmo : tx[tid].locks)
+            txOwner.erase(pmo);
+        tx[tid] = TxGen{};
+    }
+
+    bool
+    txIdle() const
+    {
+        for (const TxGen &t : tx)
+            if (t.depth > 0)
+                return false;
+        return true;
+    }
 };
 
 pm::Mode
@@ -131,10 +179,14 @@ generate(std::uint64_t seed, const core::RuntimeConfig &cfg,
             s.ops.push_back(op);
             continue;
         }
-        if (p.persistOps && roll < 40) {
+        if ((p.persistOps || p.txnOps) && roll >= 37 && roll < 40 &&
+            st.txIdle()) {
             // Power failure + restart + recovery. All volatile state
             // dies with the process, so the generator's model resets
-            // with it.
+            // with it. Only emitted at transaction-idle points: the
+            // differ treats transactions as atomic ops (recovery
+            // must be a no-op); crash points *inside* transactions
+            // are terp-crash's job.
             Op op;
             op.kind = OpKind::CrashRecover;
             op.tid = tid;
@@ -144,6 +196,74 @@ generate(std::uint64_t seed, const core::RuntimeConfig &cfg,
             st.basicOwner.clear();
             for (auto &b : st.blockedOn)
                 b = -1;
+            st.txOwner.clear();
+            for (auto &t : st.tx)
+                t = GenState::TxGen{};
+            continue;
+        }
+        if (p.txnOps && roll >= 40 && roll < 70) {
+            GenState::TxGen &tg = st.tx[tid];
+            if (tg.depth == 0) {
+                // Outermost begin: one or two PMOs, undo or redo.
+                // The lock set may collide with another thread's —
+                // that is the Busy path, worth fuzzing too — so the
+                // model only advances when the begin will succeed.
+                Op op;
+                op.kind = OpKind::TxBegin;
+                op.tid = tid;
+                op.pmo = pmo;
+                if (rng.nextBool(0.35)) {
+                    op.pmo2 = static_cast<pm::PmoId>(
+                        1 + rng.nextBelow(s.pmos));
+                }
+                op.redo = rng.nextBool(0.4);
+                bool busy = st.txBusy(tid, op.pmo) ||
+                            (op.pmo2 && st.txBusy(tid, op.pmo2));
+                s.ops.push_back(op);
+                if (!busy) {
+                    tg.depth = 1;
+                    tg.aborted = false;
+                    st.txLock(tid, op.pmo);
+                    if (op.pmo2)
+                        st.txLock(tid, op.pmo2);
+                }
+                continue;
+            }
+            unsigned r2 =
+                static_cast<unsigned>(rng.nextBelow(100));
+            Op op;
+            op.tid = tid;
+            if (tg.aborted || r2 < 22) {
+                // Unwind one level (the only move after an abort).
+                op.kind = OpKind::TxCommit;
+                s.ops.push_back(op);
+                if (--tg.depth == 0)
+                    st.txRelease(tid);
+                continue;
+            }
+            if (r2 < 34 && tg.depth < 3) {
+                // Nested begin, possibly growing the lock set.
+                op.kind = OpKind::TxBegin;
+                op.pmo = pmo;
+                bool busy = st.txBusy(tid, pmo);
+                s.ops.push_back(op);
+                if (!busy) {
+                    st.txLock(tid, pmo);
+                    ++tg.depth;
+                }
+                continue;
+            }
+            if (r2 < 42) {
+                op.kind = OpKind::TxAbort;
+                s.ops.push_back(op);
+                tg.aborted = true;
+                continue;
+            }
+            op.kind = OpKind::TxWrite;
+            op.pmo = tg.locks[static_cast<std::size_t>(
+                rng.nextBelow(tg.locks.size()))];
+            op.offset = rng.nextBelow(s.pmoSize - 1024) & ~7ULL;
+            s.ops.push_back(op);
             continue;
         }
         if (roll < 45) {
@@ -242,7 +362,18 @@ generate(std::uint64_t seed, const core::RuntimeConfig &cfg,
 
     // Epilogue: close what is still open so most runs end balanced
     // (the replayer tolerates unbalanced tails; finalize() closes
-    // the remaining windows).
+    // the remaining windows). Transactions unwind first — commits
+    // at every open depth, which also sweeps aborted transactions
+    // out through their outermost end.
+    for (unsigned t = 0; t < s.threads; ++t) {
+        while (st.tx[t].depth > 0) {
+            Op op;
+            op.kind = OpKind::TxCommit;
+            op.tid = t;
+            s.ops.push_back(op);
+            --st.tx[t].depth;
+        }
+    }
     if (manual) {
         for (auto &[pmo, mapped] : st.manualMapped) {
             if (!mapped)
@@ -317,6 +448,19 @@ describeOp(const Op &op)
       case OpKind::Sweep:
         os << "()";
         break;
+      case OpKind::TxBegin:
+        os << "(p" << op.pmo;
+        if (op.pmo2)
+            os << "+p" << op.pmo2;
+        os << ", " << (op.redo ? "redo" : "undo") << ")";
+        break;
+      case OpKind::TxWrite:
+        os << "(p" << op.pmo << "+" << op.offset << ")";
+        break;
+      case OpKind::TxCommit:
+      case OpKind::TxAbort:
+        os << "()";
+        break;
     }
     return os.str();
 }
@@ -344,7 +488,11 @@ reproducerSnippet(const Schedule &s, const std::string &scheme,
     bool persist = std::any_of(
         s.ops.begin(), s.ops.end(), [](const Op &op) {
             return op.kind == OpKind::TxPut ||
-                   op.kind == OpKind::CrashRecover;
+                   op.kind == OpKind::CrashRecover ||
+                   op.kind == OpKind::TxBegin ||
+                   op.kind == OpKind::TxWrite ||
+                   op.kind == OpKind::TxCommit ||
+                   op.kind == OpKind::TxAbort;
         });
     if (persist) {
         os << "pm::PersistDomain dom;\n";
@@ -409,6 +557,27 @@ reproducerSnippet(const Schedule &s, const std::string &scheme,
             break;
           case OpKind::Sweep:
             os << "rt.onSweep(/* next boundary */);\n";
+            break;
+          case OpKind::TxBegin:
+            os << "rt.tx()->begin(t" << op.tid << ", " << op.tid
+               << ", {" << op.pmo;
+            if (op.pmo2)
+               os << ", " << op.pmo2;
+            os << "}, pm::TxKind::" << (op.redo ? "Redo" : "Undo")
+               << ");\n";
+            break;
+          case OpKind::TxWrite:
+            os << "rt.tx()->write(t" << op.tid << ", " << op.tid
+               << ", pm::Oid(" << op.pmo << ", " << op.offset
+               << "), /* value */ 0);\n";
+            break;
+          case OpKind::TxCommit:
+            os << "rt.tx()->commit(t" << op.tid << ", " << op.tid
+               << ");\n";
+            break;
+          case OpKind::TxAbort:
+            os << "rt.tx()->abort(t" << op.tid << ", " << op.tid
+               << ");\n";
             break;
         }
     }

@@ -46,6 +46,10 @@ enum class OpKind
     Sweep,       //!< force the next sweeper boundary to fire now
     TxPut,       //!< undo-log txn: begin, `accesses` writes, commit
     CrashRecover, //!< modeled power failure + restart + recovery
+    TxBegin,     //!< TxManager begin (outermost or nested level)
+    TxWrite,     //!< TxManager transactional store
+    TxCommit,    //!< TxManager commit (durable iff outermost)
+    TxAbort,     //!< TxManager abort (poisons the whole txn)
 };
 
 const char *opKindName(OpKind k);
@@ -62,6 +66,8 @@ struct Op
                               //!< (0 = every write hits one word)
     Cycles work = 0;          //!< Work amount
     unsigned accesses = 0;    //!< Guarded/TxPut: accesses / writes
+    pm::PmoId pmo2 = 0;       //!< TxBegin: second lock (0 = none)
+    bool redo = false;        //!< TxBegin: redo-log transaction
 };
 
 struct Schedule
@@ -93,6 +99,13 @@ struct GenParams
      * byte-identical schedules.
      */
     bool persistOps = false;
+    /**
+     * Mix TxManager transactions into the schedule: nested
+     * begin/commit, aborts, cross-thread lock conflicts, undo and
+     * redo variants, and crash/recover at transaction-idle points.
+     * Off by default (same seed-stability rule as persistOps).
+     */
+    bool txnOps = false;
 };
 
 /** Deterministically generate a schedule for @p cfg from @p seed. */

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "pm/persist.hh"
+#include "pm/tx_manager.hh"
 
 namespace terp {
 namespace core {
@@ -55,6 +56,14 @@ Runtime::~Runtime()
         mach.setTraceSink(nullptr);
         pm_.setTraceSink(nullptr);
     }
+}
+
+void
+Runtime::attachPersistence(pm::PersistDomain *domain)
+{
+    dom = domain;
+    txm = domain ? std::make_unique<pm::TxManager>(*domain)
+                 : nullptr;
 }
 
 Runtime::MapState &
@@ -754,6 +763,26 @@ Runtime::publishMetrics()
         reg->counter("pm.undo_log_entries").inc(logEntries);
         reg->counter("pm.rollbacks").inc(rollbacks);
         reg->counter("pm.entries_rolled_back").inc(rolledBack);
+        std::uint64_t redoBytes = 0, redoEntries = 0;
+        std::uint64_t rollFwd = 0, applied = 0;
+        for (const auto &[pmo, log] : dom->redoLogs()) {
+            (void)pmo;
+            redoBytes += log->bytesLogged();
+            redoEntries += log->entriesLogged();
+            rollFwd += log->rollForwards();
+            applied += log->entriesApplied();
+        }
+        reg->counter("pm.redo_log_bytes").inc(redoBytes);
+        reg->counter("pm.redo_log_entries").inc(redoEntries);
+        reg->counter("pm.roll_forwards").inc(rollFwd);
+        reg->counter("pm.entries_rolled_forward").inc(applied);
+    }
+    if (txm) {
+        reg->counter("pm.txn_begins").inc(txm->outermostBegins());
+        reg->counter("pm.txn_nested_begins").inc(txm->nestedBegins());
+        reg->counter("pm.txn_busy").inc(txm->busyRejections());
+        reg->counter("pm.txn_commits").inc(txm->durableCommits());
+        reg->counter("pm.txn_aborts").inc(txm->aborts());
     }
 
     // Simulator shape.
@@ -828,6 +857,8 @@ Runtime::crash(Cycles at)
             mach.wake(t.blockToken(), at);
     }
 
+    if (txm)
+        txm->onCrash();
     if (dom)
         dom->crash();
 }
@@ -838,20 +869,21 @@ Runtime::recover(sim::ThreadContext &tc)
     TERP_ASSERT(dom,
                 "recover() without an attached persistence domain");
     unsigned recovered = 0;
-    for (const auto &[pmo, log] : dom->logs()) {
-        if (!log->recoveryPending())
-            continue;
+    // One PMO's replay under the scheme's protection discipline:
+    // attach (full Table II cost), run the log's recovery, release
+    // through the CONDDT path so the sweeper closes the recovery
+    // window like any other.
+    auto replay = [&](pm::PmoId pmo, auto &log) {
         if (cfg.scheme == Scheme::Unprotected) {
-            std::uint64_t rolledBack = log->recover(tc);
-            emit(tc, trace::EventKind::Recover, pmo, rolledBack);
-            ++recovered;
-            continue;
+            std::uint64_t n = log.recover(tc);
+            emit(tc, trace::EventKind::Recover, pmo, n);
+            return;
         }
         if (cfg.windowCombining)
             cb.condAttach(pmo, tc.now());
         doRealAttach(tc, pmo, pm::Mode::ReadWrite);
-        std::uint64_t rolledBack = log->recover(tc);
-        emit(tc, trace::EventKind::Recover, pmo, rolledBack);
+        std::uint64_t n = log.recover(tc);
+        emit(tc, trace::EventKind::Recover, pmo, n);
         if (cfg.windowCombining) {
             // Release through the CONDDT path: the rollback was
             // almost certainly shorter than the window target, so
@@ -863,6 +895,19 @@ Runtime::recover(sim::ThreadContext &tc)
                 doRealDetach(tc, pmo);
             }
         }
+    };
+    for (const auto &[pmo, log] : dom->logs()) {
+        if (!log->recoveryPending())
+            continue;
+        replay(pmo, *log);
+        ++recovered;
+    }
+    // Redo logs roll forward: a durable commit record means the
+    // transaction committed and only the in-place apply may be torn.
+    for (const auto &[pmo, log] : dom->redoLogs()) {
+        if (!log->recoveryPending())
+            continue;
+        replay(pmo, *log);
         ++recovered;
     }
     return recovered;

@@ -37,6 +37,7 @@
 namespace terp {
 namespace pm {
 class PersistDomain;
+class TxManager;
 } // namespace pm
 namespace core {
 
@@ -149,10 +150,16 @@ class Runtime
 
     /**
      * Register the persistence domain crash()/recover() operate on.
-     * The domain is owned by the caller and must outlive the runtime.
+     * The domain is owned by the caller and must outlive the
+     * runtime. Also instantiates the domain's pm::TxManager, so
+     * attaching persistence is all it takes for threads (and
+     * terp-serve sessions) to issue multi-op transactions via tx().
      */
-    void attachPersistence(pm::PersistDomain *domain) { dom = domain; }
+    void attachPersistence(pm::PersistDomain *domain);
     pm::PersistDomain *persistence() { return dom; }
+
+    /** The transaction manager; null until attachPersistence(). */
+    pm::TxManager *tx() { return txm.get(); }
 
     /**
      * Modeled power failure at time @p at (use the max thread clock
@@ -174,8 +181,10 @@ class Runtime
      * in-flight transaction is attached (full Table II cost), rolled
      * back, and left for the scheme's normal idle path — the
      * EW-conscious sweeper — to close, so recovery exposure obeys
-     * the same window target as any other. Returns the number of
-     * PMOs rolled back.
+     * the same window target as any other. PMOs whose redo log holds
+     * a durable commit record are rolled *forward* the same way (the
+     * commit landed; only the in-place apply may be torn). Returns
+     * the number of PMOs recovered.
      */
     unsigned recover(sim::ThreadContext &tc);
 
@@ -234,6 +243,7 @@ class Runtime
     semantics::EwTracker ew;
     std::shared_ptr<trace::TraceSink> sink; //!< null = tracing off
     pm::PersistDomain *dom = nullptr; //!< null = no crash/recovery
+    std::unique_ptr<pm::TxManager> txm; //!< created with dom
 
     /**
      * Metrics registry and cached hot-path instruments (null when

@@ -214,6 +214,31 @@ UndoLog::commit(sim::ThreadContext &tc)
     writeSet.clear();
 }
 
+void
+UndoLog::abort(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(active, "UndoLog: abort outside a transaction");
+    // Restore from the volatile image of the log, newest entry
+    // first. Dedupe means each location appears once, holding the
+    // value it had *before the first write* of the transaction —
+    // exactly what abort must bring back. The stores are plain and
+    // unconditional: the restored values equal the durable ones
+    // (data write-backs only happen at commit), and skipping
+    // already-equal locations would make the charge data-dependent.
+    for (std::uint64_t i = entries; i-- > 0;) {
+        Oid target = Oid::fromRaw(ctl.load(entryOid(i, 0)));
+        ctl.store(target, ctl.load(entryOid(i, 1)));
+    }
+    // Durably invalidate the log: nothing in flight any more.
+    ctl.noteBoundary(PersistBoundary::LogHeader);
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+    ++nAborts;
+    active = false;
+    entries = 0;
+    writeSet.clear();
+}
+
 std::uint64_t
 UndoLog::recover(sim::ThreadContext &tc)
 {
@@ -262,6 +287,162 @@ UndoLog::abortVolatile()
     writeSet.clear();
 }
 
+// ---------------------------------------------------------- RedoLog
+
+RedoLog::RedoLog(PersistController &pc, PmoId pmo_,
+                 std::uint64_t log_off)
+    : ctl(pc), pmo(pmo_), logOff(log_off)
+{
+}
+
+void
+RedoLog::begin(sim::ThreadContext &tc)
+{
+    (void)tc;
+    TERP_ASSERT(!active, "RedoLog: nested transaction");
+    // The durable header is already 0 (construction or the last
+    // retire): a crash from here simply discards the transaction.
+    // No persist traffic, no charge — redo defers all durability
+    // cost to commit.
+    active = true;
+    buf.clear();
+}
+
+void
+RedoLog::write(sim::ThreadContext &tc, Oid oid, std::uint64_t value)
+{
+    TERP_ASSERT(active, "RedoLog: write outside a transaction");
+    // One record per location: a repeated store updates the value
+    // word in place (the header counts entries, and rollforward
+    // applies records in order, so a stale duplicate would be
+    // harmless but would waste log space and commit drain).
+    for (std::uint64_t i = 0; i < buf.size(); ++i) {
+        if (buf[i].first == oid.raw) {
+            buf[i].second = value;
+            ctl.persistentStore(tc, entryOid(i, 1), value);
+            return;
+        }
+    }
+    std::uint64_t i = buf.size();
+    ctl.persistentStore(tc, entryOid(i, 0), oid.raw);
+    ctl.persistentStore(tc, entryOid(i, 1), value);
+    buf.emplace_back(oid.raw, value);
+    ++nEntriesLogged;
+    nBytesLogged += 16;
+}
+
+bool
+RedoLog::lookup(Oid oid, std::uint64_t &value) const
+{
+    if (!active)
+        return false;
+    for (const auto &[raw, val] : buf) {
+        if (raw == oid.raw) {
+            value = val;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+RedoLog::commit(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(active, "RedoLog: commit outside a transaction");
+    if (buf.empty()) {
+        // Nothing written: no records to drain, nothing to apply,
+        // and the durable header never left 0.
+        active = false;
+        return;
+    }
+    // 1. Drain the buffered redo records durable.
+    ctl.sfence(tc);
+    // 2. Durable commit record — THE durable point. A crash before
+    //    this fence discards the transaction; after it, recovery
+    //    rolls forward.
+    ctl.noteBoundary(PersistBoundary::LogHeader);
+    ctl.persistentStore(tc, headerOid(), buf.size());
+    ctl.sfence(tc);
+    // 3. Apply in place and write back each distinct data line.
+    std::vector<std::uint64_t> lines;
+    for (const auto &[raw, val] : buf) {
+        ctl.store(Oid::fromRaw(raw), val);
+        std::uint64_t line = lineKeyOf(raw);
+        if (std::find(lines.begin(), lines.end(), line) ==
+            lines.end()) {
+            lines.push_back(line);
+        }
+    }
+    for (std::uint64_t line : lines)
+        ctl.clwb(tc, Oid::fromRaw(line));
+    ctl.sfence(tc);
+    // 4. Retire the log durably.
+    ctl.noteBoundary(PersistBoundary::LogHeader);
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+    active = false;
+    buf.clear();
+}
+
+void
+RedoLog::abort(sim::ThreadContext &tc)
+{
+    TERP_ASSERT(active, "RedoLog: abort outside a transaction");
+    // The data image was never touched; only the log region may owe
+    // the controller write-backs. One fence retires them so later
+    // fences don't pay for this transaction's garbage records. The
+    // rule is structural — fence iff any record was written — never
+    // value-dependent.
+    if (!buf.empty())
+        ctl.sfence(tc);
+    ++nAborts;
+    active = false;
+    buf.clear();
+}
+
+std::uint64_t
+RedoLog::recover(sim::ThreadContext &tc)
+{
+    abortVolatile();
+    std::uint64_t valid = ctl.persistedLoad(headerOid());
+    if (valid == 0)
+        return 0; // no durable commit record: nothing to apply
+    ++nRollForwards;
+    nEntriesApplied += valid;
+    // Roll forward from the durable log, in order. Idempotent: a
+    // location the torn apply already persisted is skipped (same
+    // compare as UndoLog::recover — recovery may re-run after its
+    // own crash).
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        Oid target =
+            Oid::fromRaw(ctl.persistedLoad(entryOid(i, 0)));
+        std::uint64_t val = ctl.persistedLoad(entryOid(i, 1));
+        if (ctl.persistedLoad(target) == val &&
+            ctl.load(target) == val) {
+            continue;
+        }
+        ctl.persistentStore(tc, target, val);
+    }
+    ctl.sfence(tc);
+    ctl.noteBoundary(PersistBoundary::LogHeader);
+    ctl.persistentStore(tc, headerOid(), 0);
+    ctl.sfence(tc);
+    return valid;
+}
+
+bool
+RedoLog::recoveryPending() const
+{
+    return ctl.persistedLoad(headerOid()) != 0;
+}
+
+void
+RedoLog::abortVolatile()
+{
+    active = false;
+    buf.clear();
+}
+
 // ---------------------------------------------------- PersistDomain
 
 UndoLog &
@@ -283,11 +464,34 @@ PersistDomain::findLog(PmoId pmo)
     return it == logs_.end() ? nullptr : it->second.get();
 }
 
+RedoLog &
+PersistDomain::openRedoLog(PmoId pmo, std::uint64_t log_off)
+{
+    auto it = redoLogs_.find(pmo);
+    if (it != redoLogs_.end())
+        return *it->second;
+    auto [pos, inserted] = redoLogs_.emplace(
+        pmo, std::make_unique<RedoLog>(ctl, pmo, log_off));
+    (void)inserted;
+    return *pos->second;
+}
+
+RedoLog *
+PersistDomain::findRedoLog(PmoId pmo)
+{
+    auto it = redoLogs_.find(pmo);
+    return it == redoLogs_.end() ? nullptr : it->second.get();
+}
+
 void
 PersistDomain::crash()
 {
     ctl.crash();
     for (auto &[pmo, log] : logs_) {
+        (void)pmo;
+        log->abortVolatile();
+    }
+    for (auto &[pmo, log] : redoLogs_) {
         (void)pmo;
         log->abortVolatile();
     }

@@ -185,6 +185,18 @@ class UndoLog
     void commit(sim::ThreadContext &tc);
 
     /**
+     * Abort: restore every logged location to its logged (oldest)
+     * value in the volatile image, then durably invalidate the log.
+     * The durable data was never touched — data write-backs happen
+     * only at commit — so the restores are plain stores; the restored
+     * values already equal the durable ones and no write-back is
+     * owed. The restores are unconditional (no compare-and-skip):
+     * abort cost must be a function of the write-set shape only,
+     * never of the data values, so the spec oracle can predict it.
+     */
+    void abort(sim::ThreadContext &tc);
+
+    /**
      * After a crash: undo any uncommitted transaction. Returns the
      * number of durable log entries examined (0 = log was clean).
      */
@@ -223,6 +235,8 @@ class UndoLog
     {
         return nEntriesRolledBack;
     }
+    /** Explicit abort() calls (not crashes). */
+    std::uint64_t aborts() const { return nAborts; }
 
   private:
     PersistController &ctl;
@@ -234,6 +248,7 @@ class UndoLog
     std::uint64_t nEntriesLogged = 0;
     std::uint64_t nRollbacks = 0;
     std::uint64_t nEntriesRolledBack = 0;
+    std::uint64_t nAborts = 0;
     /**
      * DRAM-side write-set of the open transaction: the raw Oid of
      * every *distinct* logged location, in log order. write()
@@ -243,6 +258,109 @@ class UndoLog
      * through volatile loads.
      */
     std::vector<std::uint64_t> writeSet;
+
+    Oid headerOid() const { return Oid(pmo, logOff); }
+    Oid entryOid(std::uint64_t i, unsigned word) const
+    {
+        return Oid(pmo, logOff + 64 + i * 16 + word * 8);
+    }
+};
+
+/**
+ * A redo log: new values are buffered in the log region and applied
+ * to the data in place only after a durable commit record lands.
+ *
+ * Protocol (mirrors the undo log's layout: header word at logOff =
+ * count of committed entries, 0 = clean; entries are (address raw,
+ * new value) pairs at logOff + 64 + i*16):
+ *
+ *  - begin: volatile arming only — no persist traffic, the durable
+ *    header is already 0 from construction/last retire.
+ *  - write: append (or update in place) a redo record and CLWB it;
+ *    no fence. The data image — volatile or durable — is untouched,
+ *    so an abort is nearly free and a crash discards the
+ *    transaction (durable header still 0).
+ *  - commit: SFENCE (drain the records durable), persist header = n
+ *    and fence — THE durable point — then apply the buffered values
+ *    to the data in place, write back each distinct data line, fence,
+ *    and durably retire the header to 0.
+ *  - recover: header != 0 means the commit record landed but the
+ *    in-place apply may be torn; roll *forward* (idempotent) and
+ *    retire the header.
+ *
+ * Compared to undo: writes cost one unfenced CLWB instead of two
+ *  fenced persists (cheap speculation), commit pays the deferred
+ * drain of every record plus the data write-back (expensive durable
+ * point), and until commit the transaction reads its own writes out
+ * of the DRAM-side buffer, not the data image.
+ */
+class RedoLog
+{
+  public:
+    RedoLog(PersistController &pc, PmoId pmo,
+            std::uint64_t log_off);
+
+    /** Begin a transaction (must not be nested). Zero charge. */
+    void begin(sim::ThreadContext &tc);
+
+    /** Buffer a transactional store (record persisted, unfenced). */
+    void write(sim::ThreadContext &tc, Oid oid, std::uint64_t value);
+
+    /**
+     * Read-your-writes lookup: true and sets @p value if @p oid was
+     * written by the open transaction (the data image still holds
+     * the pre-transaction value until commit).
+     */
+    bool lookup(Oid oid, std::uint64_t &value) const;
+
+    /** Commit: durable commit record, then in-place apply. */
+    void commit(sim::ThreadContext &tc);
+
+    /**
+     * Abort: discard the buffered write-set. The data was never
+     * touched; one fence retires the records' pending write-backs
+     * (when any were issued) so the log region owes the controller
+     * nothing afterwards.
+     */
+    void abort(sim::ThreadContext &tc);
+
+    /**
+     * After a crash: if a durable commit record is present, roll the
+     * transaction *forward* (the apply may have torn) and retire the
+     * log. Returns the number of durable entries applied (0 = clean:
+     * an uncommitted redo transaction simply evaporates).
+     */
+    std::uint64_t recover(sim::ThreadContext &tc);
+
+    /** Does the durable image hold a committed-but-unapplied log? */
+    bool recoveryPending() const;
+
+    bool inTransaction() const { return active; }
+    PmoId pmoId() const { return pmo; }
+
+    /** Power failure: drop the DRAM-side write-set. */
+    void abortVolatile();
+
+    // Lifetime totals, as for UndoLog.
+    std::uint64_t bytesLogged() const { return nBytesLogged; }
+    std::uint64_t entriesLogged() const { return nEntriesLogged; }
+    /** recover() calls that found a commit record to roll forward. */
+    std::uint64_t rollForwards() const { return nRollForwards; }
+    std::uint64_t entriesApplied() const { return nEntriesApplied; }
+    std::uint64_t aborts() const { return nAborts; }
+
+  private:
+    PersistController &ctl;
+    PmoId pmo;
+    std::uint64_t logOff;
+    bool active = false;
+    //! (raw Oid, new value) in log order; one slot per location.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buf;
+    std::uint64_t nBytesLogged = 0;
+    std::uint64_t nEntriesLogged = 0;
+    std::uint64_t nRollForwards = 0;
+    std::uint64_t nEntriesApplied = 0;
+    std::uint64_t nAborts = 0;
 
     Oid headerOid() const { return Oid(pmo, logOff); }
     Oid entryOid(std::uint64_t i, unsigned word) const
@@ -280,6 +398,21 @@ class PersistDomain
     }
 
     /**
+     * The redo log of @p pmo, created on first use with its log
+     * region at @p log_off (must not overlap the undo region).
+     */
+    RedoLog &openRedoLog(PmoId pmo, std::uint64_t log_off);
+
+    /** The registered redo log of @p pmo, or null. */
+    RedoLog *findRedoLog(PmoId pmo);
+
+    /** Registered redo logs, ascending PmoId. */
+    const std::map<PmoId, std::unique_ptr<RedoLog>> &redoLogs() const
+    {
+        return redoLogs_;
+    }
+
+    /**
      * Modeled power failure over the whole domain: volatile images
      * and every log's DRAM-side write-set are lost; durable state
      * (including in-flight log records) survives for recovery.
@@ -289,6 +422,7 @@ class PersistDomain
   private:
     PersistController ctl;
     std::map<PmoId, std::unique_ptr<UndoLog>> logs_;
+    std::map<PmoId, std::unique_ptr<RedoLog>> redoLogs_;
 };
 
 } // namespace pm

@@ -122,6 +122,18 @@ struct ServeConfig
     /** Attach a persistence domain (undo logs) to each shard. */
     bool persistence = false;
 
+    /**
+     * Transactional writes per request: when nonzero (and
+     * persistence is on), every request ends with one multi-op
+     * TxManager transaction on its tenant PMO — this many 8-byte
+     * writes committed as a single durable point, alternating
+     * seeded between the undo and redo log variants. A request
+     * whose begin loses the per-PMO lock race to a concurrent
+     * worker skips its transaction; the rejection is observable as
+     * pm.txn_busy in the merged metrics.
+     */
+    unsigned txnWrites = 0;
+
     /** Total tenant PMOs across the fleet. */
     std::uint64_t
     totalPmos() const

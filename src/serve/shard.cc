@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "pm/tx_manager.hh"
 
 namespace terp {
 namespace serve {
@@ -169,6 +170,31 @@ ServeShard::stepWorker(Worker &w)
         return;
       }
       case Phase::End: {
+        // The request's durable transaction, inside the protection
+        // bookends: a multi-op TxManager commit on the tenant PMO.
+        // Busy means another worker's transaction holds this tenant
+        // right now — the request completes without one (counted in
+        // pm.txn_busy), it does not wait.
+        if (cfg.txnWrites > 0 && dom.persistence()) {
+            pm::TxManager &txm = *rt.tx();
+            bool redo = w.ops.nextBool(0.5);
+            if (txm.begin(tc, w.tid, {w.localPmo},
+                          redo ? pm::TxKind::Redo
+                               : pm::TxKind::Undo)) {
+                std::uint64_t span = cfg.pmoSize - 64;
+                for (unsigned j = 0; j < cfg.txnWrites; ++j) {
+                    std::uint64_t off =
+                        w.ops.nextBelow(span) & ~std::uint64_t{7};
+                    std::uint64_t val =
+                        (static_cast<std::uint64_t>(w.req.session)
+                         << 16) |
+                        j;
+                    txm.write(tc, w.tid, pm::Oid(w.localPmo, off),
+                              val);
+                }
+                txm.commit(tc, w.tid);
+            }
+        }
         rt.regionEnd(tc, w.localPmo);
         rt.manualEnd(tc, w.localPmo);
         if (!manualHeld.empty()) {

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the bench history sink (bench/history.jsonl): the record
+ * must stay valid JSON under a comma-decimal process locale (the
+ * %.2f locale bug), string fields must be escaped, the v2 schema
+ * carries the per-tool metric label, and gitRev() is cached and
+ * falls back cleanly outside a git checkout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "history.hh"
+
+using namespace terp;
+
+namespace {
+
+/** Read the whole file; empty string if unreadable. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+/** A scratch path under the build tree; removed on destruction. */
+struct TmpFile
+{
+    std::string path;
+
+    explicit TmpFile(const char *name)
+        : path(std::string("history_test_") + name + ".jsonl")
+    {
+        std::remove(path.c_str());
+    }
+    ~TmpFile() { std::remove(path.c_str()); }
+};
+
+/**
+ * Switch to a locale whose decimal separator is ','. Returns false
+ * (test skips) when the container has no such locale installed.
+ */
+bool
+commaLocale()
+{
+    for (const char *name :
+         {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR", "nl_NL"}) {
+        if (std::setlocale(LC_ALL, name)) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%.1f", 1.5);
+            if (std::string(buf) == "1,5")
+                return true;
+        }
+    }
+    std::setlocale(LC_ALL, "C");
+    return false;
+}
+
+struct LocaleGuard
+{
+    ~LocaleGuard() { std::setlocale(LC_ALL, "C"); }
+};
+
+} // namespace
+
+TEST(History, RecordIsV2WithMetricLabel)
+{
+    TmpFile tmp("v2");
+    bench::HistoryRecord rec;
+    rec.tool = "terp-serve";
+    rec.metric = "req_per_s";
+    rec.simsPerS = 1234.567; // rounds to 1234.57
+    rec.p99EwCycles = 42;
+    rec.p99LatencyCycles = 7;
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+
+    std::string line = slurp(tmp.path);
+    EXPECT_NE(line.find("\"v\": 2"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"tool\": \"terp-serve\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"metric\": \"req_per_s\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"sims_per_s\": 1234.57"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"p99_ew_cycles\": 42"), std::string::npos);
+}
+
+TEST(History, AppendsDoNotRewrite)
+{
+    TmpFile tmp("append");
+    bench::HistoryRecord rec;
+    rec.tool = "terp-bench";
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+    std::string all = slurp(tmp.path);
+    std::size_t lines = 0;
+    for (char c : all)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(History, EscapesStringsIntoValidJson)
+{
+    TmpFile tmp("escape");
+    bench::HistoryRecord rec;
+    rec.tool = "evil\"tool\\with\nnewline";
+    rec.metric = "ctl\x01";
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+    std::string line = slurp(tmp.path);
+    EXPECT_NE(line.find("evil\\\"tool\\\\with\\nnewline"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("ctl\\u0001"), std::string::npos) << line;
+    // No raw control characters survive inside the line.
+    for (char c : line) {
+        if (c != '\n') {
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+        }
+    }
+}
+
+TEST(History, ThroughputStaysDotDecimalUnderCommaLocale)
+{
+    // Regression: %.2f follows the process locale, so a comma-
+    // decimal locale used to emit `"sims_per_s": 1234,57` —
+    // invalid JSON that silently corrupted the history log.
+    LocaleGuard guard;
+    if (!commaLocale())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    TmpFile tmp("locale");
+    bench::HistoryRecord rec;
+    rec.tool = "terp-bench";
+    rec.simsPerS = 98765.432; // rounds to 98765.43
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+
+    std::string line = slurp(tmp.path);
+    EXPECT_NE(line.find("\"sims_per_s\": 98765.43"),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("98765,43"), std::string::npos) << line;
+}
+
+TEST(History, NonFiniteThroughputRendersAsZero)
+{
+    TmpFile tmp("nan");
+    bench::HistoryRecord rec;
+    rec.tool = "terp-bench";
+    rec.simsPerS = 0.0 / 0.0; // NaN: "not measured"
+    ASSERT_TRUE(bench::appendHistory(tmp.path, rec));
+    EXPECT_NE(slurp(tmp.path).find("\"sims_per_s\": 0.00"),
+              std::string::npos);
+}
+
+TEST(History, GitRevIsCachedAndSane)
+{
+    std::string first = bench::gitRev();
+    EXPECT_FALSE(first.empty());
+    // "unknown" fallback or a short hex revision — never raw popen
+    // noise with trailing newlines.
+    EXPECT_EQ(first.find('\n'), std::string::npos);
+    if (first != "unknown") {
+        for (char c : first)
+            EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+                << first;
+    }
+    EXPECT_EQ(bench::gitRev(), first) << "per-process cache";
+}
+
+TEST(History, UnwritablePathReportsFailure)
+{
+    bench::HistoryRecord rec;
+    rec.tool = "terp-bench";
+    EXPECT_FALSE(
+        bench::appendHistory("/nonexistent-dir/history.jsonl", rec));
+}

@@ -433,3 +433,35 @@ TEST(ServeReport, DeterministicAndCoversShards)
     EXPECT_EQ(rep, serve::postureReport(res));
 }
 
+
+// ------------------------------------------------------------ txns
+
+TEST(ServeTxn, DurableTransactionsPerRequestAreObservable)
+{
+    serve::ServeConfig cfg = tinyConfig();
+    cfg.txnWrites = 3;
+    cfg.persistence = true;
+    serve::FleetResult a = serve::runFleet(cfg, 1);
+    ASSERT_NE(a.fleet, nullptr);
+    const metrics::Counter *commits =
+        a.fleet->findCounter("pm.txn_commits");
+    ASSERT_NE(commits, nullptr) << "no pm.txn_commits counter";
+    EXPECT_GT(commits->value(), 0u)
+        << "every completed request ends in a durable commit";
+
+    // The worker-count invariance contract holds with the
+    // transactional tail enabled too.
+    serve::FleetResult b = serve::runFleet(cfg, 3);
+    EXPECT_EQ(serve::postureReport(a), serve::postureReport(b));
+}
+
+TEST(ServeTxn, OffByDefault)
+{
+    serve::ServeConfig cfg = tinyConfig();
+    ASSERT_EQ(cfg.txnWrites, 0u);
+    serve::FleetResult res = serve::runFleet(cfg, 1);
+    ASSERT_NE(res.fleet, nullptr);
+    const metrics::Counter *begins =
+        res.fleet->findCounter("pm.txn_begins");
+    EXPECT_TRUE(begins == nullptr || begins->value() == 0u);
+}

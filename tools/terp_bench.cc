@@ -269,6 +269,7 @@ main(int argc, char **argv)
     if (!historyPath.empty()) {
         bench::HistoryRecord rec;
         rec.tool = "terp-bench";
+        rec.metric = "sims_per_s";
         rec.simsPerS = totalS > 0 ? total.sims / totalS : 0.0;
         rec.p99EwCycles = aggregateEwP99();
         if (!bench::appendHistory(historyPath, rec)) {

@@ -13,7 +13,8 @@
  *
  * Options:
  *   --scheme S      all (default) or one of: mm tm tt ttnc basic
- *   --workload W    all (default) or one of: bank hashmap schedule
+ *   --workload W    all (default) or one of: bank hashmap txnest
+ *                   txpair schedule
  *   --seed N        first seed (default 0)
  *   --seeds N       seeds per cell (default 1; schedule workloads
  *                   generate a fresh schedule per seed)
@@ -44,7 +45,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: terp-crash [--scheme all|mm|tm|tt|ttnc|basic]\n"
-        "                  [--workload all|bank|hashmap|schedule]\n"
+        "                  [--workload all|bank|hashmap|txnest|\n"
+        "                   txpair|schedule]\n"
         "                  [--seed N] [--seeds N] [--txns N]\n"
         "                  [--events N] [--ew US] [--json]\n");
     return 2;
@@ -112,7 +114,8 @@ main(int argc, char **argv)
                         : std::vector<std::string>{scheme};
     std::vector<std::string> workloads =
         workload == "all"
-            ? std::vector<std::string>{"bank", "hashmap", "schedule"}
+            ? std::vector<std::string>{"bank", "hashmap", "txnest",
+                                     "txpair", "schedule"}
             : std::vector<std::string>{workload};
 
     std::uint64_t firstSeed = opt.seed;

@@ -23,6 +23,10 @@
  *   --ew US         EW target in microseconds (default 5; floor 5)
  *   --crash         mix undo-log transactions and crash/recover
  *                   steps into the schedules
+ *   --txn           mix TxManager transactions into the schedules:
+ *                   nested begin/commit, aborts, cross-thread lock
+ *                   conflicts, undo and redo variants, checked in
+ *                   lockstep against the transaction spec oracle
  *   --shrink        minimize divergent schedules (greedy deletion)
  *   --no-shrink     report the raw divergent schedule
  *
@@ -49,7 +53,7 @@ usage()
                  " [--seeds N]\n"
                  "                 [--first-seed N] [--events N] "
                  "[--threads N] [--pmos N]\n"
-                 "                 [--ew US] [--crash] "
+                 "                 [--ew US] [--crash] [--txn] "
                  "[--shrink|--no-shrink]\n");
     return 2;
 }
@@ -102,6 +106,8 @@ main(int argc, char **argv)
             ewUs = std::strtod(val().c_str(), nullptr);
         } else if (a == "--crash") {
             opt.gen.persistOps = true;
+        } else if (a == "--txn") {
+            opt.gen.txnOps = true;
         } else if (a == "--shrink") {
             opt.shrink = true;
         } else if (a == "--no-shrink") {

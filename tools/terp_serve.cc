@@ -35,6 +35,10 @@
  *   --scheme=NAME        tt | tm | mm | ttnc | basic | unprotected
  *                        (default tt)
  *   --slow=FRAC          slow-client fraction (default 0.02)
+ *   --txn-writes=N       end every request with one durable
+ *                        TxManager transaction of N writes on its
+ *                        tenant PMO (enables persistence; default 0
+ *                        = no transactions)
  *   --queue-cap=Q        bounded per-shard queue (default 64)
  *   --out=FILE           JSON results (default SERVE_terp.json)
  *   --golden=FILE        fail (exit 1) if the report differs
@@ -71,6 +75,7 @@ usage()
         " [--workers=N]\n"
         "                  [--sessions=C] [--requests=R]"
         " [--scheme=NAME] [--slow=FRAC]\n"
+        "                  [--txn-writes=N]\n"
         "                  [--queue-cap=Q] [--out=FILE]"
         " [--golden=FILE]\n"
         "                  [--write-golden=FILE]"
@@ -147,6 +152,11 @@ main(int argc, char **argv)
             }
         } else if (a.rfind("--slow=", 0) == 0) {
             cfg.slowFraction = std::atof(a.c_str() + 7);
+        } else if (a.rfind("--txn-writes=", 0) == 0) {
+            cfg.txnWrites =
+                static_cast<unsigned>(std::atol(a.c_str() + 13));
+            if (cfg.txnWrites > 0)
+                cfg.persistence = true;
         } else if (a.rfind("--queue-cap=", 0) == 0) {
             long v = std::atol(a.c_str() + 12);
             if (v < 1)
@@ -218,6 +228,7 @@ main(int argc, char **argv)
     if (!historyPath.empty()) {
         bench::HistoryRecord rec;
         rec.tool = "terp-serve";
+        rec.metric = "req_per_s"; // completed requests, not sims
         std::uint64_t done = 0;
         for (const auto &s : res.shards)
             done += s.completed;
