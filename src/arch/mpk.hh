@@ -71,6 +71,20 @@ class ThreadDomains
         return n;
     }
 
+    /**
+     * Thread @p tid's dense rights row, indexed by PmoId (its size
+     * may trail the highest PmoId ever granted; missing slots mean
+     * Mode::None). Lets bulk walks (crash revocation) scan the
+     * vector directly instead of paying a bounds-checked modeOf()
+     * per (tid, pmo) pair.
+     */
+    const std::vector<pm::Mode> &
+    row(unsigned tid) const
+    {
+        static const std::vector<pm::Mode> empty;
+        return tid < perms.size() ? perms[tid] : empty;
+    }
+
     /** Drop all rights on a PMO for every thread (full detach). */
     void
     revokeAll(pm::PmoId pmo)

@@ -1,9 +1,139 @@
 #include "compiler/interp.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace terp {
 namespace compiler {
+
+namespace {
+
+/** Env flag: unset/empty -> @p dflt; "0" -> false; anything else on. */
+bool
+envFlag(const char *name, bool dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return !(v[0] == '0' && v[1] == '\0');
+}
+
+/** Opcode universe of the pair profiler (real ops + opAddRun). */
+constexpr unsigned kPairOps = static_cast<unsigned>(Op::Nop) + 2;
+
+/**
+ * TERP_FUSE_PROFILE=1: dynamic adjacent-opcode-pair histogram — the
+ * measurement behind the superinstruction selection (DESIGN.md §14).
+ * Every dispatched instruction with a predecessor in the same decoded
+ * block counts the (predecessor, self) pair; totals aggregate over
+ * all interpreters of the process and dump to stderr at exit.
+ * Profiling forces fusion off so the counts describe the unfused
+ * instruction stream.
+ */
+struct PairProfile
+{
+    std::atomic<std::uint64_t> count[kPairOps][kPairOps] = {};
+
+    ~PairProfile()
+    {
+        struct Row
+        {
+            std::uint64_t n;
+            unsigned a, b;
+        };
+        std::vector<Row> rows;
+        std::uint64_t total = 0;
+        for (unsigned a = 0; a < kPairOps; ++a) {
+            for (unsigned b = 0; b < kPairOps; ++b) {
+                std::uint64_t n =
+                    count[a][b].load(std::memory_order_relaxed);
+                if (n) {
+                    rows.push_back({n, a, b});
+                    total += n;
+                }
+            }
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const Row &x, const Row &y) { return x.n > y.n; });
+        auto name = [](unsigned o) {
+            return o < static_cast<unsigned>(Op::Nop) + 1
+                       ? opName(static_cast<Op>(o))
+                       : "AddRun";
+        };
+        std::fprintf(stderr,
+                     "TERP_FUSE_PROFILE: %llu adjacent pairs\n",
+                     static_cast<unsigned long long>(total));
+        for (std::size_t i = 0; i < rows.size() && i < 24; ++i) {
+            std::fprintf(
+                stderr, "  %12llu  %5.2f%%  %s,%s\n",
+                static_cast<unsigned long long>(rows[i].n),
+                100.0 * static_cast<double>(rows[i].n) /
+                    static_cast<double>(total ? total : 1),
+                name(rows[i].a), name(rows[i].b));
+        }
+    }
+};
+
+PairProfile &
+pairProfile()
+{
+    static PairProfile p;
+    return p;
+}
+
+bool
+pairProfileEnabled()
+{
+    static const bool on = envFlag("TERP_FUSE_PROFILE", false);
+    return on;
+}
+
+void
+notePair(Op a, Op b)
+{
+    pairProfile()
+        .count[static_cast<unsigned>(a)][static_cast<unsigned>(b)]
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * TERP_FUSE=0 keeps the unfused interpreter alive for differential
+ * testing (and is implied by profiling, whose histogram must
+ * describe the unfused stream). Decode-time only: existing decoded
+ * images are unaffected by later env changes.
+ */
+bool
+fusionEnabled()
+{
+    // Re-read per call (decode-time only, so this is cold): the
+    // differential tests flip TERP_FUSE between in-process runs.
+    return envFlag("TERP_FUSE", true) && !pairProfileEnabled();
+}
+
+} // namespace
+
+const char *
+Interpreter::fusionKindName(unsigned k)
+{
+    static const char *const names[kFusionKinds] = {
+        "addrun",  "addr4",   "incjump",  "constmul", "muladd",
+        "constadd", "addload", "addstore", "dramadd",  "cmpltbranch",
+    };
+    return k < kFusionKinds ? names[k] : "?";
+}
+
+std::uint64_t
+Interpreter::fusedDispatches() const
+{
+    std::uint64_t n = 0;
+    for (unsigned k = 0; k < kFusionKinds; ++k)
+        n += fuseHits[k];
+    return n;
+}
 
 Interpreter::Interpreter(const Module &m, core::Runtime &rt_,
                          sim::Machine &mach_, MemoryImage &mem_,
@@ -101,9 +231,13 @@ Interpreter::decodeFunction(std::uint32_t i)
         }
 
         // Run-length-fuse self-add busy work (see opAddRun): mark
-        // the head of each run of identical `add d, d, d` with the
-        // pseudo-op and the run length. Runs never cross a block
-        // boundary (blocks end in a terminator, which is not an Add).
+        // each run of identical `add d, d, d`. Runs never cross a
+        // block boundary (blocks end in a terminator, which is not
+        // an Add). With fusion on, every member becomes a resume
+        // head carrying the remaining run length, so a quantum
+        // boundary mid-run costs one extra dispatch instead of one
+        // per remaining add.
+        const bool fuseOn = fusionEnabled();
         const std::size_t start = df.blocks.back().first;
         const std::size_t end = df.code.size();
         for (std::size_t a = start; a < end;) {
@@ -118,10 +252,81 @@ Interpreter::decodeFunction(std::uint32_t i)
                    df.code[b].ra == h.dst && df.code[b].rb == h.dst)
                 ++b;
             if (b - a > 1) {
-                df.code[a].op = opAddRun;
-                df.code[a].aux = static_cast<std::int64_t>(b - a);
+                if (fuseOn) {
+                    ++fuseSites;
+                    for (std::size_t p = a; p < b; ++p) {
+                        df.code[p].op = opAddRun;
+                        df.code[p].aux =
+                            static_cast<std::int64_t>(b - p);
+                    }
+                } else {
+                    df.code[a].op = opAddRun;
+                    df.code[a].aux = static_cast<std::int64_t>(b - a);
+                }
             }
             a = b;
+        }
+
+        // Superinstruction peephole (DESIGN.md §14): rewrite the head
+        // of each matched sequence to its fused opcode; constituents
+        // stay in place, keyed by their original opcodes, as resume
+        // targets. Rules are tried longest-first so the 4-wide
+        // address-compute chain beats its constituent pairs. Matching
+        // is on opcodes alone — the fused handlers replicate the
+        // constituent semantics from the constituents' own operand
+        // fields, so no data-flow precondition is required.
+        if (fuseOn) {
+            struct FuseRule
+            {
+                Op fused;
+                unsigned len;
+                Op seq[4];
+            };
+            static const FuseRule rules[] = {
+                {opFuseAddr4, 4,
+                 {Op::PmoBase, Op::Const, Op::Mul, Op::Add}},
+                {opFuseIncJump, 3,
+                 {Op::Const, Op::Add, Op::Jump, Op::Nop}},
+                {opFuseConstMul, 2,
+                 {Op::Const, Op::Mul, Op::Nop, Op::Nop}},
+                {opFuseMulAdd, 2,
+                 {Op::Mul, Op::Add, Op::Nop, Op::Nop}},
+                {opFuseConstAdd, 2,
+                 {Op::Const, Op::Add, Op::Nop, Op::Nop}},
+                {opFuseAddLoad, 2,
+                 {Op::Add, Op::Load, Op::Nop, Op::Nop}},
+                {opFuseAddStore, 2,
+                 {Op::Add, Op::Store, Op::Nop, Op::Nop}},
+                {opFuseDramAdd, 2,
+                 {Op::DramBase, Op::Add, Op::Nop, Op::Nop}},
+                {opFuseCmpltBr, 2,
+                 {Op::CmpLt, Op::Branch, Op::Nop, Op::Nop}},
+            };
+            for (std::size_t a = start; a < end;) {
+                const FuseRule *hit = nullptr;
+                for (const FuseRule &r : rules) {
+                    if (a + r.len > end)
+                        continue;
+                    bool m = true;
+                    for (unsigned i = 0; i < r.len; ++i) {
+                        if (df.code[a + i].op != r.seq[i]) {
+                            m = false;
+                            break;
+                        }
+                    }
+                    if (m) {
+                        hit = &r;
+                        break;
+                    }
+                }
+                if (hit) {
+                    ++fuseSites;
+                    df.code[a].op = hit->fused;
+                    a += hit->len;
+                } else {
+                    ++a;
+                }
+            }
         }
     }
 }
@@ -224,11 +429,29 @@ Interpreter::step(sim::ThreadContext &tc)
     const DInstr *code = frp->code;
     std::uint64_t *regs = frp->regs.data();
     const DInstr *inp = nullptr;
+    const bool prof = pairProfileEnabled();
 
 #define TERP_RELOAD()                                                  \
     do {                                                               \
         code = frp->code;                                              \
         regs = frp->regs.data();                                       \
+    } while (0)
+
+    // Advance to the next constituent inside a fused handler. Mirrors
+    // one TERP_NEXT + dispatch preamble: step the pc, and if the
+    // quantum is exhausted exit through quantum_end — idx then points
+    // at the next, not-yet-executed constituent, whose slot still
+    // carries its *original* opcode, so the resumed step() re-enters
+    // the sequence mid-way with exactly the unfused semantics. The
+    // budget increment mirrors the one TERP_DISPATCH charges per
+    // instruction.
+#define TERP_FUSE_STEP()                                               \
+    do {                                                               \
+        ++idx;                                                         \
+        ++inp;                                                         \
+        if (budget == quantum)                                         \
+            goto quantum_end;                                          \
+        ++budget;                                                      \
     } while (0)
 
 #if defined(__GNUC__)
@@ -247,9 +470,12 @@ Interpreter::step(sim::ThreadContext &tc)
         &&op_DramBase, &&op_Jump, &&op_Branch, &&op_Ret, &&op_Call,
         &&op_CondAttach, &&op_CondDetach, &&op_ManualAttach,
         &&op_ManualDetach, &&op_Nop, &&op_AddRun,
+        &&op_FuseAddr4, &&op_FuseIncJump, &&op_FuseConstMul,
+        &&op_FuseMulAdd, &&op_FuseConstAdd, &&op_FuseAddLoad,
+        &&op_FuseAddStore, &&op_FuseDramAdd, &&op_FuseCmpltBr,
     };
     static_assert(sizeof(jt) / sizeof(jt[0]) ==
-                      static_cast<unsigned>(opAddRun) + 1,
+                      static_cast<unsigned>(opFuseCmpltBr) + 1,
                   "jump table must cover every opcode");
 
 #define TERP_CASE(name) op_##name:
@@ -259,6 +485,8 @@ Interpreter::step(sim::ThreadContext &tc)
             goto quantum_end;                                          \
         ++budget;                                                      \
         inp = &code[idx];                                              \
+        if (__builtin_expect(prof, 0) && idx != 0)                     \
+            notePair(code[idx - 1].op, inp->op);                       \
         goto *jt[static_cast<unsigned>(inp->op)];                      \
     } while (0)
 #define TERP_NEXT()                                                    \
@@ -282,6 +510,8 @@ Interpreter::step(sim::ThreadContext &tc)
             goto quantum_end;
         ++budget;
         inp = &code[idx];
+        if (prof && idx != 0)
+            notePair(code[idx - 1].op, inp->op);
         switch (inp->op) {
 #endif
 
@@ -533,6 +763,173 @@ Interpreter::step(sim::ThreadContext &tc)
         pending += t;
         budget += t - 1;
         idx += t;
+        ++fuseHits[0];
+        TERP_DISPATCH();
+    }
+
+    // ---- fused superinstructions (DESIGN.md §14) --------------------
+    // Each handler is the literal concatenation of its constituent
+    // handler bodies with TERP_FUSE_STEP() between them: identical
+    // register writes, identical `pending` charges, identical flush
+    // points, identical quantum/fault behaviour — only the dispatch
+    // overhead between constituents is gone.
+#if defined(__GNUC__)
+    op_FuseAddr4: // PmoBase; Const; Mul; Add (pmoAddr chain)
+#else
+          case opFuseAddr4:
+#endif
+    {
+        ++fuseHits[1];
+        regs[inp->dst] =
+            pm::Oid(inp->ra,
+                    static_cast<std::uint64_t>(inp->aux)).raw;
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] * regs[inp->rb];
+        pending += 3;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseIncJump: // Const; Add; Jump (loop latch)
+#else
+          case opFuseIncJump:
+#endif
+    {
+        ++fuseHits[2];
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_FUSE_STEP();
+        frp->block = static_cast<BlockId>(inp->aux);
+        idx = 0;
+        bindBlock(*frp);
+        TERP_RELOAD();
+        pending += 1;
+        TERP_DISPATCH();
+    }
+#if defined(__GNUC__)
+    op_FuseConstMul:
+#else
+          case opFuseConstMul:
+#endif
+    {
+        ++fuseHits[3];
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] * regs[inp->rb];
+        pending += 3;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseMulAdd:
+#else
+          case opFuseMulAdd:
+#endif
+    {
+        ++fuseHits[4];
+        regs[inp->dst] = regs[inp->ra] * regs[inp->rb];
+        pending += 3;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseConstAdd:
+#else
+          case opFuseConstAdd:
+#endif
+    {
+        ++fuseHits[5];
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseAddLoad:
+#else
+          case opFuseAddLoad:
+#endif
+    {
+        ++fuseHits[6];
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_FUSE_STEP();
+        {
+            std::uint64_t addr = regs[inp->ra];
+            TERP_FLUSH();
+            bool ok = memAccess(tc, addr, false);
+            regs[inp->dst] = ok ? mem->peek(storageKey(addr)) : 0;
+            pending += 1;
+        }
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseAddStore:
+#else
+          case opFuseAddStore:
+#endif
+    {
+        ++fuseHits[7];
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_FUSE_STEP();
+        {
+            std::uint64_t addr = regs[inp->ra];
+            TERP_FLUSH();
+            bool ok = memAccess(tc, addr, true);
+            if (ok)
+                mem->poke(storageKey(addr), regs[inp->rb]);
+            pending += 1;
+        }
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseDramAdd:
+#else
+          case opFuseDramAdd:
+#endif
+    {
+        ++fuseHits[8];
+        regs[inp->dst] = static_cast<std::uint64_t>(inp->aux);
+        pending += 1;
+        TERP_FUSE_STEP();
+        regs[inp->dst] = regs[inp->ra] + regs[inp->rb];
+        pending += 1;
+        TERP_NEXT();
+    }
+#if defined(__GNUC__)
+    op_FuseCmpltBr: // CmpLt; Branch (loop header)
+#else
+          case opFuseCmpltBr:
+#endif
+    {
+        ++fuseHits[9];
+        regs[inp->dst] = regs[inp->ra] < regs[inp->rb];
+        pending += 1;
+        TERP_FUSE_STEP();
+        {
+            const auto packed = static_cast<std::uint64_t>(inp->aux);
+            frp->block = regs[inp->ra]
+                             ? static_cast<BlockId>(packed)
+                             : static_cast<BlockId>(packed >> 32);
+        }
+        idx = 0;
+        bindBlock(*frp);
+        TERP_RELOAD();
+        pending += 1;
         TERP_DISPATCH();
     }
 
@@ -551,6 +948,7 @@ quantum_end:
 
 #undef TERP_FLUSH
 #undef TERP_RELOAD
+#undef TERP_FUSE_STEP
 #undef TERP_CASE
 #undef TERP_DISPATCH
 #undef TERP_NEXT

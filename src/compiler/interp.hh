@@ -68,6 +68,29 @@ class Interpreter : public sim::Job
     /** Faults observed (well-formed programs should have none). */
     std::uint64_t faultCount() const { return nFaults; }
 
+    // ---- fusion effectiveness (host-side diagnostics) ---------------
+
+    /** Fusion kinds the decoder can emit (add-run + peepholes). */
+    static constexpr unsigned kFusionKinds = 10;
+
+    /** Short label of fusion kind @p k (e.g. "addr4", "addrun"). */
+    static const char *fusionKindName(unsigned k);
+
+    /** Dispatches that entered the fused handler of kind @p k. */
+    std::uint64_t fusedDispatches(unsigned k) const
+    {
+        return fuseHits[k];
+    }
+
+    /** Total fused dispatches across all kinds. */
+    std::uint64_t fusedDispatches() const;
+
+    /**
+     * Decode-time sites matched by a fusion rule (counted only when
+     * fusion is enabled; each run of self-adds counts once).
+     */
+    std::uint64_t fusionCandidates() const { return fuseSites; }
+
   private:
     /**
      * A decoded instruction: the hot subset of Instr packed into 32
@@ -91,17 +114,53 @@ class Interpreter : public sim::Job
     };
 
     /**
-     * Interpreter-private pseudo-op marking the head of a run of k
-     * identical self-adds (add d, d, d — the shape
-     * FunctionBuilder::compute emits for busy work). k self-adds
-     * double d k times, i.e. d <<= k (0 once k reaches 64), with the
-     * same per-instruction charge sum, so the run executes in O(1)
-     * instead of k dispatches. The k-1 trailing adds stay in the
-     * decoded stream unchanged, keeping every mid-run resume point
-     * (quantum boundary) addressable; `aux` holds k.
+     * Interpreter-private pseudo-op marking a run of k identical
+     * self-adds (add d, d, d — the shape FunctionBuilder::compute
+     * emits for busy work). k self-adds double d k times, i.e.
+     * d <<= k (0 once k reaches 64), with the same per-instruction
+     * charge sum, so the run executes in O(1) instead of k
+     * dispatches. With fusion enabled (TERP_FUSE!=0) *every* member
+     * of the run carries the pseudo-op with `aux` = the run length
+     * remaining from that member, so a quantum boundary that splits
+     * a run resumes into another O(1) dispatch instead of decaying
+     * to one-add-per-dispatch for the rest of the run (the dominant
+     * pair in the TERP_FUSE_PROFILE histogram — 89% of dispatches —
+     * was exactly that decay). Under TERP_FUSE=0 only the head is
+     * rewritten, which is the pre-fusion behaviour.
      */
     static constexpr Op opAddRun =
         static_cast<Op>(static_cast<unsigned>(Op::Nop) + 1);
+
+    /**
+     * Fused superinstructions: decode-time peephole rewrites of the
+     * dominant adjacent opcode sequences of the SPEC surrogates,
+     * selected from the TERP_FUSE_PROFILE pair histogram (DESIGN.md
+     * §14). Only the head of a matched sequence is rewritten; the
+     * constituents keep their original opcodes, so every mid-sequence
+     * resume point (quantum boundary, fault) stays addressable and
+     * the fused handler falls back to them by committing idx at the
+     * split. Each fused handler replays the constituent handlers
+     * verbatim — same register writes, same `pending` charges, same
+     * flush points — so cycle accounting is bit-identical.
+     */
+    static constexpr Op opFuseAddr4 = // PmoBase; Const; Mul; Add
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 2);
+    static constexpr Op opFuseIncJump = // Const; Add; Jump (latch)
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 3);
+    static constexpr Op opFuseConstMul =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 4);
+    static constexpr Op opFuseMulAdd =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 5);
+    static constexpr Op opFuseConstAdd =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 6);
+    static constexpr Op opFuseAddLoad =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 7);
+    static constexpr Op opFuseAddStore =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 8);
+    static constexpr Op opFuseDramAdd =
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 9);
+    static constexpr Op opFuseCmpltBr = // CmpLt; Branch (loop header)
+        static_cast<Op>(static_cast<unsigned>(Op::Nop) + 10);
 
     /**
      * One function, decoded: all blocks concatenated. Frames carry
@@ -154,6 +213,8 @@ class Interpreter : public sim::Job
     std::uint64_t retValue = 0;
     std::uint64_t nExec = 0;
     std::uint64_t nFaults = 0;
+    std::uint64_t fuseHits[kFusionKinds] = {};
+    std::uint64_t fuseSites = 0;
 
     /** Timed + checked access; false if it faulted (trapFaults). */
     bool memAccess(sim::ThreadContext &tc, std::uint64_t addr,

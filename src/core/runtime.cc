@@ -9,6 +9,26 @@
 namespace terp {
 namespace core {
 
+namespace {
+
+/** Index of the lowest set bit; @p v must be non-zero. */
+inline unsigned
+countTrailingZeros(std::uint64_t v)
+{
+#if defined(__GNUC__)
+    return static_cast<unsigned>(__builtin_ctzll(v));
+#else
+    unsigned n = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace
+
 const char *
 accessOutcomeName(AccessOutcome o)
 {
@@ -38,6 +58,7 @@ Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
         mSweepTicks = &reg->counter("sweeper.ticks");
         mSweepForceDetach = &reg->counter("sweeper.force_detach");
         mSweepRandomize = &reg->counter("sweeper.randomize");
+        mSweepPmoScans = &reg->counter("host.sweep_pmo_scans");
         mSweepTickNs = &reg->histogram("host.sweep_tick_ns");
         if (cfg.windowCombining)
             mCbOccupancy = &reg->gauge("cb.occupancy");
@@ -69,8 +90,10 @@ Runtime::attachPersistence(pm::PersistDomain *domain)
 Runtime::MapState &
 Runtime::mapState(pm::PmoId pmo)
 {
-    if (pmo >= maps.size())
+    if (pmo >= maps.size()) {
         maps.resize(pmo + 1);
+        mappedBits.resize((maps.size() + 63) / 64, 0);
+    }
     return maps[pmo];
 }
 
@@ -125,6 +148,8 @@ Runtime::doRealAttach(sim::ThreadContext &tc, pm::PmoId pmo,
     m.mapped = true;
     m.lastRealAttach = tc.now();
     m.grantedMode = mode;
+    ++m.gen;
+    setMappedBit(pmo, true);
 }
 
 void
@@ -153,7 +178,10 @@ Runtime::doRealDetachAt(sim::ThreadContext *tc, pm::PmoId pmo,
         emit(*tc, trace::EventKind::RealDetach, pmo, ch.oldBase);
     else
         emitSweeper(trace::EventKind::RealDetach, at, pmo, ch.oldBase);
-    mapState(pmo).mapped = false;
+    auto &m = mapState(pmo);
+    m.mapped = false;
+    ++m.gen;
+    setMappedBit(pmo, false);
 }
 
 void
@@ -637,7 +665,9 @@ Runtime::onSweep(Cycles now)
                 doRandomize(a.pmo, now);
                 ew.processClose(a.pmo, now);
                 ew.processOpen(a.pmo, now);
-                mapState(a.pmo).lastRealAttach = now;
+                auto &m = mapState(a.pmo);
+                m.lastRealAttach = now;
+                ++m.gen;
             }
         }
         if (mCbOccupancy)
@@ -648,34 +678,52 @@ Runtime::onSweep(Cycles now)
     // MERR-architecture schemes: software timer applying the
     // EW-conscious closing rule — when the window target elapsed,
     // fully detach an idle PMO, or re-randomize one still in use so
-    // a location never outlives the window.
-    for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
-        MapState &m = maps[pmo];
-        if (!m.mapped || now < m.lastRealAttach + cfg.ewTarget)
-            continue;
-        if (m.holders == 0) {
-            if (mSweepForceDetach)
-                mSweepForceDetach->inc();
-            // Idle and expired: full detach, regardless of who
-            // inserted the protection points. The old Insertion::Auto
-            // qualifier here left a manually-bookended PMO that went
-            // idle (e.g. one re-attached by crash recovery) mapped —
-            // and re-randomized on every sweep — forever.
-            emitSweeper(trace::EventKind::DelayedDetach, now, pmo);
-            sim::ThreadContext *tc = minClockThread();
-            if (tc) {
-                tc->syncTo(now, sim::Charge::Other);
-                doRealDetach(*tc, pmo);
-            } else {
-                doRealDetachAt(nullptr, pmo, now);
+    // a location never outlives the window. The walk visits only
+    // mapped PMOs (dense bit index, ascending — same visit order as
+    // the full vector walk it replaced) and re-derives each PMO's EW
+    // deadline only when its generation moved since the last scan,
+    // so a tick over an idle fleet is O(mapped) cached compares.
+    for (std::size_t w = 0; w < mappedBits.size(); ++w) {
+        std::uint64_t bits = mappedBits[w];
+        while (bits) {
+            const auto pmo = static_cast<pm::PmoId>(
+                (w << 6) + countTrailingZeros(bits));
+            bits &= bits - 1;
+            MapState &m = maps[pmo];
+            if (mSweepPmoScans)
+                mSweepPmoScans->inc();
+            if (m.scanGen != m.gen) {
+                m.sweepDeadline = m.lastRealAttach + cfg.ewTarget;
+                m.scanGen = m.gen;
             }
-        } else {
-            if (mSweepRandomize)
-                mSweepRandomize->inc();
-            doRandomize(pmo, now);
-            ew.processClose(pmo, now);
-            ew.processOpen(pmo, now);
-            m.lastRealAttach = now;
+            if (now < m.sweepDeadline)
+                continue;
+            if (m.holders == 0) {
+                if (mSweepForceDetach)
+                    mSweepForceDetach->inc();
+                // Idle and expired: full detach, regardless of who
+                // inserted the protection points. The old
+                // Insertion::Auto qualifier here left a
+                // manually-bookended PMO that went idle (e.g. one
+                // re-attached by crash recovery) mapped — and
+                // re-randomized on every sweep — forever.
+                emitSweeper(trace::EventKind::DelayedDetach, now, pmo);
+                sim::ThreadContext *tc = minClockThread();
+                if (tc) {
+                    tc->syncTo(now, sim::Charge::Other);
+                    doRealDetach(*tc, pmo);
+                } else {
+                    doRealDetachAt(nullptr, pmo, now);
+                }
+            } else {
+                if (mSweepRandomize)
+                    mSweepRandomize->inc();
+                doRandomize(pmo, now);
+                ew.processClose(pmo, now);
+                ew.processOpen(pmo, now);
+                m.lastRealAttach = now;
+                ++m.gen;
+            }
         }
     }
 }
@@ -805,8 +853,13 @@ Runtime::crash(Cycles at)
     // failure); such a window closes with zero length rather than
     // rewinding the tracker's clock.
     for (unsigned tid = 0; tid < mach.threadCount(); ++tid) {
-        for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
-            if (!domains.holds(tid, pmo))
+        // Scan the thread's dense rights row directly; same (tid,
+        // pmo) visit order as the bounds-checked holds() walk.
+        const auto &row = domains.row(tid);
+        const auto nPmo = static_cast<pm::PmoId>(
+            std::min<std::size_t>(row.size(), maps.size()));
+        for (pm::PmoId pmo = 0; pmo < nPmo; ++pmo) {
+            if (row[pmo] == pm::Mode::None)
                 continue;
             domains.revoke(tid, pmo);
             Cycles tClose =
@@ -820,10 +873,16 @@ Runtime::crash(Cycles at)
     }
 
     // Address-space mappings, the permission matrix, and the
-    // circular buffer are volatile too.
-    for (pm::PmoId pmo = 0; pmo < maps.size(); ++pmo) {
-        MapState &m = maps[pmo];
-        if (m.mapped) {
+    // circular buffer are volatile too. Only mapped PMOs (dense bit
+    // index, ascending order as before) have windows to close; the
+    // wholesale reset below restores every entry — mapped or not —
+    // to the default state the old full-vector walk left behind.
+    for (std::size_t w = 0; w < mappedBits.size(); ++w) {
+        std::uint64_t bits = mappedBits[w];
+        while (bits) {
+            const auto pmo = static_cast<pm::PmoId>(
+                (w << 6) + countTrailingZeros(bits));
+            bits &= bits - 1;
             std::uint64_t base = pm_.pmo(pmo).vaddrBase();
             matrix.remove(pmo);
             if (ew.processWindowOpen(pmo)) {
@@ -841,8 +900,9 @@ Runtime::crash(Cycles at)
                            base);
             }
         }
-        m = MapState{};
     }
+    maps.assign(maps.size(), MapState{});
+    std::fill(mappedBits.begin(), mappedBits.end(), 0);
     for (pm::PmoId pmo : cb.residentPmos())
         cb.evict(pmo);
     regionDepth.clear();

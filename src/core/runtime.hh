@@ -256,6 +256,13 @@ class Runtime
     metrics::Counter *mSweepTicks = nullptr;
     metrics::Counter *mSweepForceDetach = nullptr;
     metrics::Counter *mSweepRandomize = nullptr;
+    /**
+     * Mapped PMOs examined by MERR sweeper ticks. host.* namespace:
+     * it measures simulator work (the O(active) tick guarantee the
+     * scan-count test asserts), not simulated behaviour, and host
+     * instruments stay out of the posture goldens.
+     */
+    metrics::Counter *mSweepPmoScans = nullptr;
     metrics::Gauge *mCbOccupancy = nullptr;
     metrics::LogHistogram *mSweepTickNs = nullptr;
     std::unique_ptr<metrics::Sampler> sampler;
@@ -293,6 +300,18 @@ class Runtime
         unsigned holders = 0; //!< threads inside regions (TM/ablation)
         unsigned ownerTid = 0; //!< basic-semantics exclusive owner
         pm::Mode grantedMode = pm::Mode::None;
+        /**
+         * Generation counter, bumped on every sweeper-relevant
+         * mutation (attach, detach, window reopen — i.e. every write
+         * of `mapped` or `lastRealAttach`). The sweeper caches the
+         * EW deadline below and revalidates it only when the
+         * generation moved, so a tick over a PMO untouched since the
+         * last scan is a single cached compare. gen starts ahead of
+         * scanGen so the first scan always refreshes.
+         */
+        std::uint32_t gen = 1;
+        std::uint32_t scanGen = 0;
+        Cycles sweepDeadline = 0; //!< lastRealAttach + ewTarget
     };
     /**
      * Indexed by PmoId (small sequential ints); a default-initialized
@@ -302,6 +321,22 @@ class Runtime
      */
     std::vector<MapState> maps;
     MapState &mapState(pm::PmoId pmo);
+
+    /**
+     * Dense active-set index over `maps`: bit pmo is set iff
+     * maps[pmo].mapped. The sweeper and crash paths iterate set bits
+     * (ascending, so visit order matches the plain vector walk), so
+     * an idle fleet tick is O(mapped PMOs) rather than O(all PMOs
+     * ever seen). Grown in lockstep with `maps` by mapState().
+     */
+    std::vector<std::uint64_t> mappedBits;
+    void
+    setMappedBit(pm::PmoId pmo, bool on)
+    {
+        std::uint64_t &w = mappedBits[pmo >> 6];
+        const std::uint64_t bit = 1ULL << (pmo & 63);
+        w = on ? (w | bit) : (w & ~bit);
+    }
 
     /**
      * Per-thread region nesting depth, dense [tid][pmo]. Dynamic

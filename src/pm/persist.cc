@@ -70,7 +70,7 @@ PersistController::store(Oid oid, std::uint64_t value)
 {
     noteBoundary(PersistBoundary::Store);
     vol.poke(oid.raw, value);
-    dirty[lineKeyOf(oid.raw)][oid.raw] = value;
+    dirty.upsert(lineKeyOf(oid.raw), oid.raw, value);
 }
 
 std::uint64_t
@@ -91,13 +91,8 @@ PersistController::clwb(sim::ThreadContext &tc, Oid oid)
     noteBoundary(PersistBoundary::Clwb);
     tc.work(clwbCost);
     ++nClwb;
-    auto it = dirty.find(lineKeyOf(oid.raw));
-    if (it == dirty.end())
-        return; // line already clean
-    auto &dst = pending[it->first];
-    for (const auto &[addr, val] : it->second)
-        dst[addr] = val;
-    dirty.erase(it);
+    // No-op when the line is already clean.
+    dirty.moveLine(lineKeyOf(oid.raw), pending);
 }
 
 void
@@ -107,11 +102,10 @@ PersistController::sfence(sim::ThreadContext &tc)
     ++nFence;
     tc.work(drainCostPerLine *
             static_cast<Cycles>(pending.size()));
-    for (const auto &[line, words] : pending) {
-        (void)line;
-        for (const auto &[addr, val] : words)
+    pending.forEachWord(
+        [this](std::uint64_t addr, std::uint64_t val) {
             dur.poke(addr, val);
-    }
+        });
     pending.clear();
 }
 

@@ -72,6 +72,200 @@ class PowerFailure : public std::runtime_error
 };
 
 /**
+ * Per-line word sets for the persist queues (dirty, pending),
+ * replacing the nested std::map<line, std::map<addr, val>> whose
+ * double red-black walk plus node allocation dominated the store
+ * fast path. Layout mirrors MemImage's open addressing: a pow-2
+ * hash index of line keys probed linearly, pointing into a dense
+ * bucket vector iterated in insertion order. A 64-byte line holds at
+ * most 8 aligned words, so each bucket keeps 8 (addr, value) slots
+ * inline; unaligned word keys (more than 8 distinct addrs per line)
+ * spill to a per-bucket vector that stays empty in practice.
+ *
+ * Observational equivalence with the nested map: size() is the
+ * distinct-line count (the fence charge operand), upsert keeps one
+ * slot per distinct addr (last value wins), and every effect
+ * downstream of iteration — dur.poke per (addr, value), merging a
+ * line into the other queue — is commutative over distinct addrs, so
+ * insertion-order iteration is indistinguishable from key order.
+ */
+class LineTable
+{
+  public:
+    LineTable() { index.assign(kMinCap, empty); }
+
+    /** Distinct lines held (the SFENCE drain-charge operand). */
+    std::size_t size() const { return buckets.size(); }
+
+    /** Insert or overwrite one word of @p line. */
+    void
+    upsert(std::uint64_t line, std::uint64_t addr, std::uint64_t value)
+    {
+        Bucket &b = bucketFor(line);
+        for (unsigned i = 0; i < b.n; ++i) {
+            if (b.addr[i] == addr) {
+                b.val[i] = value;
+                return;
+            }
+        }
+        if (b.n < kInline) {
+            b.addr[b.n] = addr;
+            b.val[b.n] = value;
+            ++b.n;
+            return;
+        }
+        for (auto &sp : b.spill) {
+            if (sp.first == addr) {
+                sp.second = value;
+                return;
+            }
+        }
+        b.spill.emplace_back(addr, value);
+    }
+
+    /**
+     * Merge every word of @p line into @p dst and drop the line from
+     * this table (the CLWB dirty -> pending hand-off). No-op when
+     * the line is absent.
+     */
+    void
+    moveLine(std::uint64_t line, LineTable &dst)
+    {
+        const std::size_t slot = findSlot(line);
+        if (index[slot] == empty || index[slot] == dead)
+            return;
+        const std::uint32_t pos = index[slot];
+        {
+            Bucket &b = buckets[pos];
+            for (unsigned i = 0; i < b.n; ++i)
+                dst.upsert(line, b.addr[i], b.val[i]);
+            for (const auto &sp : b.spill)
+                dst.upsert(line, sp.first, sp.second);
+        }
+        // Swap-pop the bucket and repoint the moved bucket's index.
+        index[slot] = dead;
+        if (pos != buckets.size() - 1) {
+            buckets[pos] = std::move(buckets.back());
+            index[findSlot(buckets[pos].line)] = pos;
+        }
+        buckets.pop_back();
+    }
+
+    /** Visit every (addr, value) word, in line insertion order. */
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        for (const Bucket &b : buckets) {
+            for (unsigned i = 0; i < b.n; ++i)
+                fn(b.addr[i], b.val[i]);
+            for (const auto &sp : b.spill)
+                fn(sp.first, sp.second);
+        }
+    }
+
+    void
+    clear()
+    {
+        buckets.clear();
+        index.assign(kMinCap, empty);
+    }
+
+  private:
+    static constexpr unsigned kInline = 8;
+    static constexpr std::size_t kMinCap = 64;
+    static constexpr std::uint32_t empty = 0xffffffffu;
+    static constexpr std::uint32_t dead = 0xfffffffeu;
+
+    struct Bucket
+    {
+        std::uint64_t line = 0;
+        std::uint8_t n = 0;
+        std::uint64_t addr[kInline];
+        std::uint64_t val[kInline];
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> spill;
+    };
+
+    /** MemImage's finalizer-style scramble of the line key. */
+    static std::size_t
+    mix(std::uint64_t k)
+    {
+        k ^= k >> 33;
+        k *= 0xff51afd7ed558ccdULL;
+        k ^= k >> 33;
+        k *= 0xc4ceb9fe1a85ec53ULL;
+        k ^= k >> 33;
+        return static_cast<std::size_t>(k);
+    }
+
+    /**
+     * Probe for @p line: returns the slot holding it, or the first
+     * reusable (empty/dead) slot of its probe chain.
+     */
+    std::size_t
+    findSlot(std::uint64_t line) const
+    {
+        const std::size_t mask = index.size() - 1;
+        std::size_t slot = mix(line) & mask;
+        std::size_t firstFree = index.size(); // none yet
+        for (;;) {
+            const std::uint32_t v = index[slot];
+            if (v == empty)
+                return firstFree != index.size() ? firstFree : slot;
+            if (v == dead) {
+                if (firstFree == index.size())
+                    firstFree = slot;
+            } else if (buckets[v].line == line) {
+                return slot;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    Bucket &
+    bucketFor(std::uint64_t line)
+    {
+        std::size_t slot = findSlot(line);
+        std::uint32_t v = index[slot];
+        if (v != empty && v != dead)
+            return buckets[v];
+        // Grow when live + tombstones pass 0.7 load (rehash drops the
+        // tombstones), then re-probe for the fresh slot.
+        if ((used + 1) * 10 > index.size() * 7) {
+            rehash(index.size() * 2);
+            slot = findSlot(line);
+            v = empty;
+        }
+        if (v == empty)
+            ++used;
+        Bucket b;
+        b.line = line;
+        buckets.push_back(std::move(b));
+        index[slot] =
+            static_cast<std::uint32_t>(buckets.size() - 1);
+        return buckets.back();
+    }
+
+    void
+    rehash(std::size_t cap)
+    {
+        index.assign(cap, empty);
+        used = buckets.size();
+        const std::size_t mask = cap - 1;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            std::size_t slot = mix(buckets[i].line) & mask;
+            while (index[slot] != empty)
+                slot = (slot + 1) & mask;
+            index[slot] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    std::vector<Bucket> buckets;       //!< dense, insertion order
+    std::vector<std::uint32_t> index;  //!< open-addressed line index
+    std::size_t used = 0; //!< occupied index slots incl. tombstones
+};
+
+/**
  * Models the volatile-cache / persistent-media boundary at
  * cache-line granularity.
  *
@@ -146,12 +340,10 @@ class PersistController
   private:
     MemImage vol;  //!< what loads see
     MemImage dur;  //!< what survives a crash
-    //! line -> words written since the last write-back of that line.
-    std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
-        dirty;
+    //! words written since the last write-back of their line.
+    LineTable dirty;
     //! write-backs issued but not yet fenced.
-    std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
-        pending;
+    LineTable pending;
     std::uint64_t nClwb = 0;
     std::uint64_t nFence = 0;
     std::uint64_t nBoundary = 0; //!< persist-boundary events seen

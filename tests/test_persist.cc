@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "arch/watch_regs.hh"
 #include "common/rng.hh"
 #include "pm/persist.hh"
@@ -28,6 +30,119 @@ makeTc()
 } // namespace
 
 // ------------------------------------------------ persist controller
+
+// ------------------------------------------------------- LineTable
+
+namespace {
+
+/** Collect a LineTable's words into a map for order-free compare. */
+std::map<std::uint64_t, std::uint64_t>
+wordsOf(const LineTable &t)
+{
+    std::map<std::uint64_t, std::uint64_t> out;
+    t.forEachWord([&](std::uint64_t addr, std::uint64_t val) {
+        out[addr] = val;
+    });
+    return out;
+}
+
+} // namespace
+
+TEST(LineTable, UpsertDedupesAddrsAndCountsLines)
+{
+    LineTable t;
+    EXPECT_EQ(t.size(), 0u);
+    t.upsert(lineKeyOf(0x100), 0x100, 1);
+    t.upsert(lineKeyOf(0x108), 0x108, 2); // same line
+    t.upsert(lineKeyOf(0x100), 0x100, 3); // overwrite, last wins
+    t.upsert(lineKeyOf(0x200), 0x200, 4); // second line
+    EXPECT_EQ(t.size(), 2u);
+    auto w = wordsOf(t);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0x100], 3u);
+    EXPECT_EQ(w[0x108], 2u);
+    EXPECT_EQ(w[0x200], 4u);
+}
+
+TEST(LineTable, FullLinePlusSpillSlots)
+{
+    // 8 aligned words fill the inline slots; further distinct addrs
+    // (unaligned keys) must spill without losing anything.
+    LineTable t;
+    const std::uint64_t line = 0x1000;
+    for (unsigned i = 0; i < 8; ++i)
+        t.upsert(line, line + 8 * i, i);
+    t.upsert(line, line + 1, 100); // spill
+    t.upsert(line, line + 2, 101); // spill
+    t.upsert(line, line + 1, 102); // overwrite inside spill
+    EXPECT_EQ(t.size(), 1u);
+    auto w = wordsOf(t);
+    ASSERT_EQ(w.size(), 10u);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(w[line + 8 * i], i);
+    EXPECT_EQ(w[line + 1], 102u);
+    EXPECT_EQ(w[line + 2], 101u);
+}
+
+TEST(LineTable, MoveLineTransfersAndRepoints)
+{
+    LineTable src, dst;
+    // Three lines; move the middle one so the swap-pop removal must
+    // repoint the index entry of the last bucket.
+    src.upsert(0x000, 0x000, 1);
+    src.upsert(0x040, 0x040, 2);
+    src.upsert(0x040, 0x048, 3);
+    src.upsert(0x080, 0x080, 4);
+    src.moveLine(0x040, dst);
+    EXPECT_EQ(src.size(), 2u);
+    EXPECT_EQ(dst.size(), 1u);
+    auto s = wordsOf(src);
+    EXPECT_EQ(s.count(0x040), 0u);
+    EXPECT_EQ(s.at(0x000), 1u);
+    EXPECT_EQ(s.at(0x080), 4u);
+    auto d = wordsOf(dst);
+    EXPECT_EQ(d.at(0x040), 2u);
+    EXPECT_EQ(d.at(0x048), 3u);
+
+    // Moving a line absent from the table is a no-op.
+    src.moveLine(0x040, dst);
+    EXPECT_EQ(src.size(), 2u);
+    EXPECT_EQ(dst.size(), 1u);
+
+    // The moved-from line can be repopulated cleanly.
+    src.upsert(0x040, 0x040, 9);
+    EXPECT_EQ(src.size(), 3u);
+    EXPECT_EQ(wordsOf(src).at(0x040), 9u);
+}
+
+TEST(LineTable, GrowthAndTombstoneChurnStayConsistent)
+{
+    // Enough lines to force several index growths, then churn
+    // (move-out = tombstone, re-insert) to exercise slot reuse and
+    // the tombstone-dropping rehash.
+    LineTable t, sink;
+    const unsigned n = 500;
+    for (unsigned i = 0; i < n; ++i)
+        t.upsert(i * 64, i * 64, i);
+    EXPECT_EQ(t.size(), n);
+    for (unsigned i = 0; i < n; i += 2)
+        t.moveLine(i * 64, sink);
+    EXPECT_EQ(t.size(), n / 2);
+    EXPECT_EQ(sink.size(), n / 2);
+    for (unsigned i = 0; i < n; i += 2)
+        t.upsert(i * 64, i * 64, i + 1000);
+    EXPECT_EQ(t.size(), n);
+    auto w = wordsOf(t);
+    ASSERT_EQ(w.size(), n);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_EQ(w[i * 64], i % 2 ? i : i + 1000) << "line " << i;
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(wordsOf(t).empty());
+    t.upsert(0x40, 0x40, 7); // usable after clear
+    EXPECT_EQ(t.size(), 1u);
+}
 
 TEST(Persist, StoreVisibleButNotDurable)
 {

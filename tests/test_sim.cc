@@ -71,6 +71,32 @@ TEST(Cache, InvalidateRangeIsSelective)
     EXPECT_TRUE(c.access(0x8000));  // untouched
 }
 
+TEST(Cache, InvalidationClearsMruHint)
+{
+    // The SoA fast path caches the last-hit (line, way). Both
+    // invalidation entry points must drop that hint (or the hint's
+    // isValid re-check must catch it): after invalidating the hinted
+    // line, the very next access to it must miss.
+    Cache c(64 * KiB, 8);
+    c.access(0x1000);
+    EXPECT_TRUE(c.access(0x1000)); // hint now points at 0x1000
+    c.invalidateRange(0x1000, 0x1040);
+    EXPECT_FALSE(c.access(0x1000))
+        << "stale MRU hint produced a hit on an invalidated line";
+
+    c.access(0x2000);
+    EXPECT_TRUE(c.access(0x2000));
+    c.invalidateAll();
+    EXPECT_FALSE(c.access(0x2000))
+        << "stale MRU hint survived invalidateAll";
+
+    // An empty-range invalidation takes the early return; the hint
+    // is still required to be consistent afterwards.
+    c.access(0x3000);
+    c.invalidateRange(0x5000, 0x5000); // hi <= lo: no-op
+    EXPECT_TRUE(c.access(0x3000));
+}
+
 TEST(Cache, RejectsBadGeometry)
 {
     // 3 sets is not a power of two.
