@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The reusable half of the crash-point machinery: a simulated
+ * process (machine + runtime + persistence domain), the committed-
+ * image ledger, and the recovery invariants —
+ *
+ *   - atomicity: the durable image equals the image after exactly
+ *     the transactions whose commit completed;
+ *   - liveness: a probe transaction commits durably after recovery;
+ *   - exposure hygiene: recovery attaches are closed by the scheme's
+ *     normal idle path within the window target and no PMO stays
+ *     mapped.
+ *
+ * Historically these lived inside check/crash.cc's anonymous
+ * namespace and were exercised once per World (single modeled crash
+ * per run). The energy-harvesting harness (src/energy) re-runs them
+ * at *every* cycle of a thousands-of-power-cycles run, so they are
+ * hoisted here, unchanged in behaviour, for both drivers to share.
+ */
+
+#ifndef TERP_CHECK_RECOVERY_ORACLE_HH
+#define TERP_CHECK_RECOVERY_ORACLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/runtime.hh"
+#include "pm/persist.hh"
+#include "pm/pmo_manager.hh"
+#include "sim/machine.hh"
+
+namespace terp {
+namespace check {
+
+/**
+ * One simulated process: machine, runtime, persistence domain. The
+ * free-running sweeper is driven through advanceSweeps() on a
+ * hook-period grid, exactly as the batch harnesses wire it.
+ */
+struct CrashWorld
+{
+    sim::Machine mach;
+    pm::PmoManager pmos;
+    core::RuntimeConfig cfg;
+    pm::PersistDomain dom;
+    std::unique_ptr<core::Runtime> rt;
+    unsigned nPmos;
+    std::uint64_t pmoBytes;
+    Cycles hookPeriod;
+    Cycles nextHook;
+
+    /**
+     * Optional per-tick gate consulted by advanceSweeps(): return
+     * false to skip that tick (the hook grid still advances). The
+     * energy harness uses this for sweeper energy budgeting — a tick
+     * the backup reserve cannot afford simply doesn't fire. Unset
+     * (the default), every tick fires, as the single-crash driver
+     * expects. drainIdleWindows() deliberately bypasses the gate:
+     * the drain is the oracle's verification instrument, not part of
+     * the modeled execution.
+     */
+    std::function<bool(Cycles)> sweepGate;
+
+    /**
+     * Create @p pmoCount PMOs of @p pmo_bytes each (named
+     * "crash-p<i>"), attach a persistence domain with an undo log at
+     * @p log_off per PMO, and spawn @p threads threads.
+     */
+    CrashWorld(const core::RuntimeConfig &config, unsigned pmoCount,
+               unsigned threads, std::uint64_t pmo_bytes,
+               std::uint64_t log_off);
+
+    /** Fire the free-running sweeper up to time @p t. */
+    void advanceSweeps(Cycles t);
+};
+
+/**
+ * One open TxManager transaction's expected post-recovery outcome.
+ *
+ * Undo transactions must recover to all-old at every crash point:
+ * recovery rolls the logged old values back. Redo transactions are
+ * *ambiguous* while their outermost commit is the next thing the
+ * workload does: the durable commit record is written mid-commit, so
+ * a crash inside commit recovers to all-old (record not yet durable)
+ * or all-new (record durable, recovery rolls forward) — but never a
+ * mix. An aborted transaction of either kind never reaches its
+ * durable point, so it pins `ambiguous` false (all-old only).
+ */
+struct TxFlight
+{
+    bool ambiguous = false;
+    std::vector<std::uint64_t> keys;              //!< raw Oids
+    std::map<std::uint64_t, std::uint64_t> newv;  //!< raw -> new val
+};
+
+/**
+ * The recovery oracle's committed-image ledger: what the durable
+ * image must look like after the transactions whose commit returned,
+ * plus the write-set of the (at most one per thread) in-flight
+ * transaction. Commit durability coincides with commit() returning:
+ * the last persist boundary inside commit is the fence that makes
+ * the header update durable, so a crash can never land after the
+ * transaction is durable but before the host-side ledger update.
+ */
+struct Ledger
+{
+    std::map<std::uint64_t, std::uint64_t> image; //!< raw Oid -> val
+    std::vector<std::uint64_t> inFlight;          //!< current txn keys
+    std::map<unsigned, TxFlight> flight;          //!< per-tid TxManager txn
+    unsigned done = 0;                            //!< commits returned
+};
+
+/**
+ * One transaction: scheme-appropriate protection bookends around
+ * begin / write* / commit. Explicit bookends only — a PowerFailure
+ * unwinding through a RegionGuard destructor would lower a region
+ * end on a dead machine.
+ */
+void runTxn(CrashWorld &w, Ledger &led, sim::ThreadContext &tc,
+            pm::PmoId pmo,
+            const std::vector<std::pair<pm::Oid, std::uint64_t>> &writes,
+            bool touchData = true);
+
+/**
+ * The atomicity oracle: every committed transaction's effects are
+ * durable, and the in-flight one (if any) left no partial effects —
+ * the durable image is exactly the image after `led.done` commits.
+ */
+void checkDurable(CrashWorld &w, const Ledger &led,
+                  std::vector<std::string> &out);
+
+/** Register tid's open transaction with the atomicity oracle. */
+void armFlight(Ledger &led, unsigned tid, bool ambiguous,
+               const std::vector<std::pair<pm::Oid, std::uint64_t>> &writes);
+
+/** Commit returned: settle tid's flight into the committed image. */
+void settleFlight(Ledger &led, unsigned tid, bool committed);
+
+/** Scheme-appropriate protection bookends for TxManager workloads. */
+void protOpen(CrashWorld &w, sim::ThreadContext &tc, pm::PmoId pmo);
+void protClose(CrashWorld &w, sim::ThreadContext &tc, pm::PmoId pmo);
+
+/**
+ * Exposure hygiene: drive the idle sweeper a full window target
+ * (plus delayed-detach grace) past every thread clock and report any
+ * PMO still mapped. @p when labels the violation message.
+ */
+void drainIdleWindows(CrashWorld &w, const char *when,
+                      std::vector<std::string> &out);
+
+/**
+ * Recovery must leave no durable in-flight undo record or
+ * committed-but-unapplied redo record behind.
+ */
+void checkLogsRetired(CrashWorld &w, std::vector<std::string> &out);
+
+/**
+ * Post-recovery liveness + exposure-hygiene checks: drain, run a
+ * probe transaction against PMO 1, re-check atomicity, drain again,
+ * finalize and audit the trace. Single-crash drivers call this once
+ * at the end of a run; multi-cycle drivers compose the pieces above
+ * instead (finalize/audit only once per world).
+ */
+void probeAndDrain(CrashWorld &w, Ledger &led,
+                   std::vector<std::string> &out);
+
+} // namespace check
+} // namespace terp
+
+#endif // TERP_CHECK_RECOVERY_ORACLE_HH

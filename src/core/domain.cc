@@ -58,5 +58,25 @@ ShardDomain::finalize()
     rt->finalize();
 }
 
+void
+ShardDomain::crash(Cycles at)
+{
+    rt->crash(at);
+}
+
+unsigned
+ShardDomain::recover(sim::ThreadContext &tc, Cycles resumeAt)
+{
+    // Grid-aligned skip keeps mixed sweepTo/runJobs drivers in step;
+    // never move the cursor backwards (a zero-length outage must not
+    // re-fire boundaries that already fired).
+    const Cycles next = (resumeAt / hookPeriod + 1) * hookPeriod;
+    if (next > nextHook)
+        nextHook = next;
+    if (tc.now() < resumeAt)
+        tc.syncTo(resumeAt, sim::Charge::Other);
+    return rt->recover(tc);
+}
+
 } // namespace core
 } // namespace terp

@@ -120,6 +120,27 @@ class ShardDomain
     /** Close still-open windows and publish final metrics. */
     void finalize();
 
+    // ---- power cycling ----------------------------------------------
+
+    /**
+     * Power-fail the shard at @p at: volatile protection state is
+     * dropped via Runtime::crash — windows closed, transactions
+     * aborted, every PMO unmapped. The sweep cursor is left alone;
+     * the outage's extent is only known at recover() time.
+     */
+    void crash(Cycles at);
+
+    /**
+     * Power restored at @p resumeAt (>= the crash instant): realign
+     * the sweep cursor to the first hook boundary after the outage —
+     * the sweep timer is hardware and the hardware was off, so
+     * boundaries inside the dark period never fired and must not be
+     * replayed as a catch-up burst — then replay every pending log
+     * on @p tc. Returns the number of logs recovered. Requires a
+     * persistence domain.
+     */
+    unsigned recover(sim::ThreadContext &tc, Cycles resumeAt);
+
   private:
     unsigned id;
     std::unique_ptr<sim::Machine> mach;

@@ -939,9 +939,33 @@ Runtime::recover(sim::ThreadContext &tc)
             emit(tc, trace::EventKind::Recover, pmo, n);
             return;
         }
-        if (cfg.windowCombining)
+        // A PMO can have both its undo and its redo log pending
+        // after one failure (independent transactions); the first
+        // replay left it mapped — its recovery window closes through
+        // the normal delayed path — so the second must reuse that
+        // window rather than re-attach over it.
+        const bool alreadyMapped = mapState(pmo).mapped;
+        if (cfg.windowCombining) {
+            // Recovery replays every pending log in one burst with
+            // no sweep ticks in between, so each replayed PMO is
+            // still delayed-resident when the next one attaches. A
+            // failure that strands more transactions than the buffer
+            // has entries would overflow it: resolve a delayed-
+            // detach victim first, exactly as the sweep would.
+            if (!cb.resident(pmo) &&
+                cb.liveEntries() == arch::CircularBuffer::capacity) {
+                for (pm::PmoId v : cb.residentPmos()) {
+                    if (cb.counter(v) == 0 && cb.delayed(v)) {
+                        cb.evict(v);
+                        doRealDetach(tc, v);
+                        break;
+                    }
+                }
+            }
             cb.condAttach(pmo, tc.now());
-        doRealAttach(tc, pmo, pm::Mode::ReadWrite);
+        }
+        if (!alreadyMapped)
+            doRealAttach(tc, pmo, pm::Mode::ReadWrite);
         std::uint64_t n = log.recover(tc);
         emit(tc, trace::EventKind::Recover, pmo, n);
         if (cfg.windowCombining) {

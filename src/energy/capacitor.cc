@@ -1,0 +1,73 @@
+#include "energy/capacitor.hh"
+
+#include "common/logging.hh"
+
+namespace terp {
+namespace energy {
+
+Capacitor::Capacitor(const CapacitorConfig &config)
+    : cfg(config), scaled(config.capacityUnits * kScale)
+{
+    TERP_ASSERT(cfg.capacityUnits > cfg.failThresholdUnits,
+                "capacitor: capacity ", cfg.capacityUnits,
+                " must exceed the fail threshold ",
+                cfg.failThresholdUnits);
+    TERP_ASSERT(cfg.harvestPerKcycle > 0,
+                "capacitor: harvest rate must be positive");
+}
+
+Cycles
+Capacitor::runway() const
+{
+    std::uint64_t net = netPerCycle();
+    if (net == 0)
+        return ~Cycles(0);
+    std::uint64_t floor = cfg.failThresholdUnits * kScale;
+    if (scaled <= floor)
+        return 0;
+    // Smallest c with scaled - c*net <= floor fails; runway is one
+    // less than that — the last cycle that still leaves margin.
+    return (scaled - floor + net - 1) / net - 1;
+}
+
+Cycles
+Capacitor::drain(Cycles cycles)
+{
+    std::uint64_t net = netPerCycle();
+    if (net == 0) {
+        // Harvest keeps up with execution: charge only accumulates
+        // (bounded by capacity); the device never browns out.
+        std::uint64_t gain =
+            (cfg.harvestPerKcycle - cfg.drainPerKcycle) * cycles;
+        std::uint64_t room = cfg.capacityUnits * kScale - scaled;
+        scaled += gain < room ? gain : room;
+        return cycles;
+    }
+    std::uint64_t floor = cfg.failThresholdUnits * kScale;
+    std::uint64_t have = scaled > floor ? scaled - floor : 0;
+    std::uint64_t toFail = (have + net - 1) / net; // cycles to cross
+    if (cycles < toFail) {
+        scaled -= cycles * net;
+        return cycles;
+    }
+    scaled -= toFail * net <= scaled ? toFail * net : scaled;
+    failed_ = true;
+    return toFail;
+}
+
+Cycles
+Capacitor::rechargeCycles() const
+{
+    std::uint64_t deficit = cfg.capacityUnits * kScale - scaled;
+    return (deficit + cfg.harvestPerKcycle - 1) / cfg.harvestPerKcycle;
+}
+
+void
+Capacitor::recharge()
+{
+    scaled = cfg.capacityUnits * kScale;
+    failed_ = false;
+}
+
+} // namespace energy
+} // namespace terp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic capacitor model for the intermittent-power regime.
+ *
+ * Energy-harvesting platforms (eh-sim/Clank-style) run off a small
+ * storage capacitor: the harvester trickles charge in continuously,
+ * execution drains it faster than it refills, and when the stored
+ * level crosses the power-fail threshold the device dies, recharges
+ * dark, and reboots into recovery — thousands of times per workload.
+ * TERP cares because every reboot re-opens exposure windows, and the
+ * sweeper / checkpoint machinery must fit inside the energy budget.
+ *
+ * The model is integer arithmetic end to end (no floats, no wall
+ * clock) so a harvest run is bit-reproducible across hosts: levels
+ * are tracked in thousandths of an energy unit, and rates are given
+ * per kilocycle of the *simulated* clock, which makes the per-cycle
+ * rate in scaled thousandths exact.
+ */
+
+#ifndef TERP_ENERGY_CAPACITOR_HH
+#define TERP_ENERGY_CAPACITOR_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace terp {
+namespace energy {
+
+/** Capacitor + harvester parameters. All rates per 1000 sim cycles. */
+struct CapacitorConfig
+{
+    std::uint64_t capacityUnits = 1000;    //!< full charge
+    std::uint64_t harvestPerKcycle = 2;    //!< inflow, on and off
+    std::uint64_t drainPerKcycle = 10;     //!< execution outflow
+    /**
+     * Backup-energy reserve: the device power-fails when the level
+     * reaches this, leaving exactly the reserve to ride out the
+     * failure (recovery after recharge may dip back into it).
+     */
+    std::uint64_t failThresholdUnits = 100;
+    /** Checkpoint (flush pending write-backs) below this level. */
+    std::uint64_t watermarkUnits = 250;
+    /** Sweeper ticks are skipped below this level. */
+    std::uint64_t sweepReserveUnits = 200;
+};
+
+/**
+ * The capacitor: charge level, race-to-expiry accounting, and the
+ * policy thresholds (checkpoint watermark, sweeper reserve).
+ */
+class Capacitor
+{
+  public:
+    explicit Capacitor(const CapacitorConfig &config);
+
+    /**
+     * Powered execution cycles affordable before the level reaches
+     * the fail threshold. ~0 when net drain is zero or negative (the
+     * harvester keeps up; the device never dies).
+     */
+    Cycles runway() const;
+
+    /**
+     * Account @p cycles of powered execution (drain minus harvest).
+     * Returns the powered prefix: less than @p cycles when the fail
+     * threshold was crossed mid-interval, after which failed() is
+     * true and the level sits at (or just under) the threshold.
+     */
+    Cycles drain(Cycles cycles);
+
+    /** The level reached the fail threshold and power was lost. */
+    bool failed() const { return failed_; }
+
+    /** Dark recharge time from the current level back to full. */
+    Cycles rechargeCycles() const;
+
+    /** Recharge to full capacity and clear the failure latch. */
+    void recharge();
+
+    std::uint64_t storedUnits() const { return scaled / kScale; }
+
+    bool belowWatermark() const
+    {
+        return scaled < cfg.watermarkUnits * kScale;
+    }
+
+    bool belowSweepReserve() const
+    {
+        return scaled < cfg.sweepReserveUnits * kScale;
+    }
+
+    const CapacitorConfig &config() const { return cfg; }
+
+  private:
+    static constexpr std::uint64_t kScale = 1000;
+
+    /** Net outflow per cycle while powered, in scaled units. */
+    std::uint64_t netPerCycle() const
+    {
+        return cfg.drainPerKcycle > cfg.harvestPerKcycle
+                   ? cfg.drainPerKcycle - cfg.harvestPerKcycle
+                   : 0;
+    }
+
+    CapacitorConfig cfg;
+    std::uint64_t scaled; //!< stored level, thousandths of a unit
+    bool failed_ = false;
+};
+
+} // namespace energy
+} // namespace terp
+
+#endif // TERP_ENERGY_CAPACITOR_HH

@@ -1,0 +1,531 @@
+#include "energy/harvest.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "check/fuzzer.hh"
+#include "check/recovery_oracle.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "metrics/registry.hh"
+#include "pm/tx_manager.hh"
+#include "trace/audit.hh"
+
+namespace terp {
+namespace energy {
+
+namespace {
+
+constexpr std::uint64_t logOff = 1ULL << 32;
+constexpr std::uint64_t pmoBytes = 64 * KiB;
+
+/** Account i of the bank workload's transfer ledger. */
+pm::Oid
+acct(unsigned i)
+{
+    return pm::Oid(1, 0x1000 + 64ULL * i);
+}
+
+/**
+ * One harvest run. Owns the world, the capacitor, and the oracle
+ * ledger for the whole multi-cycle lifetime — unlike the crash-point
+ * enumerator, nothing here is rebuilt between crashes, which is the
+ * point: state that survives a crash()/recover() pair incorrectly
+ * compounds instead of hiding behind a fresh world.
+ */
+struct Harness
+{
+    const HarvestOptions &opt;
+    HarvestResult res;
+    check::CrashWorld w;
+    Capacitor cap;
+    check::Ledger led;
+    Rng rng;
+    bool txmix;
+
+    /** Machine time already charged to the capacitor. */
+    Cycles energyClock = 0;
+    /** Last completed transaction's cost, for race-to-expiry arming. */
+    Cycles estCycles = 0;
+    std::uint64_t estBoundaries = 0;
+
+    bool inited = false;
+    std::uint64_t attempts = 0; //!< txn attempts; the scratch value
+    std::uint64_t lastDurableScratch = 0;
+    bool scratchPending = false;
+    const pm::Oid scratchOid{1, 0x600};
+
+    std::shared_ptr<metrics::Registry> reg;
+    metrics::Counter *cPowerCycles = nullptr;
+    metrics::Counter *cCheckpoints = nullptr;
+    metrics::Counter *cInterrupted = nullptr;
+    metrics::Gauge *gStored = nullptr;
+    metrics::LogHistogram *hOff = nullptr;
+    metrics::LogHistogram *hRecoveryEw = nullptr;
+
+    explicit Harness(const HarvestOptions &o)
+        : opt(o),
+          w(check::schemeConfig(o.scheme, o.ewTarget)
+                .withTrace(o.traceCapacity),
+            o.workload == "txmix" ? 2u : 1u, /*threads=*/1u, pmoBytes,
+            logOff),
+          cap(o.cap), rng(0x9e3779b97f4a7c15ULL ^ o.seed),
+          txmix(o.workload == "txmix")
+    {
+        TERP_ASSERT(o.workload == "bank" || o.workload == "txmix",
+                    "harvest: unknown workload ", o.workload);
+        // Sweeper energy budgeting: a tick the backup reserve cannot
+        // afford is skipped — the hook grid advances, windows stay
+        // open, and the exposure cost shows up in the EW metrics.
+        w.sweepGate = [this](Cycles) {
+            if (cap.belowSweepReserve()) {
+                ++res.sweepsSkipped;
+                return false;
+            }
+            ++res.sweepsRun;
+            return true;
+        };
+        reg = w.rt->metricsRegistry();
+        if (reg) {
+            cPowerCycles = &reg->counter("energy.power_cycles");
+            cCheckpoints = &reg->counter("energy.checkpoints");
+            cInterrupted = &reg->counter("energy.txns_interrupted");
+            gStored = &reg->gauge("energy.stored_units");
+            hOff = &reg->histogram("energy.off_cycles");
+            hRecoveryEw =
+                &reg->histogram("energy.recovery_ew_cycles");
+        }
+    }
+
+    /** Charge the capacitor for machine time not yet accounted. */
+    void
+    settleEnergy()
+    {
+        Cycles now = w.mach.maxClock();
+        if (now > energyClock) {
+            cap.drain(now - energyClock);
+            energyClock = now;
+        }
+    }
+
+    void
+    addViolation(const std::string &msg)
+    {
+        if (res.violations.size() < opt.maxViolations) {
+            std::ostringstream os;
+            os << "cycle " << res.powerCycles << ": " << msg;
+            res.violations.push_back(os.str());
+        } else if (res.violations.size() == opt.maxViolations) {
+            res.violations.push_back("... further violations "
+                                     "suppressed");
+        }
+    }
+
+    std::vector<std::pair<pm::Oid, std::uint64_t>>
+    nextBankWrites()
+    {
+        const pm::Oid seq(1, 0x800);
+        const pm::PersistController &ctl = w.dom.controller();
+        if (!inited) {
+            std::vector<std::pair<pm::Oid, std::uint64_t>> init;
+            for (unsigned i = 0; i < 8; ++i)
+                init.push_back({acct(i), 1000});
+            init.push_back({seq, 1});
+            return init;
+        }
+        auto a = static_cast<unsigned>(rng.nextBelow(8));
+        auto b = static_cast<unsigned>(rng.nextBelow(7));
+        if (b >= a)
+            ++b;
+        std::uint64_t amt = 1 + rng.nextBelow(200);
+        // Two's-complement arithmetic keeps the sum invariant even
+        // through a (harmless) negative balance.
+        std::uint64_t newA = ctl.load(acct(a)) - amt;
+        std::uint64_t newB = ctl.load(acct(b)) + amt;
+        return {{acct(a), newA},
+                {acct(b), newB},
+                {seq, ctl.load(seq) + 1}};
+    }
+
+    /**
+     * One nested TxManager transfer across two PMOs, txnest-style:
+     * alternating undo/redo kinds, ~20% inner aborts poisoning the
+     * outer commit. The oracle flight stays armed if a power failure
+     * unwinds the transaction; resolveFlights() settles it after
+     * recovery.
+     */
+    void
+    runTxmixTxn(sim::ThreadContext &tc)
+    {
+        pm::TxManager &txm = *w.rt->tx();
+        const pm::PersistController &ctl = w.dom.controller();
+        const pm::Oid acctA(1, 0x1000), acctB(2, 0x1000),
+            seq(1, 0x800);
+        bool init = !inited;
+        bool redo = !init && rng.nextBelow(2) == 1;
+        bool doAbort = !init && rng.nextBelow(100) < 20;
+        std::uint64_t amt = 1 + rng.nextBelow(200);
+        std::uint64_t newA = init ? 1000 : ctl.load(acctA) - amt;
+        std::uint64_t newB = init ? 1000 : ctl.load(acctB) + amt;
+        std::uint64_t s = ctl.load(seq) + 1;
+        std::vector<std::pair<pm::Oid, std::uint64_t>> writes = {
+            {acctA, newA}, {acctB, newB}, {seq, s}};
+
+        check::armFlight(led, 0, redo && !doAbort, writes);
+        check::protOpen(w, tc, 1);
+        check::protOpen(w, tc, 2);
+        txm.begin(tc, 0, {1, 2},
+                  redo ? pm::TxKind::Redo : pm::TxKind::Undo);
+        w.rt->access(tc, acctA, /*write=*/true);
+        txm.write(tc, 0, acctA, newA);
+        txm.begin(tc, 0, {2}); // nested level: locks already held
+        w.rt->access(tc, acctB, /*write=*/true);
+        txm.write(tc, 0, acctB, newB);
+        txm.write(tc, 0, seq, s);
+        if (doAbort)
+            txm.abort(tc, 0);
+        txm.commit(tc, 0); // inner: unwind only
+        bool ok = txm.commit(tc, 0); // outermost: the durable point
+        check::protClose(w, tc, 2);
+        check::protClose(w, tc, 1);
+        check::settleFlight(led, 0, ok);
+        if (ok) {
+            ++res.committed;
+            if (init)
+                inited = true;
+        } else {
+            ++res.aborted;
+        }
+        w.advanceSweeps(tc.now());
+    }
+
+    /**
+     * One transaction under the energy regime: checkpoint below the
+     * watermark, arm the race-to-expiry fault when the runway no
+     * longer covers a transaction, run it, and charge the capacitor.
+     * Returns false when the power failed mid-transaction.
+     */
+    bool
+    runOneTxn(sim::ThreadContext &tc)
+    {
+        pm::PersistController &ctl = w.dom.controller();
+
+        bool armed = false;
+        try {
+            // Checkpoint policy: below the watermark, fence pending
+            // write-backs (the unfenced scratch update) while the
+            // energy still covers the flush.
+            if (scratchPending && cap.belowWatermark()) {
+                ctl.sfence(tc);
+                scratchPending = false;
+                ++res.checkpoints;
+                if (cCheckpoints)
+                    cCheckpoints->inc();
+            }
+
+            // Race to expiry: when the runway no longer covers a
+            // transaction (cost estimated from the last completed
+            // one), the power will fail mid-transaction — plant the
+            // modeled failure at the boundary the energy runs out
+            // at, scaled by the boundary density of a transaction.
+            if (estCycles > 0 && estBoundaries > 0) {
+                Cycles runway = cap.runway();
+                if (runway < estCycles) {
+                    std::uint64_t frac =
+                        (estBoundaries * runway) / estCycles;
+                    std::uint64_t off =
+                        std::min(frac, estBoundaries - 1);
+                    ctl.armFault(ctl.boundaryCount() + 1 + off);
+                    armed = true;
+                }
+            }
+
+            Cycles c0 = w.mach.maxClock();
+            std::uint64_t b0 = ctl.boundaryCount();
+            ++attempts;
+            if (txmix) {
+                runTxmixTxn(tc);
+            } else {
+                bool wasInit = !inited;
+                check::runTxn(w, led, tc, 1, nextBankWrites());
+                if (wasInit)
+                    inited = true;
+                ++res.committed;
+            }
+            // Unfenced scratch update: store + clwb but no fence —
+            // durable at the next fence, wherever that lands. The
+            // checkpoint watermark exists to bound how much of this
+            // a power failure can lose.
+            ctl.persistentStore(tc, scratchOid, attempts);
+            scratchPending = true;
+
+            settleEnergy();
+            estCycles = w.mach.maxClock() - c0;
+            estBoundaries = ctl.boundaryCount() - b0;
+        } catch (const pm::PowerFailure &) {
+            ++res.interrupted;
+            if (cInterrupted)
+                cInterrupted->inc();
+            settleEnergy();
+            return false;
+        }
+        if (armed) {
+            // The estimate overshot — the transaction fit after all.
+            // A stale plan must never survive into the crash or the
+            // recovery path.
+            ctl.disarmFault();
+        }
+        return true;
+    }
+
+    /**
+     * Settle oracle flights left open by a mid-transaction power
+     * failure: the durable image tells which side of the durable
+     * point the crash landed on (checkDurable() already verified it
+     * is not torn).
+     */
+    void
+    resolveFlights()
+    {
+        const pm::PersistController &ctl = w.dom.controller();
+        for (auto it = led.flight.begin(); it != led.flight.end();) {
+            const check::TxFlight &fl = it->second;
+            bool allNew = fl.ambiguous && !fl.keys.empty();
+            for (std::uint64_t raw : fl.keys) {
+                if (ctl.persistedLoad(pm::Oid::fromRaw(raw)) !=
+                    fl.newv.at(raw)) {
+                    allNew = false;
+                    break;
+                }
+            }
+            if (allNew) {
+                for (const auto &[raw, v] : fl.newv)
+                    led.image[raw] = v;
+                ++led.done;
+            }
+            it = led.flight.erase(it);
+        }
+        led.inFlight.clear();
+    }
+
+    void
+    checkWorkloadInvariant(std::vector<std::string> &v)
+    {
+        const pm::PersistController &ctl = w.dom.controller();
+        if (txmix) {
+            std::uint64_t sum =
+                ctl.persistedLoad(pm::Oid(1, 0x1000)) +
+                ctl.persistedLoad(pm::Oid(2, 0x1000));
+            if (sum != 0 && sum != 2000) {
+                std::ostringstream os;
+                os << "txmix: recovered cross-PMO balances sum to "
+                   << sum << ", expected 2000 (or 0 pre-init)";
+                v.push_back(os.str());
+            }
+            return;
+        }
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            sum += ctl.persistedLoad(acct(i));
+        if (sum != 0 && sum != 8 * 1000) {
+            std::ostringstream os;
+            os << "bank: recovered balances sum to " << sum
+               << ", expected 8000 (or 0 pre-init)";
+            v.push_back(os.str());
+        }
+    }
+
+    /**
+     * The unfenced scratch counter may lose its tail to a power
+     * failure, but its durable value can never regress (writes only
+     * increase it and no log ever rolls it back) nor run ahead of
+     * the attempts that wrote it.
+     */
+    void
+    checkScratch(std::vector<std::string> &v)
+    {
+        std::uint64_t cur =
+            w.dom.controller().persistedLoad(scratchOid);
+        if (cur < lastDurableScratch) {
+            std::ostringstream os;
+            os << "scratch: durable counter regressed "
+               << lastDurableScratch << " -> " << cur;
+            v.push_back(os.str());
+        }
+        if (cur > attempts) {
+            std::ostringstream os;
+            os << "scratch: durable counter " << cur
+               << " ahead of " << attempts << " attempts";
+            v.push_back(os.str());
+        }
+        lastDurableScratch = cur;
+    }
+
+    /** Post-recovery liveness probe; feeds the atomicity ledger. */
+    void
+    probe(std::vector<std::string> &v)
+    {
+        sim::ThreadContext &tc = w.mach.thread(0);
+        Cycles drained = w.nextHook - w.hookPeriod;
+        if (tc.now() < drained)
+            tc.syncTo(drained, sim::Charge::Other);
+        check::runTxn(w, led, tc, 1,
+                      {{pm::Oid(1, pmoBytes - 8),
+                        0x900d0000ULL + res.powerCycles}});
+        check::checkDurable(w, led, v);
+        check::drainIdleWindows(w, "the probe transaction", v);
+    }
+
+    void
+    audit(std::vector<std::string> &v)
+    {
+        auto sink = w.rt->traceSink();
+        if (!sink)
+            return;
+        if (!sink->complete()) {
+            v.push_back("trace ring wrapped before the audit; raise "
+                        "traceCapacity or auditEvery");
+            return;
+        }
+        trace::AuditReport rep = trace::auditTimeline(
+            *sink, w.mach.maxClock(), w.rt->exposure());
+        for (const std::string &m : rep.mismatches)
+            v.push_back("trace audit: " + m);
+        if (!rep.ok && rep.mismatches.empty())
+            v.push_back("trace audit failed without detail");
+    }
+
+    /**
+     * The power-fail / recharge / recover sequence, plus the
+     * per-cycle oracle. Verification work (the idle drain, the probe
+     * transaction, the audit) is the oracle's instrument, not
+     * modeled execution: its cycles are excluded from the energy
+     * account by re-anchoring the energy clock afterwards.
+     */
+    void
+    powerFail()
+    {
+        pm::PersistController &ctl = w.dom.controller();
+        // A fault plan armed for the execution that just died must
+        // not fire inside recovery.
+        if (ctl.faultArmed())
+            ctl.disarmFault();
+
+        Cycles at = w.mach.maxClock();
+        for (unsigned i = 0; i < w.mach.threadCount(); ++i) {
+            sim::ThreadContext &t = w.mach.thread(i);
+            if (!t.done && !t.blocked() && t.now() < at)
+                t.syncTo(at, sim::Charge::Other);
+        }
+        auto sink = w.rt->traceSink();
+        if (sink) {
+            sink->emit(trace::TraceSink::kernelTid,
+                       trace::EventKind::PowerFail, at, trace::noPmo,
+                       cap.storedUnits());
+        }
+        w.rt->crash(at);
+        if (gStored)
+            gStored->set(static_cast<double>(cap.storedUnits()));
+
+        Cycles off = cap.rechargeCycles();
+        cap.recharge();
+        Cycles resume = at + off;
+        res.offCycles += off;
+        if (hOff)
+            hOff->record(off);
+        // The machine is dark: the hook grid advances over the gap
+        // without firing.
+        while (w.nextHook <= resume)
+            w.nextHook += w.hookPeriod;
+        if (sink) {
+            sink->emit(trace::TraceSink::kernelTid,
+                       trace::EventKind::Recharge, resume,
+                       trace::noPmo, off);
+        }
+
+        sim::ThreadContext &rtc = w.mach.thread(0);
+        if (rtc.now() < resume)
+            rtc.syncTo(resume, sim::Charge::Other);
+        energyClock = resume;
+        unsigned n = w.rt->recover(rtc);
+        res.recoveredLogs += n;
+        settleEnergy(); // recovery dips into the fresh charge
+
+        std::vector<std::string> v;
+        check::drainIdleWindows(w, "recovery", v);
+        if (hRecoveryEw) {
+            // Recovery-reopened exposure: attach at resume, closed by
+            // the idle drain — one sample per replayed PMO.
+            Cycles closed = w.mach.maxClock();
+            for (unsigned i = 0; i < n; ++i)
+                hRecoveryEw->record(closed - resume);
+        }
+        if (opt.oracle) {
+            check::checkLogsRetired(w, v);
+            resolveFlights();
+            check::checkDurable(w, led, v);
+            checkWorkloadInvariant(v);
+            checkScratch(v);
+            probe(v);
+        } else {
+            resolveFlights();
+        }
+        ++res.powerCycles;
+        if (cPowerCycles)
+            cPowerCycles->inc();
+        if (opt.oracle && opt.auditEvery &&
+            res.powerCycles % opt.auditEvery == 0) {
+            audit(v);
+        }
+        for (const std::string &m : v)
+            addViolation(m);
+        // Verification cycles are free.
+        energyClock = w.mach.maxClock();
+    }
+
+    HarvestResult
+    run()
+    {
+        sim::ThreadContext &tc = w.mach.thread(0);
+        while (res.powerCycles < opt.powerCycles &&
+               res.violations.size() <= opt.maxViolations) {
+            if (cap.failed() || cap.runway() == 0) {
+                powerFail();
+                continue;
+            }
+            if (!runOneTxn(tc)) {
+                powerFail();
+                continue;
+            }
+            if (cap.failed())
+                powerFail();
+        }
+
+        w.rt->finalize();
+        if (opt.oracle && opt.auditEvery) {
+            std::vector<std::string> v;
+            audit(v);
+            for (const std::string &m : v)
+                addViolation(m);
+        }
+        res.simCycles = w.mach.maxClock();
+        res.exposure = w.rt->exposure().metricsAll(
+            res.simCycles, w.mach.threadCount());
+        if (gStored)
+            gStored->set(static_cast<double>(cap.storedUnits()));
+        return std::move(res);
+    }
+};
+
+} // namespace
+
+HarvestResult
+runHarvest(const HarvestOptions &opt)
+{
+    Harness h(opt);
+    return h.run();
+}
+
+} // namespace energy
+} // namespace terp

@@ -53,6 +53,8 @@ enum class EventKind : std::uint8_t
     RequestStart,    //!< serve: request dequeued onto a worker; arg = session id
     RequestDone,     //!< serve: request completed; arg = session id
     RequestShed,     //!< serve: bounded queue full, request shed; arg = session id
+    PowerFail,       //!< energy: capacitor crossed the fail threshold; arg = stored units
+    Recharge,        //!< energy: capacitor recharged, execution resumes; arg = off-time cycles
     NumKinds
 };
 

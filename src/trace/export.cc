@@ -36,6 +36,8 @@ eventKindName(EventKind k)
       case EventKind::RequestStart: return "request_start";
       case EventKind::RequestDone: return "request_done";
       case EventKind::RequestShed: return "request_shed";
+      case EventKind::PowerFail: return "power_fail";
+      case EventKind::Recharge: return "recharge";
       default: return "?";
     }
 }
