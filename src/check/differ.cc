@@ -776,11 +776,40 @@ class Replay
         rt.finalize();
         oracle.finalize(tEnd);
 
+        bool hasTxLocks = false;
+        for (const Op &op : s.ops) {
+            if (op.kind == OpKind::TxBegin ||
+                op.kind == OpKind::TxWrite ||
+                op.kind == OpKind::TxCommit ||
+                op.kind == OpKind::TxAbort) {
+                hasTxLocks = true;
+                break;
+            }
+        }
         for (pm::PmoId p = 1; p <= s.pmos; ++p) {
             compareSummary("EW", p, rt.exposure().ewSummaryFor(p),
                            oracle.ewSummary(p));
             compareSummary("TEW", p, rt.exposure().tewSummaryFor(p),
                            oracle.tewSummary(p));
+            // Blame attribution: the oracle's mirror must predict
+            // the tracker's per-cause totals exactly. TxManager lock
+            // contention installs hold-cause overrides the mirror
+            // does not model, so schedules with locking txn ops only
+            // get the (always-on) trace-audit recomputation below.
+            if (hasTxLocks)
+                continue;
+            for (unsigned c = 0; c < semantics::numBlameCauses; ++c) {
+                auto cause = static_cast<semantics::BlameCause>(c);
+                Cycles got = rt.exposure().blameTotal(p, cause);
+                Cycles want = oracle.blameTotal(p, cause);
+                if (got == want)
+                    continue;
+                std::ostringstream os;
+                os << "blame for PMO " << p << " cause "
+                   << semantics::blameCauseName(cause)
+                   << ": runtime " << got << ", oracle " << want;
+                complain(os.str());
+            }
         }
 
         double got = rt.report().silentFraction;

@@ -1,7 +1,9 @@
 #include "check/oracle.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "common/units.hh"
 
 namespace terp {
@@ -138,20 +140,85 @@ SpecOracle::openEw(PmoState &s, Cycles tCb, Cycles tPost)
     s.swLast = cfg.windowCombining ? tCb : tPost;
     s.ewOpen = tPost;
     s.everSeen = true;
+    blameOpen(s, tPost);
 }
 
 void
 SpecOracle::closeEw(PmoState &s, Cycles t)
 {
+    blameClose(s, t >= s.ewOpen ? t : s.ewOpen);
     s.ew.add(t >= s.ewOpen ? t - s.ewOpen : 0);
     s.mapped = false;
     s.procMode = pm::Mode::None;
+}
+
+// The mirror replays EwTracker's segment algorithm over the oracle's
+// own state: cause-relevant transitions (grants, revokes) resolve the
+// tail span, the close truncates to the close time and asserts the
+// tiling. Held means any mirrored thread window, manual span or basic
+// owner; idle splits at the EW deadline into app_hold / sweeper_lag.
+// The oracle never installs hold/idle overrides or dark periods —
+// those need serve/txn/energy hooks outside the fuzzer's scope.
+
+void
+SpecOracle::blameOpen(PmoState &s, Cycles t)
+{
+    s.segs.clear();
+    s.causeSince = t;
+}
+
+void
+SpecOracle::blameFlush(PmoState &s, Cycles t)
+{
+    if (t <= s.causeSince)
+        return;
+    auto append = [&s](Cycles end, semantics::BlameCause c) {
+        auto cc = static_cast<std::uint8_t>(c);
+        if (!s.segs.empty() && s.segs.back().second == cc)
+            s.segs.back().first = end;
+        else
+            s.segs.push_back({end, cc});
+        s.causeSince = end;
+    };
+    bool held = !s.tewOpen.empty() || s.manualHeld ||
+                s.basicOwner != -1;
+    Cycles deadline = s.ewOpen + cfg.ewTarget;
+    if (held || cfg.ewTarget == 0 || t <= deadline) {
+        append(t, semantics::BlameCause::AppHold);
+    } else {
+        if (s.causeSince < deadline)
+            append(deadline, semantics::BlameCause::AppHold);
+        append(t, semantics::BlameCause::SweeperLag);
+    }
+}
+
+void
+SpecOracle::blameClose(PmoState &s, Cycles t)
+{
+    blameFlush(s, t);
+    Cycles start = s.ewOpen;
+    Cycles sum = 0;
+    for (const auto &seg : s.segs) {
+        if (start >= t)
+            break;
+        Cycles end = std::min(seg.first, t);
+        if (end <= start)
+            break;
+        s.blame[seg.second] += end - start;
+        sum += end - start;
+        start = end;
+    }
+    s.segs.clear();
+    TERP_ASSERT(sum == t - s.ewOpen,
+                "oracle blame segments don't tile the window");
 }
 
 void
 SpecOracle::grantMirror(PmoState &s, unsigned tid, pm::Mode mode,
                         Cycles t)
 {
+    if (s.mapped)
+        blameFlush(s, t);
     s.holders[tid] = mode;
     s.tewOpen[tid] = t;
     // Runtime grantThread widens the process-matrix entry so every
@@ -164,6 +231,8 @@ SpecOracle::grantMirror(PmoState &s, unsigned tid, pm::Mode mode,
 void
 SpecOracle::revokeMirror(PmoState &s, unsigned tid, Cycles t)
 {
+    if (s.mapped)
+        blameFlush(s, t);
     s.holders.erase(tid);
     auto it = s.tewOpen.find(tid);
     if (it != s.tewOpen.end()) {
@@ -268,8 +337,11 @@ SpecOracle::checkEnd(unsigned tid, pm::PmoId pmo, const Observed &o,
         if (delta != realCost)
             out.push_back(fmt("basic end cycle charge", realCost,
                               delta));
-        s.basicOwner = -1;
+        // Close before dropping the owner: the runtime clears its
+        // external hold after the detach, so the blame tail of a
+        // basic end (the detach syscall span included) is app_hold.
         closeEw(s, o.tPost);
+        s.basicOwner = -1;
         ++fullEnds;
         // The detach wakes every thread blocked on this PMO.
         for (auto &b : blockedOn)
@@ -359,8 +431,8 @@ SpecOracle::checkManualEnd(unsigned tid, pm::PmoId pmo,
     if (o.tPost - o.tPre != want)
         out.push_back(fmt("manual end cycle charge", want,
                           o.tPost - o.tPre));
+    closeEw(s, o.tPost); // before the hold drops, as in the runtime
     s.manualHeld = false;
-    closeEw(s, o.tPost);
     ++fullEnds;
 }
 
@@ -476,9 +548,11 @@ void
 SpecOracle::applySweepRandomize(pm::PmoId pmo, Cycles now)
 {
     PmoState &s = ps[pmo];
+    blameClose(s, now >= s.ewOpen ? now : s.ewOpen);
     s.ew.add(now >= s.ewOpen ? now - s.ewOpen : 0);
     s.ewOpen = now;
     s.swLast = now;
+    blameOpen(s, now);
 }
 
 void
@@ -503,11 +577,17 @@ SpecOracle::noteCrash(Cycles at)
 {
     for (auto &[pmo, s] : ps) {
         (void)pmo;
-        for (auto &[tid, since] : s.tewOpen) {
-            (void)tid;
+        // Revoke thread windows one by one (tid ascending, like the
+        // runtime's crash path) with each close clamped to the
+        // window's own opening edge; every revoke resolves a blame
+        // span while the later tids still count as holding.
+        for (auto it = s.tewOpen.begin(); it != s.tewOpen.end();) {
+            Cycles since = it->second;
+            if (s.mapped)
+                blameFlush(s, at >= since ? at : since);
             s.tew.add(at >= since ? at - since : 0);
+            it = s.tewOpen.erase(it);
         }
-        s.tewOpen.clear();
         s.holders.clear();
         if (s.mapped)
             closeEw(s, at);
@@ -529,8 +609,13 @@ SpecOracle::finalize(Cycles tEnd)
 {
     for (auto &[pmo, s] : ps) {
         (void)pmo;
-        if (s.mapped)
+        if (s.mapped) {
+            // Blame first: at the final close the still-open thread
+            // windows must count as holding (the tracker's finalize
+            // closes the process window before revoking threads).
+            blameClose(s, tEnd >= s.ewOpen ? tEnd : s.ewOpen);
             s.ew.add(tEnd >= s.ewOpen ? tEnd - s.ewOpen : 0);
+        }
         for (auto &[tid, since] : s.tewOpen) {
             (void)tid;
             s.tew.add(tEnd >= since ? tEnd - since : 0);
@@ -551,6 +636,15 @@ SpecOracle::tewSummary(pm::PmoId pmo) const
 {
     auto it = ps.find(pmo);
     return it == ps.end() ? nullptr : &it->second.tew;
+}
+
+Cycles
+SpecOracle::blameTotal(pm::PmoId pmo, semantics::BlameCause c) const
+{
+    auto it = ps.find(pmo);
+    return it == ps.end()
+               ? 0
+               : it->second.blame[static_cast<unsigned>(c)];
 }
 
 std::vector<pm::PmoId>

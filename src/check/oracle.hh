@@ -143,6 +143,17 @@ class SpecOracle
     /** PMOs the oracle ever saw a window for. */
     std::vector<pm::PmoId> pmosSeen() const;
 
+    /**
+     * Predicted blame attribution: total cycles per cause for the
+     * whole run, computed by an independent copy of the tracker's
+     * segment algorithm over the oracle's own mirror state. Only
+     * app_hold and sweeper_lag can be nonzero here — the other
+     * causes need hooks (serve queueing, txn locks, energy gating)
+     * that plain fuzz schedules never install, so the differ also
+     * checks the runtime reported zero for them.
+     */
+    Cycles blameTotal(pm::PmoId pmo, semantics::BlameCause c) const;
+
     // ---- state probes (cross-checked each op) ------------------------
 
     bool mappedView(pm::PmoId pmo) const;
@@ -178,6 +189,12 @@ class SpecOracle
         Summary ew;
         Summary tew;
         bool everSeen = false;
+
+        // -- blame mirror: independent copy of the tracker's segment
+        //    algorithm over this mirror state (end, cause) --
+        std::vector<std::pair<Cycles, std::uint8_t>> segs;
+        Cycles causeSince = 0; //!< start of the unresolved tail
+        Cycles blame[semantics::numBlameCauses] = {};
     };
 
     core::RuntimeConfig cfg;
@@ -205,6 +222,10 @@ class SpecOracle
     void grantMirror(PmoState &s, unsigned tid, pm::Mode mode,
                      Cycles t);
     void revokeMirror(PmoState &s, unsigned tid, Cycles t);
+    /** Blame mirror: open / resolve-tail / truncate-and-tally. */
+    void blameOpen(PmoState &s, Cycles t);
+    void blameFlush(PmoState &s, Cycles t);
+    void blameClose(PmoState &s, Cycles t);
 };
 
 } // namespace check

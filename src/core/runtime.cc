@@ -51,6 +51,18 @@ Runtime::Runtime(sim::Machine &machine, pm::PmoManager &pmos,
         pm_.setTraceSink(sink.get());
     }
     ew.setSlo(cfg.ewSlo, cfg.tewSlo);
+    // Idle-past-deadline spans are the sweeper's fault: blame keys on
+    // the same target the sweep rules use. Always on (charge-free).
+    ew.setBlameTarget(cfg.ewTarget);
+    if (sink) {
+        trace::TraceSink *bs = sink.get();
+        ew.setSegmentHook([bs](pm::PmoId pmo, Cycles end,
+                               semantics::BlameCause c) {
+            bs->emit(trace::TraceSink::sweeperTid,
+                     trace::EventKind::BlameSegment, end, pmo,
+                     static_cast<std::uint64_t>(c));
+        });
+    }
     if (cfg.metricsEnabled && metrics::enabledByEnv()) {
         reg = std::make_shared<metrics::Registry>();
         reg->setLabel("scheme", schemeTag(cfg));
@@ -85,6 +97,19 @@ Runtime::attachPersistence(pm::PersistDomain *domain)
     dom = domain;
     txm = domain ? std::make_unique<pm::TxManager>(*domain)
                  : nullptr;
+    if (txm) {
+        // Lock-contention spans re-attribute the holder's window:
+        // the cycles are the same, the cause is the waiter.
+        txm->setContentionHook(
+            [this](pm::PmoId pmo, Cycles t, bool on) {
+                if (on) {
+                    ew.setHoldCause(
+                        pmo, semantics::BlameCause::TxnLockWait, t);
+                } else {
+                    ew.clearHoldCause(pmo, t);
+                }
+            });
+    }
 }
 
 Runtime::MapState &
@@ -242,6 +267,9 @@ Runtime::manualBegin(sim::ThreadContext &tc, pm::PmoId pmo,
          static_cast<std::uint64_t>(mode));
     doRealAttach(tc, pmo, mode);
     mapState(pmo).holders = 1;
+    // Manual spans hold the window open without a thread-permission
+    // grant; tell blame so the span reads as held, not idle.
+    ew.setExternalHold(pmo, true, tc.now());
 }
 
 void
@@ -252,7 +280,10 @@ Runtime::manualEnd(sim::ThreadContext &tc, pm::PmoId pmo)
     auto &m = mapState(pmo);
     TERP_ASSERT(m.mapped, "MM: manual detach of unattached PMO ", pmo);
     m.holders = 0;
+    // Detach first: the span up to the close (detach syscall
+    // included) is still the manual span's hold.
     doRealDetach(tc, pmo);
+    ew.setExternalHold(pmo, false, tc.now());
     emit(tc, trace::EventKind::RegionEnd, pmo);
 }
 
@@ -476,6 +507,7 @@ Runtime::basicRegionBegin(sim::ThreadContext &tc, pm::PmoId pmo,
     doRealAttach(tc, pmo, mode);
     m.ownerTid = tc.tid();
     m.holders = 1;
+    ew.setExternalHold(pmo, true, tc.now());
     return GuardResult::Ok;
 }
 
@@ -487,6 +519,7 @@ Runtime::basicRegionEnd(sim::ThreadContext &tc, pm::PmoId pmo)
                 "basic semantics: detach by non-owner");
     m.holders = 0;
     doRealDetach(tc, pmo);
+    ew.setExternalHold(pmo, false, tc.now());
     emit(tc, trace::EventKind::RegionEnd, pmo);
     mach.wake(pmo, tc.now());
 }
@@ -662,8 +695,10 @@ Runtime::onSweep(Cycles now)
                 // Threads still hold the PMO: randomize in place so
                 // the location never outlives the max EW (partial
                 // combining, Fig 6c).
-                doRandomize(a.pmo, now);
+                // Close the tracker first so the blame segments it
+                // emits precede the Randomize event in the trace.
                 ew.processClose(a.pmo, now);
+                doRandomize(a.pmo, now);
                 ew.processOpen(a.pmo, now);
                 auto &m = mapState(a.pmo);
                 m.lastRealAttach = now;
@@ -718,8 +753,8 @@ Runtime::onSweep(Cycles now)
             } else {
                 if (mSweepRandomize)
                     mSweepRandomize->inc();
-                doRandomize(pmo, now);
                 ew.processClose(pmo, now);
+                doRandomize(pmo, now);
                 ew.processOpen(pmo, now);
                 m.lastRealAttach = now;
                 ++m.gen;
@@ -903,6 +938,9 @@ Runtime::crash(Cycles at)
     }
     maps.assign(maps.size(), MapState{});
     std::fill(mappedBits.begin(), mappedBits.end(), 0);
+    // Cause overrides describe volatile state (manual spans, txn
+    // locks, queued requests) that the failure just vaporized.
+    ew.resetTransientCauses();
     for (pm::PmoId pmo : cb.residentPmos())
         cb.evict(pmo);
     regionDepth.clear();
@@ -929,6 +967,9 @@ Runtime::recover(sim::ThreadContext &tc)
     TERP_ASSERT(dom,
                 "recover() without an attached persistence domain");
     unsigned recovered = 0;
+    // Windows opened by the replay blame their idle base on the
+    // recovery pass, not the application.
+    ew.setRecoveryActive(true);
     // One PMO's replay under the scheme's protection discipline:
     // attach (full Table II cost), run the log's recovery, release
     // through the CONDDT path so the sweeper closes the recovery
@@ -994,6 +1035,7 @@ Runtime::recover(sim::ThreadContext &tc)
         replay(pmo, *log);
         ++recovered;
     }
+    ew.setRecoveryActive(false);
     return recovered;
 }
 

@@ -192,6 +192,13 @@ class Runtime
 
     OverheadReport report() const;
     const semantics::EwTracker &exposure() const { return ew; }
+    /**
+     * Mutable tracker access for the provenance annotation hooks
+     * (tenant labels, hold/idle cause overrides, energy-dark marks,
+     * close hooks). The serve and energy layers use this; the hooks
+     * only affect attribution, never window accounting.
+     */
+    semantics::EwTracker &exposureMut() { return ew; }
     const arch::CircularBuffer &circularBuffer() const { return cb; }
 
     /**

@@ -78,12 +78,18 @@ struct Harness
         // Sweeper energy budgeting: a tick the backup reserve cannot
         // afford is skipped — the hook grid advances, windows stay
         // open, and the exposure cost shows up in the EW metrics.
-        w.sweepGate = [this](Cycles) {
+        // Blame attribution rides the gate: while ticks are being
+        // skipped for energy the sweeper *couldn't* act, so idle
+        // exposure is EnergyDark, not SweeperLag. setEnergyDark
+        // dedupes repeated states, so toggling per tick is free.
+        w.sweepGate = [this](Cycles t) {
             if (cap.belowSweepReserve()) {
                 ++res.sweepsSkipped;
+                w.rt->exposureMut().setEnergyDark(true, t);
                 return false;
             }
             ++res.sweepsRun;
+            w.rt->exposureMut().setEnergyDark(false, t);
             return true;
         };
         reg = w.rt->metricsRegistry();
@@ -448,6 +454,10 @@ struct Harness
         if (rtc.now() < resume)
             rtc.syncTo(resume, sim::Charge::Other);
         energyClock = resume;
+        // The capacitor is recharged: recovery-reopened windows are
+        // the sweeper's to close again, not energy-dark. All windows
+        // are closed here, so the flush inside is a no-op.
+        w.rt->exposureMut().setEnergyDark(false, resume);
         unsigned n = w.rt->recover(rtc);
         res.recoveredLogs += n;
         settleEnergy(); // recovery dips into the fresh charge
@@ -512,6 +522,9 @@ struct Harness
         res.simCycles = w.mach.maxClock();
         res.exposure = w.rt->exposure().metricsAll(
             res.simCycles, w.mach.threadCount());
+        for (unsigned c = 0; c < semantics::numBlameCauses; ++c)
+            res.blame[c] = w.rt->exposure().blameTotalAll(
+                static_cast<semantics::BlameCause>(c));
         if (gStored)
             gStored->set(static_cast<double>(cap.storedUnits()));
         return std::move(res);

@@ -68,6 +68,8 @@ struct HarvestResult
     Cycles simCycles = 0;            //!< final machine clock
     Cycles offCycles = 0;            //!< total dark recharge time
     semantics::ExposureMetrics exposure; //!< full-run EW/TEW metrics
+    /** Full-run blame totals per cause, across every PMO. */
+    Cycles blame[semantics::numBlameCauses] = {};
     std::vector<std::string> violations;
 
     bool ok() const { return violations.empty(); }

@@ -21,6 +21,33 @@ kindName(Kind k)
     }
 }
 
+namespace {
+
+/**
+ * Escaping for label values inside serialized metric names: the
+ * same scheme the Prometheus exposition format uses for quoted
+ * strings (backslash, double quote, newline). Values come from PMO
+ * / tenant names, which callers control — a hostile value must not
+ * break the name's {k="v",...} structure.
+ */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 std::string
 labeled(const std::string &name, const std::string &key,
         const std::string &value)
@@ -33,7 +60,7 @@ labeled(const std::string &name, const std::string &key,
         if (!first)
             out += ",";
         first = false;
-        out += k + "=\"" + v + "\"";
+        out += k + "=\"" + labelEscape(v) + "\"";
     }
     out += "}";
     return out;
@@ -60,11 +87,22 @@ nameLabels(const std::string &name)
                         name[eq + 1] == '"',
                     "malformed metric labels: ", name);
         std::string key = name.substr(i, eq - i);
-        std::size_t close = name.find('"', eq + 2);
-        TERP_ASSERT(close != std::string::npos,
+        // Undo labelEscape: the closing quote is the first
+        // *unescaped* double quote.
+        std::string val;
+        std::size_t j = eq + 2;
+        for (; j < name.size() && name[j] != '"'; ++j) {
+            if (name[j] == '\\' && j + 1 < name.size()) {
+                char n = name[++j];
+                val += n == 'n' ? '\n' : n;
+            } else {
+                val += name[j];
+            }
+        }
+        TERP_ASSERT(j < name.size(),
                     "malformed metric labels: ", name);
-        ls[key] = name.substr(eq + 2, close - (eq + 2));
-        i = close + 1;
+        ls[key] = val;
+        i = j + 1;
         if (i < name.size() && name[i] == ',')
             ++i;
     }

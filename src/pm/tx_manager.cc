@@ -26,7 +26,8 @@ TxManager::TxManager(PersistDomain &domain, std::uint64_t undo_off,
 }
 
 bool
-TxManager::acquire(unsigned tid, Tx &tx, std::vector<PmoId> want)
+TxManager::acquire(unsigned tid, Tx &tx, std::vector<PmoId> want,
+                   Cycles now)
 {
     std::sort(want.begin(), want.end());
     want.erase(std::unique(want.begin(), want.end()), want.end());
@@ -34,11 +35,17 @@ TxManager::acquire(unsigned tid, Tx &tx, std::vector<PmoId> want)
     // a Busy begin leaves no partial lock set behind. Acquisition
     // never blocks, and the scan/take order is ascending PmoId —
     // together these rule out deadlock by construction.
+    bool conflict = false;
     for (PmoId pmo : want) {
         auto it = owner_.find(pmo);
-        if (it != owner_.end() && it->second != tid)
-            return false;
+        if (it != owner_.end() && it->second != tid) {
+            conflict = true;
+            if (contention)
+                contention(pmo, now, true);
+        }
     }
+    if (conflict)
+        return false;
     for (PmoId pmo : want) {
         if (owner_.emplace(pmo, tid).second) {
             tx.locks.insert(std::lower_bound(tx.locks.begin(),
@@ -50,7 +57,7 @@ TxManager::acquire(unsigned tid, Tx &tx, std::vector<PmoId> want)
 }
 
 void
-TxManager::releaseAll(unsigned tid, Tx &tx)
+TxManager::releaseAll(unsigned tid, Tx &tx, Cycles now)
 {
     for (PmoId pmo : tx.locks) {
         auto it = owner_.find(pmo);
@@ -58,6 +65,8 @@ TxManager::releaseAll(unsigned tid, Tx &tx)
                     "TxManager: releasing a lock not held by tid ",
                     tid);
         owner_.erase(it);
+        if (contention)
+            contention(pmo, now, false);
     }
     tx.locks.clear();
 }
@@ -72,7 +81,7 @@ TxManager::begin(sim::ThreadContext &tc, unsigned tid,
         Tx &tx = it->second;
         if (tx.aborted)
             return false; // the body after an abort never runs
-        if (!acquire(tid, tx, std::move(pmos))) {
+        if (!acquire(tid, tx, std::move(pmos), tc.now())) {
             ++nBusy;
             return false;
         }
@@ -85,7 +94,7 @@ TxManager::begin(sim::ThreadContext &tc, unsigned tid,
                 "TxManager: outermost begin with an empty PMO set");
     Tx tx;
     tx.kind = kind;
-    if (!acquire(tid, tx, std::move(pmos))) {
+    if (!acquire(tid, tx, std::move(pmos), tc.now())) {
         ++nBusy;
         return false;
     }
@@ -161,7 +170,7 @@ TxManager::commit(sim::ThreadContext &tc, unsigned tid)
         // The rollback already ran at abort(); the log is retired.
         ++nAbortedCommits;
     }
-    releaseAll(tid, tx);
+    releaseAll(tid, tx, tc.now());
     txs.erase(it);
     return healthy;
 }

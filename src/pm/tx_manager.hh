@@ -40,6 +40,7 @@
 #define TERP_PM_TX_MANAGER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -175,6 +176,21 @@ class TxManager
     std::uint64_t abortedCommits() const { return nAbortedCommits; }
     std::uint64_t aborts() const { return nAborts; }
 
+    /**
+     * Lock-contention observer: (pmo, time, onset). Fired with
+     * onset=true for each lock a Busy begin conflicted on, and with
+     * onset=false for each lock the outermost commit releases, so
+     * the exposure tracker can attribute contended spans to
+     * txn_lock_wait. Never fired from onCrash (the crash path resets
+     * attribution wholesale). Purely observational — no charges.
+     */
+    using ContentionHook =
+        std::function<void(PmoId, Cycles, bool)>;
+    void setContentionHook(ContentionHook h)
+    {
+        contention = std::move(h);
+    }
+
   private:
     struct Tx
     {
@@ -199,13 +215,17 @@ class TxManager
     std::uint64_t nAbortedCommits = 0;
     std::uint64_t nAborts = 0;
 
+    ContentionHook contention; //!< null = nobody listening
+
     /**
      * Try to acquire every PMO in @p want (sorted, deduped) for
      * @p tid that it doesn't already hold. All-or-nothing; returns
-     * false on any conflict with nothing acquired.
+     * false on any conflict with nothing acquired (reporting each
+     * conflicting lock to the contention hook at @p now).
      */
-    bool acquire(unsigned tid, Tx &tx, std::vector<PmoId> want);
-    void releaseAll(unsigned tid, Tx &tx);
+    bool acquire(unsigned tid, Tx &tx, std::vector<PmoId> want,
+                 Cycles now);
+    void releaseAll(unsigned tid, Tx &tx, Cycles now);
 };
 
 } // namespace pm

@@ -7,6 +7,30 @@
 namespace terp {
 namespace semantics {
 
+const char *
+blameCauseName(BlameCause c)
+{
+    switch (c) {
+      case BlameCause::AppHold:
+        return "app_hold";
+      case BlameCause::SweeperLag:
+        return "sweeper_lag";
+      case BlameCause::QueueWait:
+        return "queue_wait";
+      case BlameCause::SlowClientHold:
+        return "slow_client_hold";
+      case BlameCause::RecoveryReopen:
+        return "recovery_reopen";
+      case BlameCause::TxnLockWait:
+        return "txn_lock_wait";
+      case BlameCause::EnergyDark:
+        return "energy_dark";
+      case BlameCause::NumCauses:
+        break;
+    }
+    return "?";
+}
+
 EwTracker::PerPmo &
 EwTracker::state(pm::PmoId pmo)
 {
@@ -32,6 +56,10 @@ EwTracker::processOpen(pm::PmoId pmo, Cycles t)
     TERP_ASSERT(!s.open, "double process-open of PMO ", pmo);
     s.open = true;
     s.openSince = t;
+    s.segs.clear();
+    s.causeSince = t;
+    s.idleBase = recovering ? BlameCause::RecoveryReopen
+                            : BlameCause::AppHold;
 }
 
 void
@@ -40,8 +68,11 @@ EwTracker::processClose(pm::PmoId pmo, Cycles t)
     auto &s = state(pmo);
     TERP_ASSERT(s.open, "process-close of unopened PMO ", pmo);
     TERP_ASSERT(t >= s.openSince, "time went backwards");
+    closeBlame(s, pmo, t);
     recordEw(s, pmo, t - s.openSince);
     s.open = false;
+    if (closeHook)
+        closeHook(pmo, t, t - s.openSince);
 }
 
 void
@@ -52,6 +83,8 @@ EwTracker::threadOpen(unsigned tid, pm::PmoId pmo, Cycles t)
         s.threadOpenSince.resize(tid + 1, notOpen);
     TERP_ASSERT(s.threadOpenSince[tid] == notOpen,
                 "double thread-open, tid ", tid, " pmo ", pmo);
+    if (s.open)
+        flushBlame(s, t);
     s.threadOpenSince[tid] = t;
 }
 
@@ -63,6 +96,8 @@ EwTracker::threadClose(unsigned tid, pm::PmoId pmo, Cycles t)
                     s.threadOpenSince[tid] != notOpen,
                 "thread-close without open, tid ", tid);
     TERP_ASSERT(t >= s.threadOpenSince[tid], "time went backwards");
+    if (s.open)
+        flushBlame(s, t);
     recordTew(s, pmo, t - s.threadOpenSince[tid]);
     s.threadOpenSince[tid] = notOpen;
 }
@@ -75,9 +110,15 @@ EwTracker::finalize(Cycles t_end)
         if (!s.seen)
             continue;
         if (s.open) {
-            recordEw(s, pmo,
-                     t_end >= s.openSince ? t_end - s.openSince : 0);
+            // A free-running sweeper can reopen a window beyond the
+            // final thread clock; clamp like the crash path does.
+            Cycles len =
+                t_end >= s.openSince ? t_end - s.openSince : 0;
+            closeBlame(s, pmo, s.openSince + len);
+            recordEw(s, pmo, len);
             s.open = false;
+            if (closeHook)
+                closeHook(pmo, s.openSince + len, len);
         }
         for (Cycles &since : s.threadOpenSince) {
             if (since == notOpen)
@@ -86,6 +127,212 @@ EwTracker::finalize(Cycles t_end)
             since = notOpen;
         }
     }
+}
+
+// ---- blame ------------------------------------------------------------
+
+bool
+EwTracker::heldForBlame(const PerPmo &s)
+{
+    if (s.externalHold)
+        return true;
+    for (Cycles since : s.threadOpenSince)
+        if (since != notOpen)
+            return true;
+    return false;
+}
+
+void
+EwTracker::appendSeg(PerPmo &s, Cycles t, BlameCause c)
+{
+    if (!s.segs.empty() && s.segs.back().cause == c)
+        s.segs.back().end = t;
+    else
+        s.segs.push_back({t, c});
+    s.causeSince = t;
+}
+
+void
+EwTracker::flushBlame(PerPmo &s, Cycles t)
+{
+    // Thread clocks are not globally monotone; a span that would end
+    // before it began resolves later (or is truncated at close).
+    if (t <= s.causeSince)
+        return;
+    if (s.holdCause != noCause) {
+        appendSeg(s, t, static_cast<BlameCause>(s.holdCause));
+    } else if (heldForBlame(s)) {
+        appendSeg(s, t, BlameCause::AppHold);
+    } else if (dark) {
+        appendSeg(s, t, BlameCause::EnergyDark);
+    } else if (s.idleCause != noCause) {
+        appendSeg(s, t, static_cast<BlameCause>(s.idleCause));
+    } else {
+        // Idle with no override: the app's own gap up to the EW
+        // deadline, the sweeper's lag beyond it.
+        Cycles deadline = s.openSince + blameTarget;
+        if (blameTarget == 0 || t <= deadline) {
+            appendSeg(s, t, s.idleBase);
+        } else {
+            if (s.causeSince < deadline)
+                appendSeg(s, deadline, s.idleBase);
+            appendSeg(s, t, BlameCause::SweeperLag);
+        }
+    }
+}
+
+void
+EwTracker::closeBlame(PerPmo &s, pm::PmoId pmo, Cycles t)
+{
+    flushBlame(s, t);
+
+    // Truncate to the close time: flushes driven by other threads'
+    // clocks may have resolved spans past a sweeper's earlier close.
+    Cycles start = s.openSince;
+    Cycles sum = 0;
+    std::size_t keep = 0;
+    Cycles causeLen[numBlameCauses] = {};
+    for (BlameSeg &seg : s.segs) {
+        if (start >= t)
+            break;
+        Cycles end = std::min(seg.end, t);
+        if (end <= start)
+            break;
+        seg.end = end;
+        causeLen[static_cast<unsigned>(seg.cause)] += end - start;
+        sum += end - start;
+        ++keep;
+        start = end;
+    }
+    s.segs.resize(keep);
+
+    TERP_ASSERT(sum == t - s.openSince,
+                "blame segments don't tile window of PMO ", pmo);
+
+    if (segHook)
+        for (const BlameSeg &seg : s.segs)
+            segHook(pmo, seg.end, seg.cause);
+    for (unsigned c = 0; c < numBlameCauses; ++c) {
+        if (!causeLen[c])
+            continue;
+        s.blame[c] += causeLen[c];
+        if (!reg)
+            continue;
+        const char *cause =
+            blameCauseName(static_cast<BlameCause>(c));
+        reg->histogram(
+               metrics::labeled("exposure.blame_cycles", "cause",
+                                cause))
+            .record(causeLen[c]);
+        reg->counter(metrics::labeled("exposure.blame_total", "cause",
+                                      cause))
+            .inc(causeLen[c]);
+        if (pmo < tenantOf.size() && !tenantOf[pmo].empty()) {
+            reg->counter(metrics::labeled(
+                             metrics::labeled("exposure.blame_total",
+                                              "cause", cause),
+                             "tenant", tenantOf[pmo]))
+                .inc(causeLen[c]);
+        }
+    }
+    s.segs.clear();
+}
+
+void
+EwTracker::setExternalHold(pm::PmoId pmo, bool on, Cycles t)
+{
+    auto &s = state(pmo);
+    if (s.externalHold == on)
+        return;
+    if (s.open)
+        flushBlame(s, t);
+    s.externalHold = on;
+}
+
+void
+EwTracker::setHoldCause(pm::PmoId pmo, BlameCause c, Cycles t)
+{
+    auto &s = state(pmo);
+    if (s.open)
+        flushBlame(s, t);
+    s.holdCause = static_cast<std::uint8_t>(c);
+}
+
+void
+EwTracker::clearHoldCause(pm::PmoId pmo, Cycles t)
+{
+    auto &s = state(pmo);
+    if (s.open)
+        flushBlame(s, t);
+    s.holdCause = noCause;
+}
+
+void
+EwTracker::setIdleCause(pm::PmoId pmo, BlameCause c, Cycles t)
+{
+    auto &s = state(pmo);
+    if (s.open)
+        flushBlame(s, t);
+    s.idleCause = static_cast<std::uint8_t>(c);
+}
+
+void
+EwTracker::clearIdleCause(pm::PmoId pmo, Cycles t)
+{
+    auto &s = state(pmo);
+    if (s.open)
+        flushBlame(s, t);
+    s.idleCause = noCause;
+}
+
+void
+EwTracker::setEnergyDark(bool on, Cycles t)
+{
+    if (dark == on)
+        return;
+    for (PerPmo &s : perPmo)
+        if (s.seen && s.open)
+            flushBlame(s, t);
+    dark = on;
+}
+
+void
+EwTracker::resetTransientCauses()
+{
+    for (PerPmo &s : perPmo) {
+        if (!s.seen)
+            continue;
+        TERP_ASSERT(!s.open,
+                    "transient-cause reset with a window open");
+        s.externalHold = false;
+        s.holdCause = noCause;
+        s.idleCause = noCause;
+    }
+}
+
+void
+EwTracker::setTenant(pm::PmoId pmo, const std::string &tenant)
+{
+    if (pmo >= tenantOf.size())
+        tenantOf.resize(pmo + 1);
+    tenantOf[pmo] = tenant;
+}
+
+Cycles
+EwTracker::blameTotal(pm::PmoId pmo, BlameCause c) const
+{
+    const PerPmo *s = stateIfSeen(pmo);
+    return s ? s->blame[static_cast<unsigned>(c)] : 0;
+}
+
+Cycles
+EwTracker::blameTotalAll(BlameCause c) const
+{
+    Cycles sum = 0;
+    for (const PerPmo &s : perPmo)
+        if (s.seen)
+            sum += s.blame[static_cast<unsigned>(c)];
+    return sum;
 }
 
 void

@@ -14,7 +14,9 @@
 #define TERP_SEMANTICS_EW_TRACKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -24,6 +26,30 @@
 
 namespace terp {
 namespace semantics {
+
+/**
+ * Why an exposure window was open during a span of cycles. Every
+ * closed window decomposes into blame segments whose lengths sum
+ * bit-exactly to the window's EW contribution; the taxonomy is the
+ * provenance layer's contract with the report/alerting side.
+ */
+enum class BlameCause : std::uint8_t
+{
+    AppHold,        //!< a thread (or manual/basic span) held it open
+    SweeperLag,     //!< idle past the EW deadline, sweeper hasn't acted
+    QueueWait,      //!< serve: open while requests queued for its tenant
+    SlowClientHold, //!< serve: a slow client sat inside its window
+    RecoveryReopen, //!< window reopened by the post-crash recovery pass
+    TxnLockWait,    //!< held up by transaction lock contention
+    EnergyDark,     //!< energy harvesting: sweeper gated off (dark/brownout)
+    NumCauses,
+};
+
+constexpr unsigned numBlameCauses =
+    static_cast<unsigned>(BlameCause::NumCauses);
+
+/** Stable snake_case name (metric label value / trace decoding). */
+const char *blameCauseName(BlameCause c);
 
 /** Aggregated exposure metrics for one PMO (or averaged over all). */
 struct ExposureMetrics
@@ -123,9 +149,102 @@ class EwTracker
     /** Closed thread windows that exceeded the TEW SLO. */
     std::uint64_t sloTewViolations() const { return tewViolations; }
 
+    // ---- exposure provenance (blame) ---------------------------------
+    //
+    // Every open process window carries a cause segmentation: a list
+    // of resolved [start, end) spans, each attributed to one
+    // BlameCause. Cause-relevant state changes (thread grants and
+    // revokes, hold/idle overrides, dark periods) flush the span up
+    // to the event time; processClose resolves the tail, *truncates*
+    // the list to the close time (per-thread clocks are not globally
+    // monotone, so an earlier flush can extend past a sweeper's
+    // close), and asserts that the segments tile the window exactly.
+    // The bookkeeping is charge-free: it never touches thread clocks
+    // and is always on, so enabling metrics cannot perturb results.
+
+    /**
+     * Idle windows older than openSince + target are blamed on
+     * SweeperLag (the sweeper should have closed them). Set to the
+     * scheme's ewTarget; 0 disables the deadline split.
+     */
+    void setBlameTarget(Cycles target) { blameTarget = target; }
+
+    /**
+     * Mark/unmark an exclusive span (manualBegin/manualEnd, basic
+     * regions) that holds the window open without a thread-permission
+     * grant, so blame sees it as held rather than idle.
+     */
+    void setExternalHold(pm::PmoId pmo, bool on, Cycles t);
+
+    /**
+     * Override the cause while the window is held (SlowClientHold,
+     * TxnLockWait). Applies whether or not a thread window is open.
+     */
+    void setHoldCause(pm::PmoId pmo, BlameCause c, Cycles t);
+    void clearHoldCause(pm::PmoId pmo, Cycles t);
+
+    /** Override the cause while the window is idle (QueueWait). */
+    void setIdleCause(pm::PmoId pmo, BlameCause c, Cycles t);
+    void clearIdleCause(pm::PmoId pmo, Cycles t);
+
+    /**
+     * Sweeper gated off for energy (dark period / brownout): idle
+     * spans are EnergyDark, not SweeperLag — the sweeper *couldn't*
+     * act. Flushes every open window at @p t.
+     */
+    void setEnergyDark(bool on, Cycles t);
+
+    /**
+     * While set, newly opened windows blame their idle base on
+     * RecoveryReopen instead of AppHold (the recovery pass reopened
+     * them; the spill past the deadline is still SweeperLag).
+     */
+    void setRecoveryActive(bool on) { recovering = on; }
+
+    /**
+     * Drop per-PMO transient cause state (external holds, overrides)
+     * — the crash path's reset; windows must already be closed.
+     */
+    void resetTransientCauses();
+
+    /** Label the PMO's tenant for per-tenant blame counters. */
+    void setTenant(pm::PmoId pmo, const std::string &tenant);
+
+    /**
+     * Per-close segment hook, fired once per final (truncated)
+     * segment in window order: (pmo, segment end, cause). The
+     * runtime wires this to BlameSegment trace events so the audit
+     * can recompute the attribution independently.
+     */
+    using SegmentHook =
+        std::function<void(pm::PmoId, Cycles, BlameCause)>;
+    void setSegmentHook(SegmentHook h) { segHook = std::move(h); }
+
+    /**
+     * Per-close window hook: (pmo, close time, window length). The
+     * serve layer uses it to feed per-tenant SLO burn-rate windows.
+     */
+    using CloseHook = std::function<void(pm::PmoId, Cycles, Cycles)>;
+    void setCloseHook(CloseHook h) { closeHook = std::move(h); }
+
+    /** Total cycles blamed on @p c for @p pmo (closed windows). */
+    Cycles blameTotal(pm::PmoId pmo, BlameCause c) const;
+    /** Total cycles blamed on @p c across every PMO. */
+    Cycles blameTotalAll(BlameCause c) const;
+
   private:
     /** Sentinel for "thread window not open". */
     static constexpr Cycles notOpen = ~Cycles(0);
+
+    /** One resolved blame span; its start is the previous end. */
+    struct BlameSeg
+    {
+        Cycles end;
+        BlameCause cause;
+    };
+
+    /** Sentinel for "no cause override installed". */
+    static constexpr std::uint8_t noCause = 0xFF;
 
     struct PerPmo
     {
@@ -136,6 +255,20 @@ class EwTracker
         bool seen = false; //!< any event ever recorded for this PMO
         /** Open-since time per tid; notOpen when closed. */
         std::vector<Cycles> threadOpenSince;
+
+        // -- blame state for the current window --
+        /** Resolved segments; seg[0] starts at openSince. */
+        std::vector<BlameSeg> segs;
+        /** Start of the not-yet-resolved tail span. */
+        Cycles causeSince = 0;
+        /** Idle base cause: AppHold, or RecoveryReopen. */
+        BlameCause idleBase = BlameCause::AppHold;
+        /** Held by a manual/basic span (no thread grant visible). */
+        bool externalHold = false;
+        std::uint8_t holdCause = noCause; //!< BlameCause or noCause
+        std::uint8_t idleCause = noCause; //!< BlameCause or noCause
+        /** Closed-window blame totals, indexed by BlameCause. */
+        Cycles blame[numBlameCauses] = {};
     };
 
     /** Dense per-PMO state (PmoIds are small sequential ints). */
@@ -146,12 +279,33 @@ class EwTracker
     void recordEw(PerPmo &s, pm::PmoId pmo, Cycles len);
     void recordTew(PerPmo &s, pm::PmoId pmo, Cycles len);
 
+    /** True if any thread window or external span holds @p s open. */
+    static bool heldForBlame(const PerPmo &s);
+    /** Resolve [causeSince, t) and advance causeSince (open only). */
+    void flushBlame(PerPmo &s, Cycles t);
+    /** Append [causeSince, t) as @p c, coalescing equal neighbors. */
+    static void appendSeg(PerPmo &s, Cycles t, BlameCause c);
+    /**
+     * Close the blame side of a window at @p t: resolve the tail,
+     * truncate the segment list to @p t, assert the segments tile
+     * [openSince, t) exactly, accumulate totals, publish metrics and
+     * fire hooks.
+     */
+    void closeBlame(PerPmo &s, pm::PmoId pmo, Cycles t);
+
     std::vector<PerPmo> perPmo; //!< indexed by PmoId; .seen gates use
     metrics::Registry *reg = nullptr; //!< null = no metrics
     Cycles sloEw = 0;   //!< EW SLO threshold; 0 = off
     Cycles sloTew = 0;  //!< TEW SLO threshold; 0 = off
     std::uint64_t ewViolations = 0;
     std::uint64_t tewViolations = 0;
+
+    Cycles blameTarget = 0; //!< idle deadline offset; 0 = no split
+    bool dark = false;      //!< sweeper energy-gated right now
+    bool recovering = false; //!< inside the recovery pass
+    std::vector<std::string> tenantOf; //!< per-PMO tenant label
+    SegmentHook segHook;
+    CloseHook closeHook;
 };
 
 } // namespace semantics

@@ -115,6 +115,30 @@ struct ServeConfig
     Cycles ewSlo = 2 * target::defaultEw;
     Cycles tewSlo = 10 * target::defaultTew;
 
+    /**
+     * Per-tenant exposure budget for SLO burn-rate alerting: the
+     * fraction of wall-clock each tenant PMO is *allowed* to sit
+     * exposed (mapped). 0 disables budgets, burn gauges and the
+     * shed-advice hook entirely — attribution stays on, alerting is
+     * opt-in, and the default posture report is unchanged.
+     */
+    double tenantEwBudget = 0.0;
+    /**
+     * Fast/slow burn-rate windows (tumbling, aligned to t=0),
+     * following the classic multi-window burn-rate alerting recipe:
+     * the fast window catches short bursts quickly, the slow window
+     * confirms sustained burn. For each closed exposure window the
+     * tenant's bucket sums advance and
+     *   burn = (exposed cycles in window / window) / tenantEwBudget
+     * is published as serve.slo_burn{tenant=...,win="fast"|"slow"}
+     * gauges (the gauge high-water mark keeps the peak). A tenant
+     * whose fast AND slow burn both exceed 1.0 is in alert: admits
+     * for it bump serve.shed_advised — advisory only, nothing is
+     * actually shed (the decision hook is a stub by design).
+     */
+    Cycles burnFast = 50 * cyclesPerUs;
+    Cycles burnSlow = 400 * cyclesPerUs;
+
     /** Protection scheme + machine model of every shard. */
     core::RuntimeConfig runtime = core::RuntimeConfig::tt();
     sim::MachineConfig machine;

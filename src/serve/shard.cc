@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "pm/tx_manager.hh"
+#include "semantics/ew_tracker.hh"
 
 namespace terp {
 namespace serve {
@@ -38,12 +39,17 @@ ServeShard::ServeShard(const ServeConfig &cfg_, unsigned shard,
       stream(std::move(stream_))
 {
     // Tenant PMOs: local index l holds global tenant l*shards+shard.
+    auto &ewt = dom.runtime().exposureMut();
     for (unsigned l = 0; l < cfg.pmosPerShard; ++l) {
-        auto &p = dom.pmos().create(
-            "tenant" + std::to_string(shard) + "." + std::to_string(l),
-            cfg.pmoSize);
+        std::string name = "tenant" + std::to_string(shard) + "." +
+                           std::to_string(l);
+        auto &p = dom.pmos().create(name, cfg.pmoSize);
         tenants.push_back(p.id());
+        // Tenant label on the tracker: per-tenant blame counters.
+        ewt.setTenant(p.id(), name);
     }
+    queuedPerTenant.assign(cfg.pmosPerShard, 0);
+    holdersSlow.assign(cfg.pmosPerShard, 0);
 
     workers.resize(cfg.workersPerShard);
     for (auto &w : workers)
@@ -60,6 +66,27 @@ ServeShard::ServeShard(const ServeConfig &cfg_, unsigned shard,
         mLatency = &reg->histogram("serve.request_latency_cycles");
         mWait = &reg->histogram("serve.queue_wait_cycles");
     }
+
+    if (cfg.tenantEwBudget > 0) {
+        burn.resize(cfg.pmosPerShard);
+        if (auto reg = dom.runtime().metricsRegistry()) {
+            for (unsigned l = 0; l < cfg.pmosPerShard; ++l) {
+                std::string base = metrics::labeled(
+                    "serve.slo_burn", "tenant",
+                    "tenant" + std::to_string(shard) + "." +
+                        std::to_string(l));
+                burn[l].fast = &reg->gauge(
+                    metrics::labeled(base, "win", "fast"));
+                burn[l].slow = &reg->gauge(
+                    metrics::labeled(base, "win", "slow"));
+            }
+            mShedAdvised = &reg->counter("serve.shed_advised");
+        }
+        ewt.setCloseHook(
+            [this](pm::PmoId pmo, Cycles closeAt, Cycles len) {
+                onWindowClose(pmo, closeAt, len);
+            });
+    }
 }
 
 void
@@ -68,6 +95,9 @@ ServeShard::admit(const Request &req)
     ++sum.arrived;
     if (mArrived)
         mArrived->inc();
+    unsigned l = static_cast<unsigned>(req.globalPmo / cfg.shards);
+    if (shedAdvised(l) && mShedAdvised)
+        mShedAdvised->inc();
     if (queue.size() >= cfg.queueCapacity) {
         // Backpressure: shed, observably. The session's later
         // requests still arrive (open-loop clients don't wait).
@@ -81,6 +111,12 @@ ServeShard::admit(const Request &req)
         return;
     }
     queue.push_back(req);
+    // First waiter for this tenant: its exposure is now queue-bound,
+    // not app- or sweeper-bound, until the backlog drains.
+    if (++queuedPerTenant[l] == 1)
+        dom.runtime().exposureMut().setIdleCause(
+            tenants[l], semantics::BlameCause::QueueWait,
+            req.arrival);
     if (queue.size() > sum.queueHwm)
         sum.queueHwm = queue.size();
     if (mDepth)
@@ -107,6 +143,10 @@ ServeShard::assign(Worker &w, Cycles at)
     w.holdLeft = w.req.slow ? cfg.slowHold : 0;
     w.startedAt = at;
     w.ops = Rng(w.req.salt);
+    TERP_ASSERT(queuedPerTenant[w.localIdx] > 0,
+                "ServeShard: tenant queue count underflow");
+    if (--queuedPerTenant[w.localIdx] == 0)
+        dom.runtime().exposureMut().clearIdleCause(w.localPmo, at);
     if (mWait)
         mWait->record(at - w.req.arrival);
     if (auto sink = dom.runtime().traceSink())
@@ -151,8 +191,20 @@ ServeShard::stepWorker(Worker &w)
                        write);
         dom.machine().execute(tc,
                               w.ops.jitter(cfg.instrPerOp, 0.5));
-        if (++w.opIdx >= w.req.ops)
-            w.phase = w.holdLeft > 0 ? Phase::Hold : Phase::End;
+        if (++w.opIdx >= w.req.ops) {
+            if (w.holdLeft > 0) {
+                w.phase = Phase::Hold;
+                // Slow client keeping the region open: attribute
+                // the tenant's exposure to the client, not the app.
+                if (++holdersSlow[w.localIdx] == 1)
+                    rt.exposureMut().setHoldCause(
+                        w.localPmo,
+                        semantics::BlameCause::SlowClientHold,
+                        tc.now());
+            } else {
+                w.phase = Phase::End;
+            }
+        }
         return;
       }
       case Phase::Hold: {
@@ -165,8 +217,12 @@ ServeShard::stepWorker(Worker &w)
             chunk = w.holdLeft;
         tc.work(chunk);
         w.holdLeft -= chunk;
-        if (w.holdLeft == 0)
+        if (w.holdLeft == 0) {
             w.phase = Phase::End;
+            if (--holdersSlow[w.localIdx] == 0)
+                rt.exposureMut().clearHoldCause(w.localPmo,
+                                                tc.now());
+        }
         return;
       }
       case Phase::End: {
@@ -213,6 +269,46 @@ ServeShard::stepWorker(Worker &w)
       case Phase::Idle:
         TERP_ASSERT(false, "ServeShard: stepped an idle worker");
     }
+}
+
+void
+ServeShard::onWindowClose(pm::PmoId pmo, Cycles closeAt, Cycles len)
+{
+    unsigned l = 0;
+    while (l < tenants.size() && tenants[l] != pmo)
+        ++l;
+    if (l >= burn.size())
+        return;
+    auto &b = burn[l];
+    // Tumbling buckets aligned to t=0; a window is charged whole to
+    // the bucket containing its close time (windows longer than the
+    // bucket can legitimately push burn past 1/budget — that's the
+    // alert firing, not an accounting bug).
+    auto bump = [&](std::uint64_t &bucket, Cycles &sumC, Cycles win,
+                    metrics::Gauge *g) {
+        if (win == 0)
+            return 0.0;
+        std::uint64_t now = closeAt / win;
+        if (now != bucket) {
+            bucket = now;
+            sumC = 0;
+        }
+        sumC += len;
+        double rate = static_cast<double>(sumC) /
+                      static_cast<double>(win) / cfg.tenantEwBudget;
+        if (g)
+            g->set(rate);
+        return rate;
+    };
+    double f = bump(b.fastBucket, b.fastSum, cfg.burnFast, b.fast);
+    double s = bump(b.slowBucket, b.slowSum, cfg.burnSlow, b.slow);
+    b.alert = f > 1.0 && s > 1.0;
+}
+
+bool
+ServeShard::shedAdvised(unsigned localIdx) const
+{
+    return localIdx < burn.size() && burn[localIdx].alert;
 }
 
 void

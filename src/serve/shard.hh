@@ -130,6 +130,34 @@ class ServeShard
      */
     std::vector<char> manualHeld;
 
+    // ---- exposure provenance + burn-rate alerting ----------------
+    /**
+     * Per-tenant queued-request counts: while a tenant has requests
+     * waiting in the shard queue, its open-but-unheld exposure spans
+     * are attributed to QueueWait instead of the app/sweeper split
+     * (the window is open because the server can't drain its work).
+     */
+    std::vector<unsigned> queuedPerTenant;
+    /** Workers inside Phase::Hold per tenant (SlowClientHold). */
+    std::vector<unsigned> holdersSlow;
+    /**
+     * Per-tenant SLO burn-rate state (tumbling fast/slow windows).
+     * Empty unless cfg.tenantEwBudget > 0; a closed exposure window
+     * is charged whole to the bucket containing its close time.
+     */
+    struct BurnState
+    {
+        std::uint64_t fastBucket = 0;
+        std::uint64_t slowBucket = 0;
+        Cycles fastSum = 0;
+        Cycles slowSum = 0;
+        bool alert = false; //!< both windows burning > 1.0
+        metrics::Gauge *fast = nullptr;
+        metrics::Gauge *slow = nullptr;
+    };
+    std::vector<BurnState> burn;
+    metrics::Counter *mShedAdvised = nullptr;
+
     ShardSummary sum;
 
     // Cached instruments (null when metrics are off).
@@ -145,6 +173,14 @@ class ServeShard
     void assign(Worker &w, Cycles at);
     void stepWorker(Worker &w);
     void complete(Worker &w);
+    /** EwTracker close hook: advance the tenant's burn windows. */
+    void onWindowClose(pm::PmoId pmo, Cycles closeAt, Cycles len);
+    /**
+     * Shed-decision hook, advisory stub: true when the tenant's fast
+     * AND slow burn both exceed 1.0. Admits for such a tenant bump
+     * serve.shed_advised; nothing is actually shed.
+     */
+    bool shedAdvised(unsigned localIdx) const;
 };
 
 } // namespace serve

@@ -14,6 +14,8 @@ struct PmoReplay
     bool open = false;
     Cycles openSince = 0;
     std::map<std::uint32_t, Cycles> threadOpenSince;
+    /** Start of the next blame segment of the current window. */
+    Cycles blameCursor = 0;
 };
 
 void
@@ -48,6 +50,23 @@ compareTally(AuditReport &r, const char *what, std::uint64_t pmo,
        << " sum=" << got.sum() << " min=" << got.min() << " max="
        << got.max() << "} vs EwTracker {n=" << wc << " sum="
        << ws << " min=" << wlo << " max=" << wm << "}";
+    mismatch(r, os.str());
+}
+
+/**
+ * Closed window of recomputed length @p len: its blame segments
+ * (which advanced blameCursor from openSince) must tile it exactly.
+ */
+void
+checkBlameTiling(AuditReport &r, std::uint64_t pmo, PmoReplay &s,
+                 Cycles len)
+{
+    if (s.blameCursor == s.openSince + len)
+        return;
+    std::ostringstream os;
+    os << "blame segments don't tile window: pmo " << pmo
+       << " open " << s.openSince << " len " << len
+       << " segments cover " << (s.blameCursor - s.openSince);
     mismatch(r, os.str());
 }
 
@@ -88,6 +107,7 @@ replayTimeline(const std::vector<Event> &events, Cycles t_end)
             }
             s.open = true;
             s.openSince = e.ts;
+            s.blameCursor = e.ts;
             break;
           }
           case EventKind::RealDetach: {
@@ -97,8 +117,10 @@ replayTimeline(const std::vector<Event> &events, Cycles t_end)
                                 describe(e));
                 break;
             }
-            r.ew[e.pmo].add(e.ts >= s.openSince ? e.ts - s.openSince
-                                                : 0);
+            Cycles len =
+                e.ts >= s.openSince ? e.ts - s.openSince : 0;
+            r.ew[e.pmo].add(len);
+            checkBlameTiling(r, e.pmo, s, len);
             s.open = false;
             break;
           }
@@ -112,9 +134,33 @@ replayTimeline(const std::vector<Event> &events, Cycles t_end)
                                 describe(e));
                 break;
             }
-            r.ew[e.pmo].add(e.ts >= s.openSince ? e.ts - s.openSince
-                                                : 0);
+            Cycles len =
+                e.ts >= s.openSince ? e.ts - s.openSince : 0;
+            r.ew[e.pmo].add(len);
+            checkBlameTiling(r, e.pmo, s, len);
             s.openSince = e.ts;
+            s.blameCursor = e.ts;
+            break;
+          }
+          case EventKind::BlameSegment: {
+            // Emitted at window close, one per final segment; ts is
+            // the segment's end, the previous end (or the window
+            // open) its start.
+            PmoReplay &s = state[e.pmo];
+            if (!s.open) {
+                mismatch(r, "blame segment outside a window: " +
+                                describe(e));
+                break;
+            }
+            if (e.arg >= semantics::numBlameCauses ||
+                e.ts <= s.blameCursor) {
+                mismatch(r, "malformed blame segment: " +
+                                describe(e));
+                break;
+            }
+            auto &sums = r.blame[e.pmo];
+            sums[e.arg] += e.ts - s.blameCursor;
+            s.blameCursor = e.ts;
             break;
           }
           case EventKind::ThreadGrant: {
@@ -145,9 +191,16 @@ replayTimeline(const std::vector<Event> &events, Cycles t_end)
 
     // End of run: close every still-open window, as finalize() does.
     for (auto &[pmo, s] : state) {
-        if (s.open)
-            r.ew[pmo].add(t_end >= s.openSince ? t_end - s.openSince
-                                               : 0);
+        if (s.open) {
+            Cycles len =
+                t_end >= s.openSince ? t_end - s.openSince : 0;
+            r.ew[pmo].add(len);
+            // finalize() emits the final window's segments; a trace
+            // cut before finalize legitimately has none, so only a
+            // partial tiling is a replay error here.
+            if (s.blameCursor != s.openSince)
+                checkBlameTiling(r, pmo, s, len);
+        }
         for (const auto &[tid, since] : s.threadOpenSince) {
             (void)tid;
             r.tew[pmo].add(t_end >= since ? t_end - since : 0);
@@ -192,6 +245,25 @@ auditEvents(const std::vector<Event> &events, bool complete,
         compareTally(r, "TEW", pmo,
                      tit != r.tew.end() ? tit->second : WindowTally{},
                      expected.tewSummaryFor(id));
+
+        // Blame attribution: the recomputed per-cause totals must
+        // equal the tracker's bit-exactly (third independent copy of
+        // the blame-sum == EW invariant).
+        auto bit = r.blame.find(pmo);
+        for (unsigned c = 0; c < semantics::numBlameCauses; ++c) {
+            Cycles got = bit != r.blame.end() ? bit->second[c] : 0;
+            Cycles want = expected.blameTotal(
+                id, static_cast<semantics::BlameCause>(c));
+            if (got == want)
+                continue;
+            std::ostringstream os;
+            os << "blame pmo " << pmo << " cause "
+               << semantics::blameCauseName(
+                      static_cast<semantics::BlameCause>(c))
+               << ": trace replay " << got << " vs EwTracker "
+               << want;
+            mismatch(r, os.str());
+        }
     }
 
     r.ok = r.mismatches.empty();

@@ -17,6 +17,7 @@
 #ifndef TERP_TRACE_AUDIT_HH
 #define TERP_TRACE_AUDIT_HH
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,16 @@ struct AuditReport
 
     std::map<std::uint64_t, WindowTally> ew;  //!< recomputed, per PMO
     std::map<std::uint64_t, WindowTally> tew; //!< recomputed, per PMO
+
+    /**
+     * Recomputed blame attribution, per PMO: total cycles per
+     * BlameCause, rebuilt from BlameSegment events. The replay also
+     * enforces the tiling invariant — the segments of every closed
+     * window must cover [open, close) exactly, gap- and overlap-free.
+     */
+    std::map<std::uint64_t,
+             std::array<Cycles, semantics::numBlameCauses>>
+        blame;
 
     /** One-line verdict for logs. */
     std::string summary() const;

@@ -55,6 +55,7 @@ enum class EventKind : std::uint8_t
     RequestShed,     //!< serve: bounded queue full, request shed; arg = session id
     PowerFail,       //!< energy: capacitor crossed the fail threshold; arg = stored units
     Recharge,        //!< energy: capacitor recharged, execution resumes; arg = off-time cycles
+    BlameSegment,    //!< exposure blame span ends at ts; arg = BlameCause
     NumKinds
 };
 

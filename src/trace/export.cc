@@ -38,6 +38,7 @@ eventKindName(EventKind k)
       case EventKind::RequestShed: return "request_shed";
       case EventKind::PowerFail: return "power_fail";
       case EventKind::Recharge: return "recharge";
+      case EventKind::BlameSegment: return "blame_segment";
       default: return "?";
     }
 }

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -504,4 +506,72 @@ TEST(MetricsEndToEnd, SamplerProducesTimeSeries)
         EXPECT_GT(row.at, prev);
         prev = row.at;
     }
+}
+
+// ------------------------------ Prometheus label-value escaping
+
+namespace {
+
+/**
+ * Parse one exposition line's label set back out, undoing the
+ * quoted-string escapes (\\, \", \n). Returns key -> value.
+ */
+std::map<std::string, std::string>
+parsePromLabels(const std::string &line)
+{
+    std::map<std::string, std::string> out;
+    std::size_t open = line.find('{');
+    if (open == std::string::npos)
+        return out;
+    std::size_t i = open + 1;
+    while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        std::string key = line.substr(i, eq - i);
+        EXPECT_EQ(line[eq + 1], '"');
+        std::string val;
+        std::size_t j = eq + 2;
+        for (; j < line.size() && line[j] != '"'; ++j) {
+            if (line[j] == '\\' && j + 1 < line.size()) {
+                char n = line[++j];
+                val += n == 'n' ? '\n' : n;
+            } else {
+                val += line[j];
+            }
+        }
+        out[key] = val;
+        i = j + 1;
+        if (i < line.size() && line[i] == ',')
+            ++i;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(PromExport, HostileLabelValuesRoundTrip)
+{
+    metrics::Registry reg;
+    // A tenant name with every character the exposition format's
+    // quoted strings require escaping for: backslash, double quote,
+    // newline (plus a comma and braces, which need none but must
+    // not confuse the line structure).
+    std::string hostile = "ev\\il\"te,na}nt\nx{";
+    reg.counter(metrics::labeled("serve.shed", "tenant", hostile))
+        .inc(7);
+    std::string text = metrics::toPrometheus(reg);
+
+    // The exposition must stay line-structured: exactly one # TYPE
+    // line and one sample line — the newline in the value must not
+    // produce a third.
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    for (std::string l; std::getline(is, l);)
+        lines.push_back(l);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "# TYPE terp_serve_shed counter");
+
+    auto ls = parsePromLabels(lines[1]);
+    ASSERT_EQ(ls.count("tenant"), 1u);
+    EXPECT_EQ(ls["tenant"], hostile);
+    EXPECT_EQ(lines[1].substr(lines[1].rfind(' ') + 1), "7");
 }

@@ -212,6 +212,172 @@ TEST(EwTracker, MetricsAllAveragesOverPmos)
     EXPECT_NEAR(m.ewMaxUs, cyclesToUs(3000), 1e-9);
 }
 
+// ------------------------------------ exposure provenance (blame)
+
+TEST(EwTrackerBlame, SegmentsTileWindowBitExact)
+{
+    EwTracker t;
+    t.setBlameTarget(100);
+    t.processOpen(1, 100);
+    t.threadOpen(0, 1, 100);
+    t.threadClose(0, 1, 150);
+    // Held [100,150) -> AppHold. Idle [150,300) splits at the
+    // deadline 100+100=200: AppHold to the deadline, SweeperLag
+    // past it. 100 + 100 == the 200-cycle window, bit-exactly.
+    t.processClose(1, 300);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 100u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SweeperLag), 100u);
+    Cycles sum = 0;
+    for (unsigned c = 0; c < numBlameCauses; ++c)
+        sum += t.blameTotal(1, static_cast<BlameCause>(c));
+    EXPECT_EQ(sum, 200u);
+}
+
+TEST(EwTrackerBlame, ZeroTargetDisablesDeadlineSplit)
+{
+    EwTracker t; // blameTarget defaults to 0
+    t.processOpen(1, 0);
+    t.processClose(1, 5000);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 5000u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SweeperLag), 0u);
+}
+
+TEST(EwTrackerBlame, HoldCauseOverridesHeldSpans)
+{
+    EwTracker t;
+    t.setBlameTarget(1000);
+    t.processOpen(1, 0);
+    t.threadOpen(0, 1, 0);
+    t.setHoldCause(1, BlameCause::SlowClientHold, 200);
+    t.clearHoldCause(1, 600);
+    t.threadClose(0, 1, 700);
+    t.processClose(1, 800);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SlowClientHold), 400u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 400u);
+}
+
+TEST(EwTrackerBlame, EnergyDarkBeatsQueueWaitBeatsDeadline)
+{
+    EwTracker t;
+    t.setBlameTarget(100);
+    t.processOpen(1, 0);
+    // Idle from the start; queued work from 300; dark from 600.
+    // Priority per span: dark > idle override > deadline split.
+    t.setIdleCause(1, BlameCause::QueueWait, 300);
+    t.setEnergyDark(true, 600);
+    t.setEnergyDark(false, 900);
+    t.processClose(1, 1000);
+    // [0,100) AppHold (pre-deadline), [100,300) SweeperLag,
+    // [300,600) QueueWait, [600,900) EnergyDark, [900,1000)
+    // QueueWait again (override still installed).
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 100u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SweeperLag), 200u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::QueueWait), 400u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::EnergyDark), 300u);
+}
+
+TEST(EwTrackerBlame, RecoveryReopenIsTheIdleBase)
+{
+    EwTracker t;
+    t.setBlameTarget(100);
+    t.setRecoveryActive(true);
+    t.processOpen(1, 0);
+    t.setRecoveryActive(false);
+    t.processClose(1, 300);
+    // The recovery pass reopened the window; nobody held it. Up to
+    // the deadline that's RecoveryReopen, past it SweeperLag.
+    EXPECT_EQ(t.blameTotal(1, BlameCause::RecoveryReopen), 100u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SweeperLag), 200u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 0u);
+}
+
+TEST(EwTrackerBlame, ExternalHoldCountsAsHeld)
+{
+    EwTracker t;
+    t.setBlameTarget(100);
+    t.processOpen(1, 0);
+    t.setExternalHold(1, true, 0);
+    t.setExternalHold(1, false, 500);
+    t.processClose(1, 600);
+    // Held (manual span) [0,500) -> AppHold; idle [500,600) is all
+    // past the deadline -> SweeperLag.
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 500u);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::SweeperLag), 100u);
+}
+
+TEST(EwTrackerBlame, SegmentHookSeesTruncatedSegments)
+{
+    EwTracker t;
+    t.setBlameTarget(100);
+    std::vector<std::pair<Cycles, BlameCause>> got;
+    t.setSegmentHook([&](pm::PmoId, Cycles end, BlameCause c) {
+        got.push_back({end, c});
+    });
+    t.processOpen(1, 0);
+    t.threadOpen(0, 1, 0);
+    // The thread's clock ran ahead of the sweeper's close time: the
+    // flush extends to 500, but the close at 400 must truncate.
+    t.threadClose(0, 1, 500);
+    t.processClose(1, 400);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].first, 400u);
+    EXPECT_EQ(got[0].second, BlameCause::AppHold);
+    EXPECT_EQ(t.blameTotal(1, BlameCause::AppHold), 400u);
+}
+
+TEST(EwTrackerBlame, CloseHookReportsWindowLength)
+{
+    EwTracker t;
+    std::vector<std::pair<Cycles, Cycles>> closes;
+    t.setCloseHook([&](pm::PmoId, Cycles at, Cycles len) {
+        closes.push_back({at, len});
+    });
+    t.processOpen(1, 100);
+    t.processClose(1, 350);
+    t.processOpen(1, 400);
+    t.finalize(1000);
+    ASSERT_EQ(closes.size(), 2u);
+    EXPECT_EQ(closes[0], (std::pair<Cycles, Cycles>{350, 250}));
+    EXPECT_EQ(closes[1], (std::pair<Cycles, Cycles>{1000, 600}));
+}
+
+TEST(EwTrackerBlame, TenantLabeledCounters)
+{
+    metrics::Registry reg;
+    EwTracker t;
+    t.enableMetrics(&reg);
+    t.setTenant(1, "acme");
+    t.processOpen(1, 0);
+    t.processClose(1, 700);
+    const metrics::Counter *c = reg.findCounter(
+        "exposure.blame_total{cause=\"app_hold\",tenant=\"acme\"}");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 700u);
+}
+
+TEST(EwTrackerBlame, SloViolationsCountOncePerClosedWindow)
+{
+    // The crash/recover shape at the tracker level: a long window
+    // closed by the crash counts one EW SLO violation; the window
+    // the recovery pass reopens is a *new* window and only counts
+    // if it exceeds the SLO on its own. No double counting of the
+    // pre-crash span.
+    EwTracker t;
+    t.setSlo(500, 0);
+    t.processOpen(1, 0);
+    t.processClose(1, 1000); // crash close: violation #1
+    EXPECT_EQ(t.sloEwViolations(), 1u);
+    t.resetTransientCauses();
+    t.setRecoveryActive(true);
+    t.processOpen(1, 1000); // recovery reopen
+    t.setRecoveryActive(false);
+    t.processClose(1, 1200); // 200 < 500: no new violation
+    EXPECT_EQ(t.sloEwViolations(), 1u);
+    t.processOpen(1, 2000);
+    t.processClose(1, 2800); // 800 > 500: its own violation
+    EXPECT_EQ(t.sloEwViolations(), 2u);
+}
+
 // --------------------------------------- the four semantics (Fig 3)
 
 namespace {

@@ -35,6 +35,12 @@
  *   --scheme=NAME        tt | tm | mm | ttnc | basic | unprotected
  *                        (default tt)
  *   --slow=FRAC          slow-client fraction (default 0.02)
+ *   --ew-budget=F        per-tenant exposure budget (fraction of
+ *                        wall-clock a tenant PMO may sit exposed)
+ *                        for SLO burn-rate alerting; publishes
+ *                        serve.slo_burn{tenant,win} gauges and the
+ *                        serve.shed_advised advisory counter
+ *                        (default 0 = off)
  *   --txn-writes=N       end every request with one durable
  *                        TxManager transaction of N writes on its
  *                        tenant PMO (enables persistence; default 0
@@ -75,6 +81,7 @@ usage()
         " [--workers=N]\n"
         "                  [--sessions=C] [--requests=R]"
         " [--scheme=NAME] [--slow=FRAC]\n"
+        "                  [--ew-budget=F]\n"
         "                  [--txn-writes=N]\n"
         "                  [--queue-cap=Q] [--out=FILE]"
         " [--golden=FILE]\n"
@@ -152,6 +159,10 @@ main(int argc, char **argv)
             }
         } else if (a.rfind("--slow=", 0) == 0) {
             cfg.slowFraction = std::atof(a.c_str() + 7);
+        } else if (a.rfind("--ew-budget=", 0) == 0) {
+            cfg.tenantEwBudget = std::atof(a.c_str() + 12);
+            if (cfg.tenantEwBudget < 0)
+                return usage();
         } else if (a.rfind("--txn-writes=", 0) == 0) {
             cfg.txnWrites =
                 static_cast<unsigned>(std::atol(a.c_str() + 13));

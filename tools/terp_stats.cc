@@ -193,6 +193,18 @@ isHostMetric(const std::string &name)
     return metrics::baseName(name).rfind("host.", 0) == 0;
 }
 
+/**
+ * Blame-attribution series (exposure.blame_*). Kept out of the
+ * default golden so the posture golden stays byte-identical whether
+ * or not a consumer looks at provenance; they get their own report
+ * (--blame), golden and diff section instead.
+ */
+bool
+isBlameMetric(const std::string &name)
+{
+    return metrics::baseName(name).rfind("exposure.blame", 0) == 0;
+}
+
 /** The `{...}` label suffix of @p name ("" when unlabeled). */
 std::string
 labelSuffix(const std::string &name)
@@ -325,6 +337,96 @@ printReport(const Doc &doc)
     }
 }
 
+// ------------------------------------------------------- blame report
+
+/** @p name with its `cause` label removed (the blame group key). */
+std::string
+withoutCause(const std::string &name)
+{
+    std::map<std::string, std::string> ls =
+        metrics::nameLabels(name);
+    ls.erase("cause");
+    std::string out = metrics::baseName(name);
+    if (ls.empty())
+        return out;
+    out += "{";
+    bool first = true;
+    for (const auto &[k, v] : ls) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + v + "\"";
+    }
+    return out + "}";
+}
+
+/**
+ * The one-page blame report: every `exposure.blame_total` counter
+ * (sorted name order, i.e. sorted cause order within each group)
+ * with its share of the group's blamed cycles, then the per-cause
+ * segment-length histograms. The exact same text doubles as the
+ * blame golden (--blame --golden=FILE): it is built purely from
+ * deterministic simulated-cycle quantities.
+ */
+std::string
+blameText(const Doc &doc)
+{
+    std::ostringstream os;
+    char buf[160];
+    os << "=== terp-stats: exposure blame report ===\n";
+
+    // Group totals: blamed cycles per (labels minus cause), so the
+    // share column reads "of this scheme's total exposure".
+    std::map<std::string, std::uint64_t> groupTotal;
+    for (const auto &[name, v] : doc.counters)
+        if (metrics::baseName(name) == "exposure.blame_total")
+            groupTotal[withoutCause(name)] += v;
+
+    bool header = false;
+    for (const auto &[name, v] : doc.counters) {
+        if (metrics::baseName(name) != "exposure.blame_total")
+            continue;
+        if (!header) {
+            os << "\nblame totals (us):\n";
+            std::snprintf(buf, sizeof(buf), "  %-64s %12s %7s\n", "",
+                          "us", "share");
+            os << buf;
+            header = true;
+        }
+        std::uint64_t total = groupTotal[withoutCause(name)];
+        double share =
+            total ? 100.0 * static_cast<double>(v) /
+                        static_cast<double>(total)
+                  : 0.0;
+        std::snprintf(buf, sizeof(buf), "  %-64s %12.2f %6.1f%%\n",
+                      name.c_str(), cyclesUs(v), share);
+        os << buf;
+    }
+    if (!header)
+        os << "\nno blame attribution recorded\n";
+
+    header = false;
+    for (const auto &[name, d] : doc.dists) {
+        if (metrics::baseName(name) != "exposure.blame_cycles")
+            continue;
+        if (!header) {
+            os << "\nblame segments (us):\n";
+            std::snprintf(buf, sizeof(buf),
+                          "  %-64s %8s %8s %8s %8s\n", "", "count",
+                          "mean", "p99", "max");
+            os << buf;
+            header = true;
+        }
+        std::snprintf(
+            buf, sizeof(buf), "  %-64s %8llu %8.2f %8.2f %8.2f\n",
+            name.c_str(), (unsigned long long)d.count,
+            cyclesUs(static_cast<std::uint64_t>(d.mean + 0.5)),
+            cyclesUs(d.p99), cyclesUs(d.max));
+        os << buf;
+    }
+    return os.str();
+}
+
 // ------------------------------------------------------------- golden
 
 /**
@@ -343,16 +445,16 @@ goldenText(const Doc &doc)
           "H name count sum min max\n";
     char buf[64];
     for (const auto &[name, v] : doc.counters)
-        if (!isHostMetric(name))
+        if (!isHostMetric(name) && !isBlameMetric(name))
             os << "C " << name << " " << v << "\n";
     for (const auto &[name, v] : doc.gauges) {
-        if (isHostMetric(name))
+        if (isHostMetric(name) || isBlameMetric(name))
             continue;
         std::snprintf(buf, sizeof(buf), "%.6g", v.first);
         os << "G " << name << " " << buf << "\n";
     }
     for (const auto &[name, d] : doc.dists) {
-        if (isHostMetric(name))
+        if (isHostMetric(name) || isBlameMetric(name))
             continue;
         os << "H " << name << " " << d.count << " " << d.sum << " "
            << d.min << " " << d.max << "\n";
@@ -361,14 +463,13 @@ goldenText(const Doc &doc)
 }
 
 int
-checkGolden(const Doc &doc, const std::string &path)
+checkGolden(const std::string &got, const std::string &path)
 {
     std::string want, error;
     if (!readFile(path, want, error)) {
         std::fprintf(stderr, "terp-stats: %s\n", error.c_str());
         return 2;
     }
-    std::string got = goldenText(doc);
     if (got == want) {
         std::fprintf(stderr, "terp-stats: metrics match golden %s\n",
                      path.c_str());
@@ -414,7 +515,7 @@ diffDocs(const Doc &a, const Doc &b)
     auto u64s = [](std::uint64_t v) { return std::to_string(v); };
 
     for (const auto &[name, v] : a.counters) {
-        if (isHostMetric(name))
+        if (isHostMetric(name) || isBlameMetric(name))
             continue;
         auto it = b.counters.find(name);
         if (it == b.counters.end())
@@ -423,7 +524,8 @@ diffDocs(const Doc &a, const Doc &b)
             note(name, u64s(v), u64s(it->second));
     }
     for (const auto &[name, v] : b.counters)
-        if (!isHostMetric(name) && !a.counters.count(name))
+        if (!isHostMetric(name) && !isBlameMetric(name) &&
+            !a.counters.count(name))
             note(name, "(absent)", u64s(v));
 
     for (const auto &[name, v] : a.gauges) {
@@ -453,7 +555,7 @@ diffDocs(const Doc &a, const Doc &b)
                " min=" + u64s(d.min) + " max=" + u64s(d.max);
     };
     for (const auto &[name, d] : a.dists) {
-        if (isHostMetric(name))
+        if (isHostMetric(name) || isBlameMetric(name))
             continue;
         auto it = b.dists.find(name);
         if (it == b.dists.end()) {
@@ -466,8 +568,53 @@ diffDocs(const Doc &a, const Doc &b)
         }
     }
     for (const auto &[name, d] : b.dists)
-        if (!isHostMetric(name) && !a.dists.count(name))
+        if (!isHostMetric(name) && !isBlameMetric(name) &&
+            !a.dists.count(name))
             note(name, "(absent)", distStr(d));
+
+    // Blame attribution last, under its own header, in sorted name
+    // order (= sorted cause order within each label group) so two
+    // diffs of the same pair are always formatted identically.
+    bool blameHeader = false;
+    auto noteBlame = [&](const std::string &name,
+                         const std::string &va,
+                         const std::string &vb) {
+        if (!blameHeader) {
+            std::printf("blame attribution:\n");
+            blameHeader = true;
+        }
+        std::printf("  %-44s %s -> %s\n", name.c_str(), va.c_str(),
+                    vb.c_str());
+        ++changes;
+    };
+    for (const auto &[name, v] : a.counters) {
+        if (!isBlameMetric(name))
+            continue;
+        auto it = b.counters.find(name);
+        if (it == b.counters.end())
+            noteBlame(name, u64s(v), "(absent)");
+        else if (it->second != v)
+            noteBlame(name, u64s(v), u64s(it->second));
+    }
+    for (const auto &[name, v] : b.counters)
+        if (isBlameMetric(name) && !a.counters.count(name))
+            noteBlame(name, "(absent)", u64s(v));
+    for (const auto &[name, d] : a.dists) {
+        if (!isBlameMetric(name))
+            continue;
+        auto it = b.dists.find(name);
+        if (it == b.dists.end()) {
+            noteBlame(name, distStr(d), "(absent)");
+        } else if (it->second.count != d.count ||
+                   it->second.sum != d.sum ||
+                   it->second.min != d.min ||
+                   it->second.max != d.max) {
+            noteBlame(name, distStr(d), distStr(it->second));
+        }
+    }
+    for (const auto &[name, d] : b.dists)
+        if (isBlameMetric(name) && !a.dists.count(name))
+            noteBlame(name, "(absent)", distStr(d));
 
     if (changes == 0) {
         std::printf("no differences\n");
@@ -610,8 +757,11 @@ usage()
         " [--seed=N]\n"
         "       terp-stats --from=FILE\n"
         "       terp-stats --diff A B\n"
-        "options: [--json] [--prom] [--golden=FILE]"
+        "options: [--json] [--prom] [--blame] [--golden=FILE]"
         " [--write-golden=FILE]\n"
+        "  --blame: print the exposure blame report instead of the\n"
+        "           posture report; --golden/--write-golden then\n"
+        "           apply to the blame report text\n"
         "workloads: echo ycsb tpcc ctree hashmap redis\n"
         "schemes: unprotected mm tm tt ttnc basic\n");
     return 2;
@@ -624,7 +774,7 @@ main(int argc, char **argv)
 {
     std::string fromPath, goldenPath, writeGoldenPath;
     std::vector<std::string> diffPaths, positional;
-    bool emitJson = false, emitProm = false;
+    bool emitJson = false, emitProm = false, blame = false;
     std::uint64_t sections = 400, seed = 1234;
 
     for (int i = 1; i < argc; ++i) {
@@ -648,6 +798,8 @@ main(int argc, char **argv)
             emitJson = true;
         } else if (a == "--prom") {
             emitProm = true;
+        } else if (a == "--blame") {
+            blame = true;
         } else if (a == "--help" || a == "-h") {
             return usage();
         } else if (a.rfind("--", 0) == 0) {
@@ -739,10 +891,15 @@ main(int argc, char **argv)
                              "(quantile bucket detail is not in the "
                              "JSON export)\n");
         return 2;
+    } else if (blame) {
+        std::fputs(blameText(doc).c_str(), stdout);
     } else {
         printReport(doc);
     }
 
+    // With --blame the golden is the blame report text itself; the
+    // default golden keeps blame metrics excluded either way.
+    std::string golden = blame ? blameText(doc) : goldenText(doc);
     if (!writeGoldenPath.empty()) {
         std::ofstream out(writeGoldenPath, std::ios::binary);
         if (!out) {
@@ -750,12 +907,12 @@ main(int argc, char **argv)
                          writeGoldenPath.c_str());
             return 2;
         }
-        out << goldenText(doc);
+        out << golden;
         std::fprintf(stderr, "terp-stats: wrote golden %s\n",
                      writeGoldenPath.c_str());
     }
     if (!goldenPath.empty()) {
-        int rc = checkGolden(doc, goldenPath);
+        int rc = checkGolden(golden, goldenPath);
         if (rc != 0)
             return rc;
     }
